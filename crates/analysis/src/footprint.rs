@@ -1,0 +1,101 @@
+//! Footprint and working-set analysis.
+//!
+//! * The **footprint curve** — distinct pages touched as a function of
+//!   references made — distinguishes a streaming workload (linear growth)
+//!   from a resident one (quick plateau).
+//! * The **working set** (Denning): distinct pages inside a sliding window
+//!   of references — what a TLB of a given reach actually has to hold.
+
+use std::collections::HashMap;
+
+use hbat_core::addr::PageGeometry;
+use hbat_isa::trace::TraceInst;
+
+/// Extracts the page-number stream of a trace's data references.
+pub fn page_stream(trace: &[TraceInst], geometry: PageGeometry) -> Vec<u64> {
+    trace
+        .iter()
+        .filter_map(|t| t.mem.map(|m| geometry.vpn(m.vaddr).0))
+        .collect()
+}
+
+/// Distinct pages touched after each of `points` evenly spaced positions
+/// in the stream; the last point is the total footprint.
+pub fn footprint_curve(pages: &[u64], points: usize) -> Vec<(usize, usize)> {
+    assert!(points > 0, "need at least one sample point");
+    let mut seen = std::collections::HashSet::new();
+    let mut curve = Vec::with_capacity(points);
+    if pages.is_empty() {
+        return vec![(0, 0); points];
+    }
+    let step = pages.len().div_ceil(points);
+    for (i, &p) in pages.iter().enumerate() {
+        seen.insert(p);
+        if (i + 1) % step == 0 || i + 1 == pages.len() {
+            curve.push((i + 1, seen.len()));
+        }
+    }
+    curve
+}
+
+/// Mean and maximum working-set size over sliding windows of `window`
+/// references (stride = window, i.e. disjoint windows for tractability).
+pub fn working_set(pages: &[u64], window: usize) -> (f64, usize) {
+    assert!(window > 0, "window must be positive");
+    let mut counts: HashMap<u64, u32> = HashMap::new();
+    let mut total = 0usize;
+    let mut max = 0usize;
+    let mut n = 0usize;
+    for chunk in pages.chunks(window) {
+        counts.clear();
+        for &p in chunk {
+            *counts.entry(p).or_insert(0) += 1;
+        }
+        total += counts.len();
+        max = max.max(counts.len());
+        n += 1;
+    }
+    if n == 0 {
+        (0.0, 0)
+    } else {
+        (total as f64 / n as f64, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_of_streaming_grows_linearly() {
+        let pages: Vec<u64> = (0..100).collect();
+        let curve = footprint_curve(&pages, 4);
+        assert_eq!(curve.last(), Some(&(100, 100)));
+        // Each quarter adds ~25 pages.
+        assert_eq!(curve[0], (25, 25));
+        assert_eq!(curve[1], (50, 50));
+    }
+
+    #[test]
+    fn footprint_of_resident_plateaus() {
+        let pages: Vec<u64> = (0..100).map(|i| i % 5).collect();
+        let curve = footprint_curve(&pages, 4);
+        assert_eq!(curve.last(), Some(&(100, 5)));
+        assert_eq!(curve[0].1, 5, "plateau reached in the first quarter");
+    }
+
+    #[test]
+    fn working_set_statistics() {
+        // Window 4 over: [0,0,0,0], [1,2,3,4]
+        let pages = vec![0, 0, 0, 0, 1, 2, 3, 4];
+        let (mean, max) = working_set(&pages, 4);
+        assert!((mean - 2.5).abs() < 1e-12);
+        assert_eq!(max, 4);
+    }
+
+    #[test]
+    fn empty_stream_is_safe() {
+        assert_eq!(working_set(&[], 8), (0.0, 0));
+        assert_eq!(footprint_curve(&[], 3), vec![(0, 0); 3]);
+    }
+}

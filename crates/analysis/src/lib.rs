@@ -1,0 +1,38 @@
+//! # hbat-analysis — address-trace anatomy
+//!
+//! The paper's arguments rest on measurable stream properties: reference
+//! locality (Figure 6 and the multi-level TLB), same-page simultaneity
+//! (piggyback ports), and register-pointer reuse (pretranslation). This
+//! crate measures all three for any `hbat-isa` trace:
+//!
+//! * [`reuse`] — LRU reuse-distance profiles: every LRU TLB size's miss
+//!   rate from one pass (the Figure-6 generalisation);
+//! * [`adjacency`] — same-page structure of nearby references: the
+//!   combining available to piggyback ports;
+//! * [`pointer`](mod@pointer) — base-register reuse and lifetimes: the ceiling on
+//!   pretranslation shielding;
+//! * [`banks`] — interleaved-TLB bank conflicts, split into fixable
+//!   (different-page) and unfixable (same-page) collisions;
+//! * [`footprint`] — footprint curves and Denning working sets.
+//!
+//! ```
+//! use hbat_analysis::reuse::ReuseProfile;
+//! use hbat_core::addr::Vpn;
+//!
+//! let stream = [1u64, 2, 3, 1, 2, 3].map(Vpn);
+//! let profile = ReuseProfile::of_pages(stream);
+//! assert_eq!(profile.distinct_pages(), 3);
+//! assert!(profile.lru_miss_rate(3) < profile.lru_miss_rate(2));
+//! ```
+
+pub mod adjacency;
+pub mod banks;
+pub mod footprint;
+pub mod pointer;
+pub mod reuse;
+
+pub use adjacency::AdjacencyProfile;
+pub use banks::BankConflictProfile;
+pub use footprint::{footprint_curve, page_stream, working_set};
+pub use pointer::PointerProfile;
+pub use reuse::ReuseProfile;

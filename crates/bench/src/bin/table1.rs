@@ -1,0 +1,73 @@
+//! Regenerates Table 1: the baseline simulation model.
+
+use hbat_cpu::SimConfig;
+use hbat_stats::table::TextTable;
+
+fn main() {
+    let c = SimConfig::baseline();
+    let mut t = TextTable::new(vec!["component", "configuration"]);
+    t.row(vec![
+        "Fetch Interface".into(),
+        format!(
+            "fetches any {} instructions in same cache block per cycle, separated by at most {} branch(es) (collapsing buffer)",
+            c.width,
+            c.fetch_branches
+        ),
+    ]);
+    t.row(vec![
+        "Instruction Cache".into(),
+        format!(
+            "{}k {}-way set-associative, {} byte blocks, {} cycle miss latency",
+            c.icache.size_bytes / 1024,
+            c.icache.ways,
+            c.icache.block_bytes,
+            c.icache.miss_latency
+        ),
+    ]);
+    t.row(vec![
+        "Branch Predictor".into(),
+        "8 bit global history indexing a 4096 entry pattern history table (GAp), 2-bit saturating counters, 3 cycle misprediction penalty".into(),
+    ]);
+    t.row(vec![
+        "In-Order Issue".into(),
+        format!("in-order issue of up to {} operations per cycle, out-of-order completion", c.width),
+    ]);
+    t.row(vec![
+        "Out-of-Order Issue".into(),
+        format!(
+            "out-of-order issue of up to {} operations per cycle, {} entry re-order buffer, {} entry load/store queue, loads execute when all prior store addresses are known",
+            c.width, c.rob_entries, c.lsq_entries
+        ),
+    ]);
+    t.row(vec![
+        "Architected Registers".into(),
+        "32 integer, 32 floating point (8/8 for the Figure 9 experiment)".into(),
+    ]);
+    t.row(vec![
+        "Functional Units".into(),
+        format!(
+            "{}-integer ALU, {}-load/store units, {}-FP adders, {}-integer MULT/DIV, {}-FP MULT/DIV",
+            c.int_alu_units, c.ldst_units, c.fp_add_units, c.int_mul_units, c.fp_mul_units
+        ),
+    ]);
+    t.row(vec![
+        "Functional Unit Latency".into(),
+        "integer ALU-1/1, load/store-2/1, integer MULT-3/1, integer DIV-12/12, FP adder-2/1, FP MULT-4/1, FP DIV-12/12".into(),
+    ]);
+    t.row(vec![
+        "Data Cache".into(),
+        format!(
+            "{}k {}-way set-associative, write-back, write-allocate, {} byte blocks, {} cycle miss latency, {}-ported non-blocking",
+            c.dcache.size_bytes / 1024,
+            c.dcache.ways,
+            c.dcache.block_bytes,
+            c.dcache.miss_latency,
+            c.dcache.ports
+        ),
+    ]);
+    t.row(vec![
+        "Virtual Memory".into(),
+        "4K byte pages (8K for Figure 8), 30 cycle fixed TLB miss latency".into(),
+    ]);
+    println!("Table 1: Baseline Simulation Model\n\n{}", t.render());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 2: the analysed address translation designs.
+
+use hbat_core::designs::spec::DesignSpec;
+use hbat_stats::table::TextTable;
+
+fn main() {
+    let mut t = TextTable::new(vec!["mnemonic", "description"]);
+    for d in DesignSpec::TABLE2 {
+        t.row(vec![d.mnemonic().to_owned(), d.description()]);
+    }
+    println!(
+        "Table 2: Analyzed Address Translation Designs\n\n{}",
+        t.render()
+    );
+}

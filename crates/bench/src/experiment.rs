@@ -1,0 +1,257 @@
+//! The experiment runner: sweeps translation designs over the benchmark
+//! suite, exactly as Section 4 of the paper does.
+//!
+//! Traces are generated once per benchmark (functional execution) and
+//! replayed against every design; benchmarks run on worker threads since
+//! each (trace, design) pair is independent.
+
+use std::sync::Mutex;
+
+use hbat_core::addr::PageGeometry;
+use hbat_core::designs::spec::DesignSpec;
+use hbat_cpu::{simulate, RunMetrics, SimConfig};
+use hbat_isa::trace::TraceInst;
+use hbat_stats::agg::runtime_weighted_ipc;
+use hbat_stats::chart::BarChart;
+use hbat_stats::table::{fnum, TextTable};
+use hbat_workloads::{Benchmark, Scale, WorkloadConfig};
+
+/// Everything one experiment (one figure) varies.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Problem size for the workload generators.
+    pub scale: Scale,
+    /// Machine model (issue discipline etc.).
+    pub sim: SimConfig,
+    /// Page size.
+    pub geometry: PageGeometry,
+    /// Workload build configuration (register budget, seed).
+    pub workload: WorkloadConfig,
+    /// Seed for the designs' random replacement.
+    pub design_seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The Figure-5 baseline: out-of-order, 4 KB pages, 32 registers.
+    pub fn baseline(scale: Scale) -> Self {
+        ExperimentConfig {
+            scale,
+            sim: SimConfig::baseline(),
+            geometry: PageGeometry::KB4,
+            workload: WorkloadConfig::new(scale),
+            design_seed: 1996,
+        }
+    }
+
+    /// Figure 7: in-order issue.
+    #[must_use]
+    pub fn with_inorder(mut self) -> Self {
+        self.sim = SimConfig {
+            issue_model: hbat_cpu::IssueModel::InOrder,
+            ..self.sim
+        };
+        self
+    }
+
+    /// Figure 8: 8 KB pages.
+    #[must_use]
+    pub fn with_8k_pages(mut self) -> Self {
+        self.geometry = PageGeometry::KB8;
+        self
+    }
+
+    /// Figure 9: 8 int / 8 fp architected registers.
+    #[must_use]
+    pub fn with_small_regs(mut self) -> Self {
+        self.workload = self.workload.with_small_regs();
+        self
+    }
+}
+
+/// One (benchmark, design) timing result.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// The design.
+    pub design: DesignSpec,
+    /// Full run metrics.
+    pub metrics: RunMetrics,
+}
+
+/// The result of sweeping `designs` over all ten benchmarks.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Designs in presentation order.
+    pub designs: Vec<DesignSpec>,
+    /// Row-major: `cells[bench][design]`.
+    pub cells: Vec<Vec<CellResult>>,
+}
+
+impl SweepResult {
+    /// Per-design run-time weighted average IPC (weighted by each
+    /// benchmark's T4 run time, per the paper). Falls back to the first
+    /// design's run time when T4 is not part of the sweep.
+    pub fn weighted_ipc(&self, design: DesignSpec) -> f64 {
+        let weight_col = self
+            .designs
+            .iter()
+            .position(|d| *d == DesignSpec::MultiPorted { ports: 4 })
+            .unwrap_or(0);
+        let col = self
+            .designs
+            .iter()
+            .position(|d| *d == design)
+            .expect("design not part of this sweep");
+        let ipcs: Vec<f64> = self.cells.iter().map(|row| row[col].metrics.ipc()).collect();
+        let weights: Vec<u64> = self
+            .cells
+            .iter()
+            .map(|row| row[weight_col].metrics.cycles)
+            .collect();
+        runtime_weighted_ipc(&ipcs, &weights)
+    }
+
+    /// IPC of `design` normalised to T4's, the paper's figure metric.
+    pub fn relative_ipc(&self, design: DesignSpec) -> f64 {
+        let t4 = self.weighted_ipc(DesignSpec::MultiPorted { ports: 4 });
+        if t4 == 0.0 {
+            0.0
+        } else {
+            self.weighted_ipc(design) / t4
+        }
+    }
+
+    /// Renders the figure as a text table plus the paper-style bar chart:
+    /// one row/bar per design, relative to T4.
+    pub fn render_figure(&self, title: &str) -> String {
+        let mut t = TextTable::new(vec!["design", "weighted IPC", "vs T4"]);
+        t.numeric();
+        let mut chart = BarChart::new("relative IPC (normalised to T4)", 50)
+            .with_max(1.0)
+            .percent();
+        for d in &self.designs {
+            t.row(vec![
+                d.mnemonic().to_owned(),
+                fnum(self.weighted_ipc(*d), 4),
+                format!("{:5.1}%", self.relative_ipc(*d) * 100.0),
+            ]);
+            chart.bar(d.mnemonic(), self.relative_ipc(*d));
+        }
+        format!("{title}\n{}\n{}", t.render(), chart.render())
+    }
+
+    /// Renders the per-benchmark detail (the paper's FTP results file).
+    pub fn render_details(&self) -> String {
+        let mut headers = vec!["program".to_owned()];
+        headers.extend(self.designs.iter().map(|d| d.mnemonic().to_owned()));
+        let mut t = TextTable::new(headers);
+        t.numeric();
+        for row in &self.cells {
+            let mut cells = vec![row[0].bench.name().to_owned()];
+            cells.extend(row.iter().map(|c| fnum(c.metrics.ipc(), 3)));
+            t.row(cells);
+        }
+        t.render()
+    }
+}
+
+/// Generates the dynamic trace for one benchmark under `cfg`.
+pub fn trace_for(bench: Benchmark, cfg: &ExperimentConfig) -> Vec<TraceInst> {
+    bench.build(&cfg.workload).trace()
+}
+
+/// Runs one (trace, design) cell.
+pub fn run_cell(
+    trace: &[TraceInst],
+    design: DesignSpec,
+    cfg: &ExperimentConfig,
+) -> RunMetrics {
+    let mut translator = design.build(cfg.geometry, cfg.design_seed);
+    simulate(&cfg.sim, trace, translator.as_mut())
+}
+
+/// Sweeps `designs` over all ten benchmarks, one worker thread per
+/// benchmark.
+pub fn sweep(designs: &[DesignSpec], cfg: &ExperimentConfig) -> SweepResult {
+    let results: Mutex<Vec<(usize, Vec<CellResult>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for (bi, bench) in Benchmark::ALL.iter().enumerate() {
+            let results = &results;
+            scope.spawn(move || {
+                let trace = trace_for(*bench, cfg);
+                let row: Vec<CellResult> = designs
+                    .iter()
+                    .map(|d| CellResult {
+                        bench: *bench,
+                        design: *d,
+                        metrics: run_cell(&trace, *d, cfg),
+                    })
+                    .collect();
+                results.lock().expect("no poisoned workers").push((bi, row));
+            });
+        }
+    });
+    let mut rows = results.into_inner().expect("workers done");
+    rows.sort_by_key(|(bi, _)| *bi);
+    SweepResult {
+        designs: designs.to_vec(),
+        cells: rows.into_iter().map(|(_, row)| row).collect(),
+    }
+}
+
+/// Sweeps the full Table-2 design set.
+pub fn sweep_table2(cfg: &ExperimentConfig) -> SweepResult {
+    sweep(&DesignSpec::TABLE2, cfg)
+}
+
+/// Parses the scale from a CLI argument / env (`test`, `small`,
+/// `reference`); used by the figure binaries.
+pub fn scale_from_args() -> Scale {
+    let arg = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("HBAT_SCALE").ok())
+        .unwrap_or_else(|| "small".to_owned());
+    match arg.to_ascii_lowercase().as_str() {
+        "test" => Scale::Test,
+        "reference" | "ref" | "full" => Scale::Reference,
+        _ => Scale::Small,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_sane_relative_ipcs() {
+        let cfg = ExperimentConfig::baseline(Scale::Test);
+        let designs = [
+            DesignSpec::MultiPorted { ports: 4 },
+            DesignSpec::MultiPorted { ports: 1 },
+        ];
+        let r = sweep(&designs, &cfg);
+        assert_eq!(r.cells.len(), 10);
+        let rel_t4 = r.relative_ipc(designs[0]);
+        let rel_t1 = r.relative_ipc(designs[1]);
+        assert!((rel_t4 - 1.0).abs() < 1e-12, "T4 is its own baseline");
+        assert!(rel_t1 < 1.0, "T1 must trail T4: {rel_t1}");
+        assert!(rel_t1 > 0.3, "T1 cannot be catastrophically slow: {rel_t1}");
+        let fig = r.render_figure("test figure");
+        assert!(fig.contains("T4") && fig.contains("T1"));
+        let details = r.render_details();
+        assert!(details.contains("Compress") && details.contains("Xlisp"));
+    }
+
+    #[test]
+    fn experiment_config_builders() {
+        let c = ExperimentConfig::baseline(Scale::Test);
+        assert_eq!(c.geometry, PageGeometry::KB4);
+        assert_eq!(c.clone().with_8k_pages().geometry, PageGeometry::KB8);
+        assert_eq!(
+            c.clone().with_inorder().sim.issue_model,
+            hbat_cpu::IssueModel::InOrder
+        );
+        assert_eq!(c.with_small_regs().workload.regs.int, 8);
+    }
+}

@@ -1,0 +1,26 @@
+//! # hbat-bench — the experiment harness
+//!
+//! Regenerates every table and figure of Austin & Sohi (ISCA 1996):
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | the baseline machine configuration |
+//! | `table2` | the thirteen analysed designs |
+//! | `table3` | per-program execution statistics |
+//! | `fig5` | relative IPC, out-of-order baseline |
+//! | `fig6` | TLB miss rate vs TLB size |
+//! | `fig7` | relative IPC, in-order issue |
+//! | `fig8` | relative IPC, 8 KB pages |
+//! | `fig9` | relative IPC, 8 int / 8 fp registers |
+//!
+//! Each binary accepts a scale argument (`test`, `small`, `reference`);
+//! the default is `small`. Run them with
+//! `cargo run --release -p hbat-bench --bin fig5 -- small`.
+
+pub mod experiment;
+pub mod missrate;
+
+pub use experiment::{
+    run_cell, scale_from_args, sweep, sweep_table2, trace_for, CellResult, ExperimentConfig,
+    SweepResult,
+};

@@ -1,0 +1,246 @@
+//! A fully-associative TLB bank: the storage primitive shared by every
+//! design in the paper.
+//!
+//! A multi-ported TLB is one bank with several access paths; an interleaved
+//! TLB is several banks behind a selection function; a multi-level TLB is a
+//! small LRU bank shielding a large random-replacement bank.
+
+use std::collections::HashMap;
+
+use crate::addr::Vpn;
+use crate::entry::TlbEntry;
+use crate::replacement::{ReplacementPolicy, Replacer};
+
+/// A fully-associative array of [`TlbEntry`]s with a pluggable replacement
+/// policy.
+///
+/// The bank models content only — ports and timing live in the design
+/// layers above. Lookups are O(1) via a VPN index (the hardware CAM search
+/// is modelled functionally, not structurally).
+///
+/// # Examples
+///
+/// ```
+/// use hbat_core::addr::{Ppn, Vpn};
+/// use hbat_core::bank::TlbBank;
+/// use hbat_core::entry::{Protection, TlbEntry};
+/// use hbat_core::replacement::ReplacementPolicy;
+///
+/// let mut bank = TlbBank::new(4, ReplacementPolicy::Lru, 0);
+/// bank.insert(TlbEntry::new(Vpn(7), Ppn(3), Protection::READ_WRITE));
+/// assert_eq!(bank.lookup(Vpn(7)).map(|e| e.ppn), Some(Ppn(3)));
+/// assert!(bank.lookup(Vpn(8)).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TlbBank {
+    ways: Vec<Option<TlbEntry>>,
+    index: HashMap<Vpn, usize>,
+    replacer: Replacer,
+}
+
+impl TlbBank {
+    /// Creates an empty bank with `entries` ways.
+    ///
+    /// `seed` feeds the random replacement stream (ignored by LRU/FIFO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0`.
+    pub fn new(entries: usize, policy: ReplacementPolicy, seed: u64) -> Self {
+        TlbBank {
+            ways: vec![None; entries],
+            index: HashMap::with_capacity(entries),
+            replacer: Replacer::new(policy, entries, seed),
+        }
+    }
+
+    /// Bank capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.ways.len()
+    }
+
+    /// Number of valid entries currently resident.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Replacement policy in force.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.replacer.policy()
+    }
+
+    /// Probes for `vpn` and, on a hit, updates replacement state.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<&mut TlbEntry> {
+        let way = *self.index.get(&vpn)?;
+        self.replacer.touch(way);
+        self.ways[way].as_mut()
+    }
+
+    /// Probes for `vpn` without disturbing replacement state (used by
+    /// consistency probes and tests).
+    pub fn peek(&self, vpn: Vpn) -> Option<&TlbEntry> {
+        let way = *self.index.get(&vpn)?;
+        self.ways[way].as_ref()
+    }
+
+    /// Installs `entry`, evicting a victim if the bank is full.
+    ///
+    /// Returns the evicted entry, if any. Inserting a VPN that is already
+    /// resident overwrites it in place and evicts nothing.
+    pub fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
+        if let Some(&way) = self.index.get(&entry.vpn) {
+            self.replacer.touch(way);
+            self.ways[way] = Some(entry);
+            return None;
+        }
+        // Prefer an invalid way; otherwise ask the policy for a victim.
+        let (way, evicted) = match self.ways.iter().position(Option::is_none) {
+            Some(w) => (w, None),
+            None => {
+                let w = self.replacer.victim();
+                let old = self.ways[w].take();
+                if let Some(ref e) = old {
+                    self.index.remove(&e.vpn);
+                }
+                (w, old)
+            }
+        };
+        self.index.insert(entry.vpn, way);
+        self.ways[way] = Some(entry);
+        self.replacer.insert(way);
+        evicted
+    }
+
+    /// Removes the entry for `vpn` if resident, returning it.
+    pub fn invalidate(&mut self, vpn: Vpn) -> Option<TlbEntry> {
+        let way = self.index.remove(&vpn)?;
+        self.ways[way].take()
+    }
+
+    /// Removes every entry.
+    pub fn flush(&mut self) {
+        self.ways.fill(None);
+        self.index.clear();
+        self.replacer.reset();
+    }
+
+    /// Iterates over resident entries in way order.
+    pub fn iter(&self) -> impl Iterator<Item = &TlbEntry> {
+        self.ways.iter().filter_map(Option::as_ref)
+    }
+
+    /// Collects the resident VPNs (order unspecified); handy in tests.
+    pub fn resident_vpns(&self) -> Vec<Vpn> {
+        self.index.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ppn;
+    use crate::entry::Protection;
+
+    fn entry(v: u64) -> TlbEntry {
+        TlbEntry::new(Vpn(v), Ppn(v + 100), Protection::READ_WRITE)
+    }
+
+    #[test]
+    fn fills_invalid_ways_before_evicting() {
+        let mut b = TlbBank::new(3, ReplacementPolicy::Lru, 0);
+        assert!(b.insert(entry(1)).is_none());
+        assert!(b.insert(entry(2)).is_none());
+        assert!(b.insert(entry(3)).is_none());
+        assert_eq!(b.len(), 3);
+        let evicted = b.insert(entry(4)).expect("full bank must evict");
+        assert_eq!(evicted.vpn, Vpn(1), "LRU evicts the oldest untouched entry");
+    }
+
+    #[test]
+    fn lru_order_respects_lookups() {
+        let mut b = TlbBank::new(2, ReplacementPolicy::Lru, 0);
+        b.insert(entry(1));
+        b.insert(entry(2));
+        b.lookup(Vpn(1));
+        let evicted = b.insert(entry(3)).unwrap();
+        assert_eq!(evicted.vpn, Vpn(2));
+    }
+
+    #[test]
+    fn reinsert_same_vpn_overwrites_in_place() {
+        let mut b = TlbBank::new(2, ReplacementPolicy::Lru, 0);
+        b.insert(entry(1));
+        let mut e = entry(1);
+        e.dirty = true;
+        assert!(b.insert(e).is_none());
+        assert_eq!(b.len(), 1);
+        assert!(b.peek(Vpn(1)).unwrap().dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_and_returns() {
+        let mut b = TlbBank::new(2, ReplacementPolicy::Random, 9);
+        b.insert(entry(5));
+        let got = b.invalidate(Vpn(5)).unwrap();
+        assert_eq!(got.ppn, Ppn(105));
+        assert!(b.lookup(Vpn(5)).is_none());
+        assert!(b.invalidate(Vpn(5)).is_none());
+        // The freed way is reused before anything is evicted.
+        b.insert(entry(6));
+        b.insert(entry(7));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn flush_empties_bank() {
+        let mut b = TlbBank::new(4, ReplacementPolicy::Fifo, 0);
+        for v in 0..4 {
+            b.insert(entry(v));
+        }
+        b.flush();
+        assert!(b.is_empty());
+        assert_eq!(b.iter().count(), 0);
+        for v in 0..4 {
+            assert!(b.peek(Vpn(v)).is_none());
+        }
+    }
+
+    #[test]
+    fn lookup_gives_mutable_access_for_status_updates() {
+        let mut b = TlbBank::new(1, ReplacementPolicy::Lru, 0);
+        b.insert(entry(9));
+        b.lookup(Vpn(9)).unwrap().referenced = true;
+        assert!(b.peek(Vpn(9)).unwrap().referenced);
+    }
+
+    #[test]
+    fn random_replacement_keeps_capacity_bounded() {
+        let mut b = TlbBank::new(8, ReplacementPolicy::Random, 3);
+        for v in 0..1000 {
+            b.insert(entry(v));
+            assert!(b.len() <= 8);
+        }
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn index_and_ways_stay_consistent_under_churn() {
+        let mut b = TlbBank::new(4, ReplacementPolicy::Random, 11);
+        for v in 0..200 {
+            b.insert(entry(v % 13));
+            if v % 3 == 0 {
+                b.invalidate(Vpn((v + 1) % 13));
+            }
+            // Every indexed VPN must be present in its way with matching tag.
+            for vpn in b.resident_vpns() {
+                assert_eq!(b.peek(vpn).unwrap().vpn, vpn);
+            }
+            assert_eq!(b.iter().count(), b.len());
+        }
+    }
+}

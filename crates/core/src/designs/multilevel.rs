@@ -1,0 +1,360 @@
+//! The multi-level TLB (Section 3.3): a small, multi-ported, LRU L1 TLB
+//! shields a large single-ported L2 TLB.
+//!
+//! Implementation choices follow Section 4.1 exactly:
+//!
+//! * the L1 TLB can service up to four hits per cycle;
+//! * L1 misses are sent *the following cycle* to the L2 TLB, where they may
+//!   queue on the L2 port (minimum L1-miss latency: 2 cycles);
+//! * TLB misses load both levels; multi-level inclusion is enforced by
+//!   invalidating from the L1 any entry replaced in the L2;
+//! * page-status changes are written through to the L2 immediately,
+//!   consuming L2 port bandwidth but not delaying the requester.
+
+use crate::addr::Vpn;
+use crate::bank::TlbBank;
+use crate::cycle::{Cycle, PortTimeline};
+use crate::pagetable::PageTable;
+use crate::replacement::ReplacementPolicy;
+use crate::request::{Outcome, TranslateRequest};
+use crate::stats::TranslatorStats;
+use crate::translator::AddressTranslator;
+
+/// A two-level TLB (designs M16, M8, M4).
+#[derive(Debug)]
+pub struct MultiLevelTlb {
+    name: String,
+    l1: TlbBank,
+    l1_ports: usize,
+    l1_ports_used: usize,
+    l2: TlbBank,
+    l2_port: PortTimeline,
+    pt: PageTable,
+    now: Cycle,
+    stats: TranslatorStats,
+}
+
+impl MultiLevelTlb {
+    /// Creates a two-level TLB: an `l1_entries`-entry LRU L1 with
+    /// `l1_ports` ports over an `l2_entries`-entry random-replacement L2
+    /// with `l2_ports` port(s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size or port count is zero.
+    pub fn new(
+        name: &str,
+        l1_entries: usize,
+        l1_ports: usize,
+        l2_entries: usize,
+        l2_ports: usize,
+        pt: PageTable,
+        seed: u64,
+    ) -> Self {
+        assert!(l1_ports > 0, "L1 TLB needs at least one port");
+        MultiLevelTlb {
+            name: name.to_owned(),
+            l1: TlbBank::new(l1_entries, ReplacementPolicy::Lru, seed ^ 0x11),
+            l1_ports,
+            l1_ports_used: 0,
+            l2: TlbBank::new(l2_entries, ReplacementPolicy::Random, seed ^ 0x22),
+            l2_port: PortTimeline::new(l2_ports),
+            pt,
+            now: Cycle::ZERO,
+            stats: TranslatorStats::new(),
+        }
+    }
+
+    /// L1 capacity in entries.
+    pub fn l1_entries(&self) -> usize {
+        self.l1.capacity()
+    }
+
+    /// L2 capacity in entries.
+    pub fn l2_entries(&self) -> usize {
+        self.l2.capacity()
+    }
+
+    /// Checks multi-level inclusion: every L1 entry is also in the L2.
+    /// Exposed for tests and debug assertions.
+    pub fn inclusion_holds(&self) -> bool {
+        self.l1.iter().all(|e| self.l2.peek(e.vpn).is_some())
+    }
+
+    /// Installs `vpn`'s entry into both levels, maintaining inclusion.
+    fn fill_both(&mut self, vpn: Vpn, is_store: bool) -> crate::entry::TlbEntry {
+        let mut entry = self.pt.walk(vpn);
+        entry.referenced = true;
+        entry.dirty |= is_store;
+        if let Some(victim) = self.l2.insert(entry) {
+            // Inclusion: an entry replaced in the L2 must leave the L1.
+            if self.l1.invalidate(victim.vpn).is_some() {
+                self.stats.inclusion_invalidations += 1;
+            }
+            super::write_back_status(&mut self.pt, &victim);
+        }
+        // L1 insertion may evict a (still-included) entry; its status is
+        // already replicated in the L2 by the write-through policy.
+        self.l1.insert(entry);
+        entry
+    }
+
+    /// Applies a status change to the L1 entry and writes it through to the
+    /// L2, consuming an L2 port slot (but never delaying the requester —
+    /// status writes are buffered).
+    fn write_through_status(&mut self, vpn: Vpn, referenced: bool, dirty: bool) {
+        if let Some(e) = self.l2.lookup(vpn) {
+            e.referenced |= referenced;
+            e.dirty |= dirty;
+        }
+        self.l2_port.allocate(self.now + 1, 1);
+        self.stats.status_writes += 1;
+    }
+}
+
+impl AddressTranslator for MultiLevelTlb {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin_cycle(&mut self, now: Cycle) {
+        debug_assert!(now >= self.now, "time must not run backwards");
+        self.now = now;
+        self.l1_ports_used = 0;
+    }
+
+    fn translate(&mut self, req: &TranslateRequest) -> Outcome {
+        if self.l1_ports_used == self.l1_ports {
+            self.stats.retries += 1;
+            return Outcome::Retry;
+        }
+        self.l1_ports_used += 1;
+        self.stats.accesses += 1;
+        let vpn = self.pt.geometry().vpn(req.vaddr);
+        let is_store = req.kind.is_store();
+
+        // L1 probe (shielding mechanism).
+        if let Some(e) = self.l1.lookup(vpn) {
+            let ppn = e.ppn;
+            let needs_status = !e.referenced || (is_store && !e.dirty);
+            e.referenced = true;
+            if is_store {
+                e.dirty = true;
+            }
+            if needs_status {
+                self.write_through_status(vpn, true, is_store);
+            }
+            self.stats.shielded += 1;
+            return Outcome::Hit {
+                ppn,
+                extra_latency: 0,
+            };
+        }
+
+        // L1 miss: forwarded to the L2 next cycle; may queue on the port.
+        let service_start = self.l2_port.allocate(self.now + 1, 1);
+        self.stats.internal_queueing_cycles += service_start - (self.now + 1);
+
+        if let Some(e) = self.l2.lookup(vpn) {
+            e.referenced = true;
+            if is_store {
+                e.dirty = true;
+            }
+            let entry = *e;
+            self.l1.insert(entry);
+            self.stats.base_hits += 1;
+            // L2 access takes one cycle after service starts: minimum
+            // latency 2 cycles beyond the L1 probe.
+            return Outcome::Hit {
+                ppn: entry.ppn,
+                extra_latency: (service_start + 1) - self.now,
+            };
+        }
+
+        // Full miss: walk, fill both levels.
+        let entry = self.fill_both(vpn, is_store);
+        self.stats.misses += 1;
+        Outcome::Miss {
+            ppn: entry.ppn,
+            ready_at: service_start + self.pt.miss_latency(),
+        }
+    }
+
+    fn flush(&mut self) {
+        let entries: Vec<_> = self.l2.iter().cloned().collect();
+        for e in entries {
+            super::write_back_status(&mut self.pt, &e);
+        }
+        self.l1.flush();
+        self.l2.flush();
+    }
+
+    fn invalidate_page(&mut self, vpn: Vpn) {
+        // Inclusion makes the shootdown cheap: probe the L2, and only a
+        // resident page can also be in the L1.
+        if let Some(e) = self.l2.invalidate(vpn) {
+            super::write_back_status(&mut self.pt, &e);
+            if self.l1.invalidate(vpn).is_some() {
+                self.stats.inclusion_invalidations += 1;
+            }
+        }
+    }
+
+    fn stats(&self) -> &TranslatorStats {
+        &self.stats
+    }
+
+    fn page_table(&self) -> &PageTable {
+        &self.pt
+    }
+
+    fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.pt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PageGeometry, VirtAddr};
+    use crate::translator::drive_batch;
+
+    fn make(l1_entries: usize) -> MultiLevelTlb {
+        MultiLevelTlb::new(
+            "test",
+            l1_entries,
+            4,
+            128,
+            1,
+            PageTable::new(PageGeometry::KB4),
+            5,
+        )
+    }
+
+    #[test]
+    fn l1_hit_is_free_l1_miss_costs_at_least_two() {
+        let mut t = make(8);
+        let r = TranslateRequest::load(VirtAddr(0x5000), 0);
+        // Compulsory miss first.
+        t.begin_cycle(Cycle(0));
+        assert!(matches!(t.translate(&r), Outcome::Miss { .. }));
+        // Now in both levels: L1 hit.
+        t.begin_cycle(Cycle(40));
+        match t.translate(&r) {
+            Outcome::Hit { extra_latency, .. } => assert_eq!(extra_latency, 0),
+            o => panic!("expected L1 hit, got {o:?}"),
+        }
+        // Push the page out of the tiny L1 but keep it in the L2.
+        for i in 0..8u64 {
+            t.begin_cycle(Cycle(100 + i * 50));
+            t.translate(&TranslateRequest::load(VirtAddr(0x10_0000 + (i << 12)), i));
+        }
+        t.begin_cycle(Cycle(1000));
+        match t.translate(&r) {
+            Outcome::Hit { extra_latency, .. } => {
+                assert!(extra_latency >= 2, "L1 miss minimum latency is 2 cycles")
+            }
+            o => panic!("expected L2 hit, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn l2_port_queueing_accumulates() {
+        let mut t = make(4);
+        // Warm the L2 with 4 pages, then evict them from L1 with 4 others.
+        for p in 0..8u64 {
+            t.begin_cycle(Cycle(p * 40));
+            t.translate(&TranslateRequest::load(VirtAddr(p << 12), p));
+        }
+        // Now request the first 4 pages simultaneously: all L1 misses, all
+        // queue on the single L2 port.
+        t.begin_cycle(Cycle(10_000));
+        let mut latencies = Vec::new();
+        for p in 0..4u64 {
+            match t.translate(&TranslateRequest::load(VirtAddr(p << 12), 100 + p)) {
+                Outcome::Hit { extra_latency, .. } => latencies.push(extra_latency),
+                o => panic!("expected L2 hit, got {o:?}"),
+            }
+        }
+        assert_eq!(latencies, vec![2, 3, 4, 5], "serialized on the L2 port");
+        assert!(t.stats().internal_queueing_cycles >= 1 + 2 + 3);
+    }
+
+    #[test]
+    fn inclusion_is_maintained_under_churn() {
+        let mut t = make(8);
+        for i in 0..1000u64 {
+            let page = (i * 37) % 300; // > L2 capacity: forces L2 evictions
+            t.begin_cycle(Cycle(i * 40));
+            t.translate(&TranslateRequest::load(VirtAddr(page << 12), i));
+            assert!(t.inclusion_holds(), "inclusion violated at step {i}");
+        }
+        assert!(t.stats().inclusion_invalidations > 0);
+        assert!(t.stats().is_consistent());
+    }
+
+    #[test]
+    fn l1_ports_limit_simultaneous_requests() {
+        let mut t = make(16);
+        // Warm 5 pages.
+        for p in 0..5u64 {
+            t.begin_cycle(Cycle(p * 40));
+            t.translate(&TranslateRequest::load(VirtAddr(p << 12), p));
+        }
+        t.begin_cycle(Cycle(1000));
+        for p in 0..4u64 {
+            assert!(t
+                .translate(&TranslateRequest::load(VirtAddr(p << 12), p))
+                .is_translated());
+        }
+        assert_eq!(
+            t.translate(&TranslateRequest::load(VirtAddr(4 << 12), 4)),
+            Outcome::Retry,
+            "only four L1 ports"
+        );
+    }
+
+    #[test]
+    fn status_writes_go_through_to_l2() {
+        let mut t = make(8);
+        let va = VirtAddr(0x9000);
+        let vpn = t.geometry().vpn(va);
+        t.begin_cycle(Cycle(0));
+        t.translate(&TranslateRequest::load(va, 0));
+        // L1 hit with a store: first write to the page → status write.
+        t.begin_cycle(Cycle(50));
+        t.translate(&TranslateRequest::store(va, 1));
+        assert!(t.l2.peek(vpn).unwrap().dirty, "dirty bit written through");
+        assert_eq!(t.stats().status_writes, 1);
+        // A second store is silent: status already set.
+        t.begin_cycle(Cycle(60));
+        t.translate(&TranslateRequest::store(va, 2));
+        assert_eq!(t.stats().status_writes, 1);
+    }
+
+    #[test]
+    fn small_l1_shields_most_of_a_local_stream() {
+        let mut t = make(4);
+        // Loop over two pages many times.
+        let reqs: Vec<_> = (0..100u64)
+            .map(|i| TranslateRequest::load(VirtAddr(((i % 2) << 12) | ((i * 8) & 0xfff)), i))
+            .collect();
+        drive_batch(&mut t, Cycle(0), &reqs);
+        let s = t.stats();
+        assert_eq!(s.misses, 2, "only compulsory misses");
+        assert!(s.shield_rate() > 0.9, "L1 shields the loop");
+    }
+
+    #[test]
+    fn flush_clears_both_levels() {
+        let mut t = make(4);
+        t.begin_cycle(Cycle(0));
+        t.translate(&TranslateRequest::load(VirtAddr(0x1000), 0));
+        t.flush();
+        t.begin_cycle(Cycle(100));
+        assert!(matches!(
+            t.translate(&TranslateRequest::load(VirtAddr(0x1000), 1)),
+            Outcome::Miss { .. }
+        ));
+    }
+}

@@ -1,0 +1,269 @@
+//! The multi-ported TLB (Section 3.1): brute-force bandwidth.
+//!
+//! Every port reaches every entry, so each port sees the full hit rate of
+//! the 128-entry structure — at the VLSI cost the paper argues against.
+//! T4 (four ports) is the performance yardstick all other designs are
+//! normalised to.
+
+use crate::bank::TlbBank;
+use crate::cycle::Cycle;
+use crate::pagetable::PageTable;
+use crate::replacement::ReplacementPolicy;
+use crate::request::{Outcome, TranslateRequest};
+use crate::stats::TranslatorStats;
+use crate::translator::AddressTranslator;
+
+use super::access_base_bank;
+
+/// A fully-associative TLB with `ports` simultaneous access paths and
+/// random replacement.
+///
+/// # Examples
+///
+/// ```
+/// use hbat_core::addr::{PageGeometry, VirtAddr};
+/// use hbat_core::cycle::Cycle;
+/// use hbat_core::designs::multiported::MultiPortedTlb;
+/// use hbat_core::pagetable::PageTable;
+/// use hbat_core::request::{Outcome, TranslateRequest};
+/// use hbat_core::translator::AddressTranslator;
+///
+/// let pt = PageTable::new(PageGeometry::KB4);
+/// let mut tlb = MultiPortedTlb::new("T2", 2, 128, pt, 0);
+/// tlb.begin_cycle(Cycle(0));
+/// let a = tlb.translate(&TranslateRequest::load(VirtAddr(0x1000), 0));
+/// let b = tlb.translate(&TranslateRequest::load(VirtAddr(0x2000), 1));
+/// let c = tlb.translate(&TranslateRequest::load(VirtAddr(0x3000), 2));
+/// assert!(a.is_translated() && b.is_translated());
+/// assert_eq!(c, Outcome::Retry); // only two ports per cycle
+/// ```
+#[derive(Debug)]
+pub struct MultiPortedTlb {
+    name: String,
+    ports: usize,
+    ports_used: usize,
+    bank: TlbBank,
+    pt: PageTable,
+    now: Cycle,
+    stats: TranslatorStats,
+}
+
+impl MultiPortedTlb {
+    /// Creates a multi-ported TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0` or `entries == 0`.
+    pub fn new(name: &str, ports: usize, entries: usize, pt: PageTable, seed: u64) -> Self {
+        assert!(ports > 0, "a TLB needs at least one port");
+        MultiPortedTlb {
+            name: name.to_owned(),
+            ports,
+            ports_used: 0,
+            bank: TlbBank::new(entries, ReplacementPolicy::Random, seed),
+            pt,
+            now: Cycle::ZERO,
+            stats: TranslatorStats::new(),
+        }
+    }
+
+    /// Number of access ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Capacity in entries.
+    pub fn entries(&self) -> usize {
+        self.bank.capacity()
+    }
+}
+
+impl AddressTranslator for MultiPortedTlb {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin_cycle(&mut self, now: Cycle) {
+        debug_assert!(now >= self.now, "time must not run backwards");
+        self.now = now;
+        self.ports_used = 0;
+    }
+
+    fn translate(&mut self, req: &TranslateRequest) -> Outcome {
+        if self.ports_used == self.ports {
+            self.stats.retries += 1;
+            return Outcome::Retry;
+        }
+        self.ports_used += 1;
+        self.stats.accesses += 1;
+        let vpn = self.pt.geometry().vpn(req.vaddr);
+        let (outcome, _evicted) = access_base_bank(
+            &mut self.bank,
+            &mut self.pt,
+            vpn,
+            req.kind.is_store(),
+            self.now,
+            0,
+            &mut self.stats,
+        );
+        outcome
+    }
+
+    fn flush(&mut self) {
+        for e in self.bank.iter().cloned().collect::<Vec<_>>() {
+            super::write_back_status(&mut self.pt, &e);
+        }
+        self.bank.flush();
+    }
+
+    fn invalidate_page(&mut self, vpn: crate::addr::Vpn) {
+        if let Some(e) = self.bank.invalidate(vpn) {
+            super::write_back_status(&mut self.pt, &e);
+        }
+    }
+
+    fn stats(&self) -> &TranslatorStats {
+        &self.stats
+    }
+
+    fn page_table(&self) -> &PageTable {
+        &self.pt
+    }
+
+    fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.pt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PageGeometry, VirtAddr};
+    use crate::translator::drive_batch;
+
+    fn new_tlb(ports: usize) -> MultiPortedTlb {
+        MultiPortedTlb::new(
+            "test",
+            ports,
+            4,
+            PageTable::new(PageGeometry::KB4),
+            7,
+        )
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut t = new_tlb(1);
+        t.begin_cycle(Cycle(0));
+        let r = TranslateRequest::load(VirtAddr(0x4000), 0);
+        match t.translate(&r) {
+            Outcome::Miss { ready_at, .. } => assert_eq!(ready_at, Cycle(30)),
+            o => panic!("expected compulsory miss, got {o:?}"),
+        }
+        t.begin_cycle(Cycle(31));
+        match t.translate(&r) {
+            Outcome::Hit { extra_latency, .. } => assert_eq!(extra_latency, 0),
+            o => panic!("expected hit, got {o:?}"),
+        }
+        assert_eq!(t.stats().misses, 1);
+        assert_eq!(t.stats().base_hits, 1);
+        assert!(t.stats().is_consistent());
+    }
+
+    #[test]
+    fn port_limit_enforced_per_cycle_and_resets() {
+        let mut t = new_tlb(2);
+        t.begin_cycle(Cycle(0));
+        for i in 0..2 {
+            assert!(t
+                .translate(&TranslateRequest::load(VirtAddr(0x1000 * (i + 1)), i))
+                .is_translated());
+        }
+        assert_eq!(
+            t.translate(&TranslateRequest::load(VirtAddr(0x9000), 9)),
+            Outcome::Retry
+        );
+        assert_eq!(t.stats().retries, 1);
+        t.begin_cycle(Cycle(1));
+        assert!(t
+            .translate(&TranslateRequest::load(VirtAddr(0x9000), 9))
+            .is_translated());
+    }
+
+    #[test]
+    fn same_page_translations_agree_and_match_page_table() {
+        let mut t = new_tlb(4);
+        let reqs: Vec<_> = (0..3)
+            .map(|i| TranslateRequest::load(VirtAddr(0x7000 + i * 8), i))
+            .collect();
+        let out = drive_batch(&mut t, Cycle(0), &reqs);
+        let ppns: Vec<_> = out.iter().map(|(o, _)| o.ppn().unwrap()).collect();
+        assert!(ppns.windows(2).all(|w| w[0] == w[1]));
+        let vpn = t.geometry().vpn(VirtAddr(0x7000));
+        assert_eq!(t.page_table().probe(vpn).unwrap().ppn, ppns[0]);
+    }
+
+    #[test]
+    fn store_sets_dirty_bit() {
+        let mut t = new_tlb(1);
+        t.begin_cycle(Cycle(0));
+        t.translate(&TranslateRequest::store(VirtAddr(0x2000), 0));
+        let vpn = t.geometry().vpn(VirtAddr(0x2000));
+        // Status lives in the TLB until eviction; evict by flushing.
+        t.flush();
+        let e = t.page_table().probe(vpn).unwrap();
+        assert!(e.referenced && e.dirty);
+    }
+
+    #[test]
+    fn eviction_writes_status_back() {
+        let mut t = new_tlb(1); // 4-entry bank
+        for i in 0..5u64 {
+            t.begin_cycle(Cycle(i * 40));
+            t.translate(&TranslateRequest::load(VirtAddr(0x1000 * (i + 1)), i));
+        }
+        // 5 pages through a 4-entry bank: at least one eviction wrote back.
+        let referenced = (0..5u64)
+            .filter(|i| {
+                let vpn = t.geometry().vpn(VirtAddr(0x1000 * (i + 1)));
+                t.page_table()
+                    .probe(vpn)
+                    .map(|e| e.referenced)
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(referenced >= 1);
+    }
+
+    #[test]
+    fn flush_forces_rewalk() {
+        let mut t = new_tlb(1);
+        t.begin_cycle(Cycle(0));
+        let r = TranslateRequest::load(VirtAddr(0x3000), 0);
+        t.translate(&r);
+        t.flush();
+        t.begin_cycle(Cycle(100));
+        assert!(matches!(t.translate(&r), Outcome::Miss { .. }));
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn capacity_miss_behaviour() {
+        // 4-entry TLB cycling over 8 pages: every access misses.
+        let mut t = new_tlb(4);
+        let mut misses = 0;
+        for round in 0..4u64 {
+            for p in 0..8u64 {
+                t.begin_cycle(Cycle(round * 1000 + p * 100));
+                if matches!(
+                    t.translate(&TranslateRequest::load(VirtAddr(p << 12), p)),
+                    Outcome::Miss { .. }
+                ) {
+                    misses += 1;
+                }
+            }
+        }
+        assert!(misses >= 8, "working set double the TLB must thrash");
+        assert_eq!(t.stats().misses, misses);
+    }
+}

@@ -1,0 +1,316 @@
+//! Piggyback ports (Section 3.4): exploit spatial locality *between
+//! simultaneous requests*.
+//!
+//! When several requests arrive in the same cycle, those whose virtual page
+//! addresses match a translation already in progress receive that result —
+//! the VPN compare runs in parallel with the TLB access, so a piggybacked
+//! request finishes with the translation it rides on. Only requests to
+//! pages *not* currently being translated need a real port.
+
+use crate::addr::Vpn;
+use crate::bank::TlbBank;
+use crate::cycle::Cycle;
+use crate::pagetable::PageTable;
+use crate::replacement::ReplacementPolicy;
+use crate::request::{Outcome, TranslateRequest};
+use crate::stats::TranslatorStats;
+use crate::translator::AddressTranslator;
+
+use super::access_base_bank;
+
+/// A multi-ported TLB augmented with piggyback ports (designs PB2, PB1).
+///
+/// `ports` real translation ports; `piggyback_ports` additional requesters
+/// per cycle that can only combine with an in-progress translation.
+/// PB1 = 1 real + 3 piggyback; PB2 = 2 real + 2 piggyback.
+///
+/// # Examples
+///
+/// ```
+/// use hbat_core::addr::{PageGeometry, VirtAddr};
+/// use hbat_core::cycle::Cycle;
+/// use hbat_core::designs::piggyback::PiggybackTlb;
+/// use hbat_core::pagetable::PageTable;
+/// use hbat_core::request::TranslateRequest;
+/// use hbat_core::translator::AddressTranslator;
+///
+/// let pt = PageTable::new(PageGeometry::KB4);
+/// let mut tlb = PiggybackTlb::new("PB1", 1, 3, 128, pt, 0);
+/// tlb.begin_cycle(Cycle(0));
+/// let a = tlb.translate(&TranslateRequest::load(VirtAddr(0x1000), 0));
+/// // Same page: combines with the in-progress translation.
+/// let b = tlb.translate(&TranslateRequest::load(VirtAddr(0x1010), 1));
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug)]
+pub struct PiggybackTlb {
+    name: String,
+    ports: usize,
+    piggyback_ports: usize,
+    ports_used: usize,
+    piggyback_used: usize,
+    /// Translations started this cycle: (vpn, outcome they produced).
+    in_flight: Vec<(Vpn, Outcome)>,
+    bank: TlbBank,
+    pt: PageTable,
+    now: Cycle,
+    stats: TranslatorStats,
+}
+
+impl PiggybackTlb {
+    /// Creates a piggybacked TLB with `ports` real ports and
+    /// `piggyback_ports` combining ports over an `entries`-entry
+    /// fully-associative, random-replacement array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0`.
+    pub fn new(
+        name: &str,
+        ports: usize,
+        piggyback_ports: usize,
+        entries: usize,
+        pt: PageTable,
+        seed: u64,
+    ) -> Self {
+        assert!(ports > 0, "need at least one real translation port");
+        PiggybackTlb {
+            name: name.to_owned(),
+            ports,
+            piggyback_ports,
+            ports_used: 0,
+            piggyback_used: 0,
+            in_flight: Vec::with_capacity(ports),
+            bank: TlbBank::new(entries, ReplacementPolicy::Random, seed),
+            pt,
+            now: Cycle::ZERO,
+            stats: TranslatorStats::new(),
+        }
+    }
+
+    /// Real translation ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Piggyback (combining) ports.
+    pub fn piggyback_ports(&self) -> usize {
+        self.piggyback_ports
+    }
+}
+
+impl AddressTranslator for PiggybackTlb {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin_cycle(&mut self, now: Cycle) {
+        debug_assert!(now >= self.now, "time must not run backwards");
+        self.now = now;
+        self.ports_used = 0;
+        self.piggyback_used = 0;
+        self.in_flight.clear();
+    }
+
+    fn translate(&mut self, req: &TranslateRequest) -> Outcome {
+        let vpn = self.pt.geometry().vpn(req.vaddr);
+
+        // Combine first: a request whose page matches a translation in
+        // progress rides on it through a piggyback port, leaving the real
+        // ports free for independent pages (this is what lets PB2 track T4
+        // so closely — two independent translations per cycle, everything
+        // else combining).
+        if self.piggyback_used < self.piggyback_ports {
+            if let Some(&(_, outcome)) = self.in_flight.iter().find(|&&(v, _)| v == vpn) {
+                self.piggyback_used += 1;
+                self.stats.accesses += 1;
+                self.stats.shielded += 1;
+                return outcome;
+            }
+        }
+
+        // Otherwise take a real port, earliest request first.
+        if self.ports_used < self.ports {
+            self.ports_used += 1;
+            self.stats.accesses += 1;
+            let (outcome, _evicted) = access_base_bank(
+                &mut self.bank,
+                &mut self.pt,
+                vpn,
+                req.kind.is_store(),
+                self.now,
+                0,
+                &mut self.stats,
+            );
+            self.in_flight.push((vpn, outcome));
+            return outcome;
+        }
+
+        self.stats.retries += 1;
+        Outcome::Retry
+    }
+
+    fn flush(&mut self) {
+        let entries: Vec<_> = self.bank.iter().cloned().collect();
+        for e in entries {
+            super::write_back_status(&mut self.pt, &e);
+        }
+        self.bank.flush();
+    }
+
+    fn invalidate_page(&mut self, vpn: Vpn) {
+        if let Some(e) = self.bank.invalidate(vpn) {
+            super::write_back_status(&mut self.pt, &e);
+        }
+    }
+
+    fn stats(&self) -> &TranslatorStats {
+        &self.stats
+    }
+
+    fn page_table(&self) -> &PageTable {
+        &self.pt
+    }
+
+    fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.pt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PageGeometry, VirtAddr};
+
+    fn make(ports: usize, piggy: usize) -> PiggybackTlb {
+        PiggybackTlb::new(
+            "test",
+            ports,
+            piggy,
+            128,
+            PageTable::new(PageGeometry::KB4),
+            3,
+        )
+    }
+
+    #[test]
+    fn pb1_serves_four_same_page_requests_in_one_cycle() {
+        let mut t = make(1, 3);
+        t.begin_cycle(Cycle(0));
+        let outcomes: Vec<_> = (0..4u64)
+            .map(|i| t.translate(&TranslateRequest::load(VirtAddr(0x2000 + i * 4), i)))
+            .collect();
+        assert!(outcomes.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(t.stats().shielded, 3);
+        assert_eq!(t.stats().retries, 0);
+    }
+
+    #[test]
+    fn different_pages_cannot_piggyback() {
+        let mut t = make(1, 3);
+        t.begin_cycle(Cycle(0));
+        assert!(t
+            .translate(&TranslateRequest::load(VirtAddr(0x1000), 0))
+            .is_translated());
+        assert_eq!(
+            t.translate(&TranslateRequest::load(VirtAddr(0x2000), 1)),
+            Outcome::Retry
+        );
+        assert_eq!(t.stats().retries, 1);
+    }
+
+    #[test]
+    fn pb2_translates_two_pages_and_combines_the_rest() {
+        let mut t = make(2, 2);
+        t.begin_cycle(Cycle(0));
+        let pages = [0x1000u64, 0x2000, 0x1008, 0x2008];
+        let outcomes: Vec<_> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| t.translate(&TranslateRequest::load(VirtAddr(a), i as u64)))
+            .collect();
+        assert!(outcomes.iter().all(|o| o.is_translated()));
+        assert_eq!(t.stats().shielded, 2);
+        // Page identity is preserved through piggybacking.
+        assert_eq!(outcomes[0].ppn(), outcomes[2].ppn());
+        assert_eq!(outcomes[1].ppn(), outcomes[3].ppn());
+        assert_ne!(outcomes[0].ppn(), outcomes[1].ppn());
+    }
+
+    #[test]
+    fn piggyback_port_count_is_enforced() {
+        let mut t = make(1, 1);
+        t.begin_cycle(Cycle(0));
+        assert!(t
+            .translate(&TranslateRequest::load(VirtAddr(0x3000), 0))
+            .is_translated());
+        assert!(t
+            .translate(&TranslateRequest::load(VirtAddr(0x3004), 1))
+            .is_translated());
+        assert_eq!(
+            t.translate(&TranslateRequest::load(VirtAddr(0x3008), 2)),
+            Outcome::Retry,
+            "only one piggyback port"
+        );
+    }
+
+    #[test]
+    fn piggyback_onto_a_miss_shares_the_walk() {
+        let mut t = make(1, 3);
+        t.begin_cycle(Cycle(0));
+        let a = t.translate(&TranslateRequest::load(VirtAddr(0x7000), 0));
+        let b = t.translate(&TranslateRequest::load(VirtAddr(0x7fff), 1));
+        assert!(matches!(a, Outcome::Miss { .. }));
+        assert_eq!(a, b, "the piggybacker waits for the same walk");
+        assert_eq!(t.stats().misses, 1, "one walk serves both");
+    }
+
+    #[test]
+    fn combining_keeps_real_ports_free_for_independent_pages() {
+        let mut t = make(2, 2);
+        t.begin_cycle(Cycle(0));
+        // X, X, Y: the second X combines, so Y still finds a real port.
+        assert!(t
+            .translate(&TranslateRequest::load(VirtAddr(0x1000), 0))
+            .is_translated());
+        assert!(t
+            .translate(&TranslateRequest::load(VirtAddr(0x1008), 1))
+            .is_translated());
+        assert!(t
+            .translate(&TranslateRequest::load(VirtAddr(0x2000), 2))
+            .is_translated());
+        assert_eq!(t.stats().shielded, 1);
+        assert_eq!(t.stats().retries, 0);
+    }
+
+    #[test]
+    fn in_flight_state_clears_each_cycle() {
+        let mut t = make(1, 3);
+        t.begin_cycle(Cycle(0));
+        t.translate(&TranslateRequest::load(VirtAddr(0x5000), 0));
+        t.begin_cycle(Cycle(1));
+        // Nothing in flight now; a second same-page request needs (and
+        // gets) the real port.
+        assert!(t
+            .translate(&TranslateRequest::load(VirtAddr(0x5004), 1))
+            .is_translated());
+        assert_eq!(t.stats().shielded, 0);
+    }
+
+    #[test]
+    fn stats_consistent_after_mixed_traffic() {
+        let mut t = make(2, 2);
+        for i in 0..200u64 {
+            t.begin_cycle(Cycle(i));
+            for j in 0..4u64 {
+                let page = (i + j / 2) % 5; // pairs of requests share a page
+                t.translate(&TranslateRequest::load(
+                    VirtAddr((page << 12) | (j * 16)),
+                    i * 4 + j,
+                ));
+            }
+        }
+        assert!(t.stats().is_consistent());
+        assert!(t.stats().shielded > 0);
+    }
+}

@@ -1,0 +1,608 @@
+//! Pretranslation (Section 3.5): attach translations to register *values*.
+//!
+//! The first time a register is used as the base of a load or store, the
+//! resulting translation is attached to it (stored in a small
+//! *pretranslation cache*). Later dereferences through the same register —
+//! and through registers produced from it by pointer arithmetic — reuse the
+//! attached translation without touching the base TLB, as long as the
+//! access stays within the same virtual page.
+//!
+//! Faithful to Section 4.1:
+//!
+//! * the cache is tagged by the 5-bit register identifier concatenated with
+//!   the upper 4 bits of a load's displacement (zero for other
+//!   instructions), so one pointer can carry a few translations;
+//! * a pretranslation-cache hit costs nothing extra; a miss is detected the
+//!   cycle after address generation and then queues for the *single-ported*
+//!   base TLB (≥ 2 extra cycles);
+//! * pointer arithmetic propagates attachments to the destination register;
+//! * the cache is flushed whenever a base-TLB entry is replaced (coherence)
+//!   or any virtual-memory state changes.
+
+use crate::addr::{Ppn, Vpn};
+use crate::bank::TlbBank;
+use crate::cycle::{Cycle, PortTimeline};
+use crate::pagetable::PageTable;
+use crate::replacement::ReplacementPolicy;
+use crate::request::{AccessKind, Outcome, TranslateRequest, WritebackKind};
+use crate::stats::TranslatorStats;
+use crate::translator::AddressTranslator;
+
+use super::access_base_bank;
+
+/// Tag of a pretranslation-cache entry: register id ⧺ offset nibble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PtcKey {
+    reg: u8,
+    sub: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PtcEntry {
+    key: PtcKey,
+    vpn: Vpn,
+    ppn: Ppn,
+    stamp: u64,
+}
+
+/// The small LRU cache holding register-attached translations.
+#[derive(Debug)]
+struct PretransCache {
+    slots: Vec<Option<PtcEntry>>,
+    counter: u64,
+}
+
+impl PretransCache {
+    fn new(entries: usize) -> Self {
+        assert!(entries > 0, "pretranslation cache needs at least one entry");
+        PretransCache {
+            slots: vec![None; entries],
+            counter: 0,
+        }
+    }
+
+    fn probe(&mut self, key: PtcKey) -> Option<(Vpn, Ppn)> {
+        self.counter += 1;
+        let counter = self.counter;
+        self.slots
+            .iter_mut()
+            .flatten()
+            .find(|e| e.key == key)
+            .map(|e| {
+                e.stamp = counter;
+                (e.vpn, e.ppn)
+            })
+    }
+
+    fn insert(&mut self, key: PtcKey, vpn: Vpn, ppn: Ppn) {
+        self.counter += 1;
+        let entry = PtcEntry {
+            key,
+            vpn,
+            ppn,
+            stamp: self.counter,
+        };
+        // Overwrite a same-key entry in place if present.
+        if let Some(slot) = self
+            .slots
+            .iter_mut()
+            .find(|s| s.map(|e| e.key == key).unwrap_or(false))
+        {
+            *slot = Some(entry);
+            return;
+        }
+        // Otherwise an empty slot, otherwise the LRU victim.
+        let slot = match self.slots.iter().position(Option::is_none) {
+            Some(i) => i,
+            None => self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.map(|e| e.stamp).unwrap_or(0))
+                .map(|(i, _)| i)
+                .expect("cache is non-empty"),
+        };
+        self.slots[slot] = Some(entry);
+    }
+
+    /// Drops every attachment belonging to register `reg`, returning how
+    /// many were removed.
+    fn invalidate_reg(&mut self, reg: u8) -> usize {
+        let mut n = 0;
+        for s in &mut self.slots {
+            if s.map(|e| e.key.reg == reg).unwrap_or(false) {
+                *s = None;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Copies all of `src`'s attachments to `dest` (pointer-arithmetic
+    /// propagation). `dest`'s previous attachments are dropped first.
+    fn propagate(&mut self, src: u8, dest: u8) {
+        let carried: Vec<PtcEntry> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|e| e.key.reg == src)
+            .copied()
+            .collect();
+        if src != dest {
+            self.invalidate_reg(dest);
+        }
+        for e in carried {
+            self.insert(
+                PtcKey {
+                    reg: dest,
+                    sub: e.key.sub,
+                },
+                e.vpn,
+                e.ppn,
+            );
+        }
+    }
+
+    fn has_attachment(&self, reg: u8) -> bool {
+        self.slots
+            .iter()
+            .flatten()
+            .any(|e| e.key.reg == reg)
+    }
+
+    fn flush(&mut self) {
+        self.slots.fill(None);
+    }
+
+    fn len(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+}
+
+/// The pretranslation design (P8): an `entries`-entry pretranslation cache
+/// shielding a single-ported 128-entry base TLB.
+#[derive(Debug)]
+pub struct PretranslationTlb {
+    name: String,
+    ptc: PretransCache,
+    ptc_ports: usize,
+    ptc_ports_used: usize,
+    /// How many high offset bits join the register id in the cache tag
+    /// (the paper uses 4; 0 = one attachment per register).
+    offset_tag_bits: u32,
+    base: TlbBank,
+    base_port: PortTimeline,
+    pt: PageTable,
+    pt_generation: u64,
+    now: Cycle,
+    stats: TranslatorStats,
+}
+
+impl PretranslationTlb {
+    /// Creates the design: `ptc_entries` pretranslation-cache entries with
+    /// `ptc_ports` decode-stage ports over a single-ported
+    /// `base_entries`-entry random-replacement base TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size or port count is zero.
+    pub fn new(
+        name: &str,
+        ptc_entries: usize,
+        ptc_ports: usize,
+        base_entries: usize,
+        pt: PageTable,
+        seed: u64,
+    ) -> Self {
+        assert!(ptc_ports > 0, "pretranslation cache needs ports");
+        let pt_generation = pt.generation();
+        PretranslationTlb {
+            name: name.to_owned(),
+            ptc: PretransCache::new(ptc_entries),
+            ptc_ports,
+            ptc_ports_used: 0,
+            offset_tag_bits: 4,
+            base: TlbBank::new(base_entries, ReplacementPolicy::Random, seed),
+            base_port: PortTimeline::new(1),
+            pt,
+            pt_generation,
+            now: Cycle::ZERO,
+            stats: TranslatorStats::new(),
+        }
+    }
+
+    /// Overrides how many high offset bits enter the cache tag (the paper
+    /// uses 4; used by the ablation study).
+    #[must_use]
+    pub fn with_offset_tag_bits(mut self, bits: u32) -> Self {
+        assert!(bits <= 8, "tag uses at most 8 offset bits");
+        self.offset_tag_bits = bits;
+        self
+    }
+
+    /// Number of live pretranslation attachments (for tests).
+    pub fn attachments(&self) -> usize {
+        self.ptc.len()
+    }
+
+    /// True if register `reg` currently carries a pretranslation.
+    pub fn register_has_attachment(&self, reg: u8) -> bool {
+        self.ptc.has_attachment(reg)
+    }
+
+    fn key_for(&self, req: &TranslateRequest) -> Option<PtcKey> {
+        let bits = self.offset_tag_bits;
+        req.base_reg.map(|reg| PtcKey {
+            reg,
+            // Upper `bits` bits of a 16-bit load displacement (the paper
+            // uses the top 4); zero for stores and when disabled.
+            sub: match req.kind {
+                AccessKind::Load if bits > 0 => {
+                    (((req.offset as u16) >> (16 - bits)) & ((1 << bits) - 1)) as u8
+                }
+                _ => 0,
+            },
+        })
+    }
+
+    /// Flush the cache if the OS changed any virtual-memory state.
+    fn check_vm_generation(&mut self) {
+        if self.pt.generation() != self.pt_generation {
+            self.pt_generation = self.pt.generation();
+            self.ptc.flush();
+            self.stats.shield_flushes += 1;
+        }
+    }
+}
+
+impl AddressTranslator for PretranslationTlb {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin_cycle(&mut self, now: Cycle) {
+        debug_assert!(now >= self.now, "time must not run backwards");
+        self.now = now;
+        self.ptc_ports_used = 0;
+        self.check_vm_generation();
+    }
+
+    fn translate(&mut self, req: &TranslateRequest) -> Outcome {
+        if self.ptc_ports_used == self.ptc_ports {
+            self.stats.retries += 1;
+            return Outcome::Retry;
+        }
+        self.ptc_ports_used += 1;
+        self.stats.accesses += 1;
+        let vpn = self.pt.geometry().vpn(req.vaddr);
+        let is_store = req.kind.is_store();
+        let key = self.key_for(req);
+
+        // Shield: does the base register carry a matching pretranslation?
+        if let Some(k) = key {
+            if let Some((att_vpn, att_ppn)) = self.ptc.probe(k) {
+                if att_vpn == vpn {
+                    self.stats.shielded += 1;
+                    // Page-status maintenance: write through to the base
+                    // TLB if this access changes referenced/dirty. By the
+                    // flush-on-replace coherence rule the entry is still in
+                    // the base TLB.
+                    if let Some(e) = self.base.lookup(vpn) {
+                        if !e.referenced || (is_store && !e.dirty) {
+                            e.referenced = true;
+                            e.dirty |= is_store;
+                            self.base_port.allocate(self.now + 1, 1);
+                            self.stats.status_writes += 1;
+                        }
+                    }
+                    return Outcome::Hit {
+                        ppn: att_ppn,
+                        extra_latency: 0,
+                    };
+                }
+            }
+        }
+
+        // Miss in the pretranslation cache: detected the cycle after
+        // address generation, then queues for the single base-TLB port.
+        let service_start = self.base_port.allocate(self.now + 1, 1);
+        self.stats.internal_queueing_cycles += service_start - (self.now + 1);
+        let extra_latency = (service_start + 1) - self.now;
+        let (outcome, evicted) = access_base_bank(
+            &mut self.base,
+            &mut self.pt,
+            vpn,
+            is_store,
+            service_start,
+            extra_latency,
+            &mut self.stats,
+        );
+        if evicted.is_some() {
+            // Coherence: flushing the pretranslation cache whenever a base
+            // TLB entry is replaced guarantees no stale attachment.
+            self.ptc.flush();
+            self.stats.shield_flushes += 1;
+        }
+        // Attach the translation to the base register value.
+        if let Some(k) = key {
+            if let Some(ppn) = outcome.ppn() {
+                self.ptc.insert(k, vpn, ppn);
+            }
+        }
+        outcome
+    }
+
+    fn note_writeback(&mut self, dest: u8, srcs: &[u8], kind: WritebackKind) {
+        match kind {
+            WritebackKind::PointerArith => {
+                // Propagate from the first source that carries an
+                // attachment; if none does, the destination's old
+                // attachments are stale and must go.
+                match srcs.iter().find(|&&s| self.ptc.has_attachment(s)) {
+                    Some(&s) => self.ptc.propagate(s, dest),
+                    None => {
+                        self.ptc.invalidate_reg(dest);
+                    }
+                }
+            }
+            WritebackKind::Opaque => {
+                self.ptc.invalidate_reg(dest);
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        let entries: Vec<_> = self.base.iter().cloned().collect();
+        for e in entries {
+            super::write_back_status(&mut self.pt, &e);
+        }
+        self.base.flush();
+        self.ptc.flush();
+    }
+
+    fn invalidate_page(&mut self, vpn: Vpn) {
+        if let Some(e) = self.base.invalidate(vpn) {
+            super::write_back_status(&mut self.pt, &e);
+        }
+        // Pretranslations are tagged by register, not page: flush.
+        self.ptc.flush();
+        self.stats.shield_flushes += 1;
+    }
+
+    fn stats(&self) -> &TranslatorStats {
+        &self.stats
+    }
+
+    fn page_table(&self) -> &PageTable {
+        &self.pt
+    }
+
+    fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.pt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PageGeometry, VirtAddr};
+
+    fn make() -> PretranslationTlb {
+        PretranslationTlb::new(
+            "P8",
+            8,
+            4,
+            128,
+            PageTable::new(PageGeometry::KB4),
+            9,
+        )
+    }
+
+    fn load(base: u8, addr: u64, off: i32, serial: u64) -> TranslateRequest {
+        TranslateRequest::load(VirtAddr(addr), serial).with_base(base, off)
+    }
+
+    #[test]
+    fn second_dereference_through_same_register_is_shielded() {
+        let mut t = make();
+        t.begin_cycle(Cycle(0));
+        assert!(matches!(
+            t.translate(&load(5, 0x4000, 0, 0)),
+            Outcome::Miss { .. }
+        ));
+        t.begin_cycle(Cycle(40));
+        match t.translate(&load(5, 0x4010, 16, 1)) {
+            Outcome::Hit { extra_latency, .. } => assert_eq!(extra_latency, 0),
+            o => panic!("expected shielded hit, got {o:?}"),
+        }
+        assert_eq!(t.stats().shielded, 1);
+    }
+
+    #[test]
+    fn crossing_a_page_boundary_defeats_the_attachment() {
+        let mut t = make();
+        t.begin_cycle(Cycle(0));
+        t.translate(&load(5, 0x4000, 0, 0));
+        t.begin_cycle(Cycle(40));
+        // Same register, next page: attachment VPN mismatch → base TLB.
+        match t.translate(&load(5, 0x5000, 0, 1)) {
+            Outcome::Miss { .. } => {}
+            Outcome::Hit { extra_latency, .. } => {
+                assert!(extra_latency >= 2, "base TLB path costs ≥2 cycles")
+            }
+            Outcome::Retry => panic!("unexpected retry"),
+        }
+        assert_eq!(t.stats().shielded, 0);
+    }
+
+    #[test]
+    fn base_tlb_path_costs_at_least_two_cycles_and_serializes() {
+        let mut t = make();
+        // Warm the base TLB with two pages via different registers.
+        t.begin_cycle(Cycle(0));
+        t.translate(&load(1, 0x1000, 0, 0));
+        t.begin_cycle(Cycle(40));
+        t.translate(&load(2, 0x2000, 0, 1));
+        // Clear attachments (opaque writes), keep base TLB warm.
+        t.note_writeback(1, &[], WritebackKind::Opaque);
+        t.note_writeback(2, &[], WritebackKind::Opaque);
+        t.begin_cycle(Cycle(100));
+        let a = t.translate(&load(1, 0x1000, 0, 2));
+        let b = t.translate(&load(2, 0x2000, 0, 3));
+        match (a, b) {
+            (
+                Outcome::Hit {
+                    extra_latency: la, ..
+                },
+                Outcome::Hit {
+                    extra_latency: lb, ..
+                },
+            ) => {
+                assert_eq!(la, 2);
+                assert_eq!(lb, 3, "single base port serializes the second miss");
+            }
+            other => panic!("expected two base hits, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pointer_arithmetic_propagates_attachments() {
+        let mut t = make();
+        t.begin_cycle(Cycle(0));
+        t.translate(&load(3, 0x6000, 0, 0));
+        assert!(t.register_has_attachment(3));
+        // r4 = r3 + small constant
+        t.note_writeback(4, &[3], WritebackKind::PointerArith);
+        assert!(t.register_has_attachment(4));
+        t.begin_cycle(Cycle(40));
+        match t.translate(&load(4, 0x6020, 0, 1)) {
+            Outcome::Hit { extra_latency, .. } => assert_eq!(extra_latency, 0),
+            o => panic!("expected shielded hit via propagated attachment, got {o:?}"),
+        }
+        assert_eq!(t.stats().shielded, 1);
+    }
+
+    #[test]
+    fn opaque_writeback_kills_attachment() {
+        let mut t = make();
+        t.begin_cycle(Cycle(0));
+        t.translate(&load(3, 0x6000, 0, 0));
+        t.note_writeback(3, &[7], WritebackKind::Opaque); // e.g. a reload
+        assert!(!t.register_has_attachment(3));
+        t.begin_cycle(Cycle(40));
+        // No longer shielded.
+        t.translate(&load(3, 0x6010, 0, 1));
+        assert_eq!(t.stats().shielded, 0);
+    }
+
+    #[test]
+    fn arith_from_sources_without_attachments_clears_dest() {
+        let mut t = make();
+        t.begin_cycle(Cycle(0));
+        t.translate(&load(3, 0x6000, 0, 0));
+        t.note_writeback(3, &[1, 2], WritebackKind::PointerArith);
+        assert!(
+            !t.register_has_attachment(3),
+            "r3 now holds arithmetic of unattached values"
+        );
+    }
+
+    #[test]
+    fn in_place_pointer_increment_keeps_attachment() {
+        let mut t = make();
+        t.begin_cycle(Cycle(0));
+        t.translate(&load(3, 0x6000, 0, 0));
+        // p = p + 4
+        t.note_writeback(3, &[3], WritebackKind::PointerArith);
+        assert!(t.register_has_attachment(3));
+    }
+
+    #[test]
+    fn offset_nibble_gives_one_register_multiple_attachments() {
+        let mut t = make();
+        // Two loads through r5 with displacements in different 4 KB
+        // sub-ranges of a 16-bit offset: distinct cache entries.
+        t.begin_cycle(Cycle(0));
+        t.translate(&load(5, 0x4000, 0x0000, 0));
+        t.begin_cycle(Cycle(40));
+        t.translate(&load(5, 0x5000, 0x1000, 1));
+        assert_eq!(t.attachments(), 2);
+        // Both shielded now.
+        t.begin_cycle(Cycle(80));
+        t.translate(&load(5, 0x4008, 0x0008, 2));
+        t.begin_cycle(Cycle(81));
+        t.translate(&load(5, 0x5008, 0x1008, 3));
+        assert_eq!(t.stats().shielded, 2);
+    }
+
+    #[test]
+    fn base_replacement_flushes_the_cache() {
+        let mut t = PretranslationTlb::new(
+            "P8-small",
+            8,
+            4,
+            2, // tiny base TLB to force replacements
+            PageTable::new(PageGeometry::KB4),
+            9,
+        );
+        t.begin_cycle(Cycle(0));
+        t.translate(&load(1, 0x1000, 0, 0));
+        t.begin_cycle(Cycle(40));
+        t.translate(&load(2, 0x2000, 0, 1));
+        assert_eq!(t.attachments(), 2);
+        t.begin_cycle(Cycle(80));
+        t.translate(&load(3, 0x3000, 0, 2)); // evicts from base → flush
+        assert!(t.stats().shield_flushes >= 1);
+        // Only the newly attached translation survives.
+        assert_eq!(t.attachments(), 1);
+        assert!(t.register_has_attachment(3));
+        assert!(!t.register_has_attachment(1));
+    }
+
+    #[test]
+    fn vm_state_change_flushes_attachments() {
+        let mut t = make();
+        t.begin_cycle(Cycle(0));
+        t.translate(&load(1, 0x1000, 0, 0));
+        assert_eq!(t.attachments(), 1);
+        let vpn = t.geometry().vpn(VirtAddr(0x1000));
+        t.page_table_mut().unmap(vpn);
+        t.begin_cycle(Cycle(40));
+        assert_eq!(t.attachments(), 0, "generation bump flushed the cache");
+    }
+
+    #[test]
+    fn requests_without_base_register_bypass_the_cache() {
+        let mut t = make();
+        t.begin_cycle(Cycle(0));
+        let r = TranslateRequest::load(VirtAddr(0x9000), 0);
+        assert!(t.translate(&r).is_translated());
+        assert_eq!(t.attachments(), 0);
+        assert_eq!(t.stats().shielded, 0);
+    }
+
+    #[test]
+    fn status_writes_through_on_shielded_store() {
+        let mut t = make();
+        t.begin_cycle(Cycle(0));
+        t.translate(&load(1, 0x1000, 0, 0));
+        t.begin_cycle(Cycle(40));
+        let st = TranslateRequest::store(VirtAddr(0x1008), 1).with_base(1, 8);
+        t.translate(&st);
+        assert_eq!(t.stats().shielded, 1);
+        assert_eq!(t.stats().status_writes, 1);
+        let vpn = t.geometry().vpn(VirtAddr(0x1000));
+        assert!(t.base.peek(vpn).unwrap().dirty);
+    }
+
+    #[test]
+    fn ptc_lru_eviction_bounds_capacity() {
+        let mut t = make();
+        for r in 0..12u8 {
+            t.begin_cycle(Cycle(r as u64 * 50));
+            t.translate(&load(r, 0x1_0000 + (r as u64) * 0x1000, 0, r as u64));
+        }
+        assert!(t.attachments() <= 8);
+        assert!(t.stats().is_consistent());
+    }
+}

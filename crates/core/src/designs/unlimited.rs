@@ -1,0 +1,161 @@
+//! An idealised translator with unlimited bandwidth and capacity.
+//!
+//! Every request is served the same cycle it arrives; only compulsory
+//! misses (first touch of a page) pay the walk latency — and optionally not
+//! even those. It is the golden model the property tests compare real
+//! designs against, and an upper bound for the harness.
+
+use std::collections::HashMap;
+
+use crate::addr::Vpn;
+use crate::cycle::Cycle;
+use crate::entry::TlbEntry;
+use crate::pagetable::PageTable;
+use crate::request::{Outcome, TranslateRequest};
+use crate::stats::TranslatorStats;
+use crate::translator::AddressTranslator;
+
+/// Unlimited-bandwidth, unlimited-capacity translator.
+#[derive(Debug)]
+pub struct UnlimitedTlb {
+    name: String,
+    entries: HashMap<Vpn, TlbEntry>,
+    /// If true, even compulsory misses complete with zero latency
+    /// (pure translation oracle for correctness tests).
+    free_misses: bool,
+    pt: PageTable,
+    now: Cycle,
+    stats: TranslatorStats,
+}
+
+impl UnlimitedTlb {
+    /// Creates the ideal translator; compulsory misses still pay the
+    /// page-walk latency.
+    pub fn new(pt: PageTable) -> Self {
+        UnlimitedTlb {
+            name: "UNLIMITED".to_owned(),
+            entries: HashMap::new(),
+            free_misses: false,
+            pt,
+            now: Cycle::ZERO,
+            stats: TranslatorStats::new(),
+        }
+    }
+
+    /// Creates a zero-latency translation oracle: every request is a
+    /// same-cycle hit, including first touches.
+    pub fn oracle(pt: PageTable) -> Self {
+        UnlimitedTlb {
+            free_misses: true,
+            ..UnlimitedTlb::new(pt)
+        }
+    }
+}
+
+impl AddressTranslator for UnlimitedTlb {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin_cycle(&mut self, now: Cycle) {
+        debug_assert!(now >= self.now, "time must not run backwards");
+        self.now = now;
+    }
+
+    fn translate(&mut self, req: &TranslateRequest) -> Outcome {
+        self.stats.accesses += 1;
+        let vpn = self.pt.geometry().vpn(req.vaddr);
+        let is_store = req.kind.is_store();
+        if let Some(e) = self.entries.get_mut(&vpn) {
+            e.referenced = true;
+            e.dirty |= is_store;
+            self.stats.base_hits += 1;
+            return Outcome::Hit {
+                ppn: e.ppn,
+                extra_latency: 0,
+            };
+        }
+        let mut entry = self.pt.walk(vpn);
+        entry.referenced = true;
+        entry.dirty |= is_store;
+        self.entries.insert(vpn, entry);
+        if self.free_misses {
+            self.stats.base_hits += 1;
+            Outcome::Hit {
+                ppn: entry.ppn,
+                extra_latency: 0,
+            }
+        } else {
+            self.stats.misses += 1;
+            Outcome::Miss {
+                ppn: entry.ppn,
+                ready_at: self.now + self.pt.miss_latency(),
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        for e in self.entries.values() {
+            super::write_back_status(&mut self.pt, e);
+        }
+        self.entries.clear();
+    }
+
+    fn invalidate_page(&mut self, vpn: Vpn) {
+        if let Some(e) = self.entries.remove(&vpn) {
+            super::write_back_status(&mut self.pt, &e);
+        }
+    }
+
+    fn stats(&self) -> &TranslatorStats {
+        &self.stats
+    }
+
+    fn page_table(&self) -> &PageTable {
+        &self.pt
+    }
+
+    fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.pt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PageGeometry, VirtAddr};
+
+    #[test]
+    fn never_retries_and_never_capacity_misses() {
+        let mut t = UnlimitedTlb::new(PageTable::new(PageGeometry::KB4));
+        t.begin_cycle(Cycle(0));
+        for i in 0..1000u64 {
+            let o = t.translate(&TranslateRequest::load(VirtAddr(i << 12), i));
+            assert!(o.is_translated());
+        }
+        // Revisit: all hits.
+        t.begin_cycle(Cycle(1));
+        for i in 0..1000u64 {
+            assert!(matches!(
+                t.translate(&TranslateRequest::load(VirtAddr(i << 12), i)),
+                Outcome::Hit { .. }
+            ));
+        }
+        assert_eq!(t.stats().misses, 1000);
+        assert_eq!(t.stats().base_hits, 1000);
+        assert_eq!(t.stats().retries, 0);
+    }
+
+    #[test]
+    fn oracle_has_zero_latency_everywhere() {
+        let mut t = UnlimitedTlb::oracle(PageTable::new(PageGeometry::KB4));
+        t.begin_cycle(Cycle(0));
+        for i in 0..10u64 {
+            match t.translate(&TranslateRequest::store(VirtAddr(i << 12), i)) {
+                Outcome::Hit { extra_latency, .. } => assert_eq!(extra_latency, 0),
+                o => panic!("oracle must always hit, got {o:?}"),
+            }
+        }
+        assert_eq!(t.stats().misses, 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! A victim-buffered TLB: an extension beyond the paper's Table 2.
+//!
+//! A small fully-associative *victim buffer* (Jouppi-style) catches
+//! entries evicted from the base TLB; a base-TLB miss probes it before
+//! walking the page tables, and a victim hit swaps the entry back. This
+//! is the natural "future work" companion to the paper's designs: where
+//! the multi-level TLB shields *bandwidth*, the victim buffer shields
+//! *conflict/capacity misses* — useful under random replacement, which
+//! occasionally evicts hot pages.
+
+use crate::addr::Vpn;
+use crate::bank::TlbBank;
+use crate::cycle::Cycle;
+use crate::pagetable::PageTable;
+use crate::replacement::ReplacementPolicy;
+use crate::request::{Outcome, TranslateRequest};
+use crate::stats::TranslatorStats;
+use crate::translator::AddressTranslator;
+
+/// A multi-ported base TLB backed by a victim buffer.
+///
+/// The victim probe overlaps the start of the page walk, so a victim hit
+/// costs `victim_latency` extra cycles (default 2: detect miss, swap)
+/// instead of the full walk.
+#[derive(Debug)]
+pub struct VictimTlb {
+    name: String,
+    ports: usize,
+    ports_used: usize,
+    bank: TlbBank,
+    victims: TlbBank,
+    victim_latency: u64,
+    victim_hits: u64,
+    pt: PageTable,
+    now: Cycle,
+    stats: TranslatorStats,
+}
+
+impl VictimTlb {
+    /// Creates a `ports`-ported, `entries`-entry random-replacement TLB
+    /// with a `victim_entries`-entry LRU victim buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0`.
+    pub fn new(
+        name: &str,
+        ports: usize,
+        entries: usize,
+        victim_entries: usize,
+        pt: PageTable,
+        seed: u64,
+    ) -> Self {
+        assert!(ports > 0, "a TLB needs at least one port");
+        VictimTlb {
+            name: name.to_owned(),
+            ports,
+            ports_used: 0,
+            bank: TlbBank::new(entries, ReplacementPolicy::Random, seed),
+            victims: TlbBank::new(victim_entries, ReplacementPolicy::Lru, seed ^ 0x5A),
+            victim_latency: 2,
+            victim_hits: 0,
+            pt,
+            now: Cycle::ZERO,
+            stats: TranslatorStats::new(),
+        }
+    }
+
+    /// Translations served out of the victim buffer so far.
+    pub fn victim_hits(&self) -> u64 {
+        self.victim_hits
+    }
+}
+
+impl AddressTranslator for VictimTlb {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin_cycle(&mut self, now: Cycle) {
+        debug_assert!(now >= self.now, "time must not run backwards");
+        self.now = now;
+        self.ports_used = 0;
+    }
+
+    fn translate(&mut self, req: &TranslateRequest) -> Outcome {
+        if self.ports_used == self.ports {
+            self.stats.retries += 1;
+            return Outcome::Retry;
+        }
+        self.ports_used += 1;
+        self.stats.accesses += 1;
+        let vpn = self.pt.geometry().vpn(req.vaddr);
+        let is_store = req.kind.is_store();
+
+        if let Some(e) = self.bank.lookup(vpn) {
+            e.referenced = true;
+            e.dirty |= is_store;
+            let ppn = e.ppn;
+            self.stats.base_hits += 1;
+            return Outcome::Hit {
+                ppn,
+                extra_latency: 0,
+            };
+        }
+
+        // Base miss: probe the victim buffer before walking.
+        if let Some(mut e) = self.victims.invalidate(vpn) {
+            e.referenced = true;
+            e.dirty |= is_store;
+            let ppn = e.ppn;
+            // Swap back into the base TLB; the displaced entry becomes the
+            // new victim.
+            if let Some(displaced) = self.bank.insert(e) {
+                if let Some(old) = self.victims.insert(displaced) {
+                    super::write_back_status(&mut self.pt, &old);
+                }
+            }
+            self.victim_hits += 1;
+            self.stats.shielded += 1; // served without a walk
+            return Outcome::Hit {
+                ppn,
+                extra_latency: self.victim_latency,
+            };
+        }
+
+        // Full miss: walk and install; evictions land in the victim buffer.
+        let mut entry = self.pt.walk(vpn);
+        entry.referenced = true;
+        entry.dirty |= is_store;
+        let ppn = entry.ppn;
+        if let Some(victim) = self.bank.insert(entry) {
+            if let Some(old) = self.victims.insert(victim) {
+                super::write_back_status(&mut self.pt, &old);
+            }
+        }
+        self.stats.misses += 1;
+        Outcome::Miss {
+            ppn,
+            ready_at: self.now + self.pt.miss_latency(),
+        }
+    }
+
+    fn flush(&mut self) {
+        for e in self
+            .bank
+            .iter()
+            .chain(self.victims.iter())
+            .cloned()
+            .collect::<Vec<_>>()
+        {
+            super::write_back_status(&mut self.pt, &e);
+        }
+        self.bank.flush();
+        self.victims.flush();
+    }
+
+    fn invalidate_page(&mut self, vpn: Vpn) {
+        for bank in [&mut self.bank, &mut self.victims] {
+            if let Some(e) = bank.invalidate(vpn) {
+                super::write_back_status(&mut self.pt, &e);
+            }
+        }
+    }
+
+    fn stats(&self) -> &TranslatorStats {
+        &self.stats
+    }
+
+    fn page_table(&self) -> &PageTable {
+        &self.pt
+    }
+
+    fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.pt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PageGeometry, VirtAddr};
+
+    fn make(entries: usize, victims: usize) -> VictimTlb {
+        VictimTlb::new(
+            "V",
+            4,
+            entries,
+            victims,
+            PageTable::new(PageGeometry::KB4),
+            9,
+        )
+    }
+
+    #[test]
+    fn evicted_entries_are_rescued_by_the_victim_buffer() {
+        let mut t = make(2, 4);
+        // Touch 4 pages through a 2-entry base: two land in the buffer.
+        for p in 0..4u64 {
+            t.begin_cycle(Cycle(p * 40));
+            t.translate(&TranslateRequest::load(VirtAddr(p << 12), p));
+        }
+        // Re-touching early pages should be victim hits, not walks.
+        let walks_before = t.page_table().walks();
+        t.begin_cycle(Cycle(1_000));
+        let o = t.translate(&TranslateRequest::load(VirtAddr(0), 9));
+        match o {
+            Outcome::Hit { extra_latency, .. } => assert_eq!(extra_latency, 2),
+            other => panic!("expected victim hit, got {other:?}"),
+        }
+        assert_eq!(t.page_table().walks(), walks_before, "no new walk");
+        assert_eq!(t.victim_hits(), 1);
+        assert!(t.stats().is_consistent());
+    }
+
+    #[test]
+    fn swap_back_promotes_to_the_base_tlb() {
+        let mut t = make(2, 4);
+        for p in 0..3u64 {
+            t.begin_cycle(Cycle(p * 40));
+            t.translate(&TranslateRequest::load(VirtAddr(p << 12), p));
+        }
+        // One of pages 0..3 is now a victim; touch it twice: the second
+        // touch must be a plain base hit (latency 0).
+        t.begin_cycle(Cycle(500));
+        let victim_page = (0..3u64)
+            .find(|&p| {
+                t.bank
+                    .peek(t.pt.geometry().vpn(VirtAddr(p << 12)))
+                    .is_none()
+            })
+            .expect("a page was evicted");
+        let va = VirtAddr(victim_page << 12);
+        t.translate(&TranslateRequest::load(va, 10));
+        t.begin_cycle(Cycle(501));
+        match t.translate(&TranslateRequest::load(va, 11)) {
+            Outcome::Hit { extra_latency, .. } => assert_eq!(extra_latency, 0),
+            other => panic!("expected promoted base hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn misses_still_walk_when_buffer_does_not_help() {
+        let mut t = make(2, 2);
+        for p in 0..20u64 {
+            t.begin_cycle(Cycle(p * 40));
+            t.translate(&TranslateRequest::load(VirtAddr(p << 12), p));
+        }
+        assert_eq!(t.stats().misses, 20, "a cold sweep defeats any buffer");
+    }
+
+    #[test]
+    fn shootdown_covers_both_structures() {
+        let mut t = make(1, 2);
+        // Page 0 gets evicted into the victim buffer by pages 1.
+        t.begin_cycle(Cycle(0));
+        t.translate(&TranslateRequest::load(VirtAddr(0), 0));
+        t.begin_cycle(Cycle(40));
+        t.translate(&TranslateRequest::load(VirtAddr(1 << 12), 1));
+        let vpn = t.geometry().vpn(VirtAddr(0));
+        t.page_table_mut().unmap(vpn);
+        t.invalidate_page(vpn);
+        t.begin_cycle(Cycle(100));
+        assert!(
+            matches!(
+                t.translate(&TranslateRequest::load(VirtAddr(0), 2)),
+                Outcome::Miss { .. }
+            ),
+            "shot-down page must re-walk even if it was a victim"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! The request/response protocol between the processor core and an address
+//! translator.
+
+use crate::addr::{Ppn, VirtAddr};
+use crate::cycle::Cycle;
+
+/// Whether a memory access reads or writes; stores set the page dirty bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load instruction.
+    Load,
+    /// A store instruction.
+    Store,
+}
+
+impl AccessKind {
+    /// True for stores.
+    pub fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+/// One translation request presented to the translator in some cycle.
+///
+/// `base_reg` and `offset` describe how the effective address was formed;
+/// only the pretranslation design consumes them (its cache is tagged by
+/// base-register identifier and offset bits), every other design looks at
+/// `vaddr` alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslateRequest {
+    /// The effective virtual address.
+    pub vaddr: VirtAddr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Architected base register used in address generation, if any.
+    pub base_reg: Option<u8>,
+    /// Immediate displacement used in address generation.
+    pub offset: i32,
+    /// Program-order serial number of the instruction (ties are broken in
+    /// favour of the earliest-issued request when ports are contended).
+    pub serial: u64,
+}
+
+impl TranslateRequest {
+    /// Convenience constructor for a load with no register information.
+    pub fn load(vaddr: VirtAddr, serial: u64) -> Self {
+        TranslateRequest {
+            vaddr,
+            kind: AccessKind::Load,
+            base_reg: None,
+            offset: 0,
+            serial,
+        }
+    }
+
+    /// Convenience constructor for a store with no register information.
+    pub fn store(vaddr: VirtAddr, serial: u64) -> Self {
+        TranslateRequest {
+            vaddr,
+            kind: AccessKind::Store,
+            base_reg: None,
+            offset: 0,
+            serial,
+        }
+    }
+
+    /// Sets the base-register/offset fields (builder style).
+    #[must_use]
+    pub fn with_base(mut self, base_reg: u8, offset: i32) -> Self {
+        self.base_reg = Some(base_reg);
+        self.offset = offset;
+        self
+    }
+}
+
+/// The translator's answer for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The request was translated. `extra_latency` is the number of cycles
+    /// *beyond* the fully-overlapped TLB access after which the physical
+    /// address is available: 0 means translation hid completely under the
+    /// cache access (the paper's assumption for a same-cycle TLB hit);
+    /// an L1-TLB miss serviced by the L2 reports ≥ 2 here.
+    Hit {
+        /// Translated physical page number.
+        ppn: Ppn,
+        /// Visible latency in cycles beyond a same-cycle hit.
+        extra_latency: u64,
+    },
+    /// No translation port could accept the request this cycle; the core
+    /// must re-present it next cycle (out-of-order cores hold it in the
+    /// load/store queue, in-order cores stall the pipeline).
+    Retry,
+    /// The request missed in the TLB hierarchy. The page walk completes at
+    /// `ready_at`; `ppn` is the mapping it will install.
+    Miss {
+        /// Physical page number the walk resolves to.
+        ppn: Ppn,
+        /// Absolute cycle at which the translation becomes usable.
+        ready_at: Cycle,
+    },
+}
+
+impl Outcome {
+    /// The physical page number, unless the request must be retried.
+    pub fn ppn(&self) -> Option<Ppn> {
+        match *self {
+            Outcome::Hit { ppn, .. } | Outcome::Miss { ppn, .. } => Some(ppn),
+            Outcome::Retry => None,
+        }
+    }
+
+    /// True for any completed translation (hit or miss-with-walk).
+    pub fn is_translated(&self) -> bool {
+        !matches!(self, Outcome::Retry)
+    }
+
+    /// Absolute cycle the translation is usable, given the access cycle.
+    ///
+    /// Returns `None` for [`Outcome::Retry`].
+    pub fn usable_at(&self, now: Cycle) -> Option<Cycle> {
+        match *self {
+            Outcome::Hit { extra_latency, .. } => Some(now + extra_latency),
+            Outcome::Miss { ready_at, .. } => Some(ready_at),
+            Outcome::Retry => None,
+        }
+    }
+}
+
+/// How the destination value of a writeback was produced; drives
+/// pretranslation propagation (Section 3.5: arithmetic on a pointer carries
+/// the attached translation to the result register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritebackKind {
+    /// Integer add/sub/move: the result may still point into the same page,
+    /// so any pretranslation attached to a source register propagates.
+    PointerArith,
+    /// Any other producer (loads, multiplies, FP ops, ...): the result is a
+    /// new value and inherits nothing.
+    Opaque,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_fill_fields() {
+        let r = TranslateRequest::load(VirtAddr(0x1000), 7).with_base(4, -16);
+        assert_eq!(r.kind, AccessKind::Load);
+        assert_eq!(r.base_reg, Some(4));
+        assert_eq!(r.offset, -16);
+        assert_eq!(r.serial, 7);
+        let s = TranslateRequest::store(VirtAddr(0x2000), 8);
+        assert!(s.kind.is_store());
+        assert_eq!(s.base_reg, None);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let hit = Outcome::Hit {
+            ppn: Ppn(5),
+            extra_latency: 2,
+        };
+        assert_eq!(hit.ppn(), Some(Ppn(5)));
+        assert_eq!(hit.usable_at(Cycle(10)), Some(Cycle(12)));
+        assert!(hit.is_translated());
+
+        let miss = Outcome::Miss {
+            ppn: Ppn(6),
+            ready_at: Cycle(40),
+        };
+        assert_eq!(miss.usable_at(Cycle(10)), Some(Cycle(40)));
+
+        assert_eq!(Outcome::Retry.ppn(), None);
+        assert_eq!(Outcome::Retry.usable_at(Cycle(0)), None);
+        assert!(!Outcome::Retry.is_translated());
+    }
+}

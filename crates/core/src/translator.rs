@@ -1,0 +1,129 @@
+//! The [`AddressTranslator`] trait: the cycle-level contract between a
+//! processor core and any of the paper's translation mechanisms.
+
+use crate::addr::PageGeometry;
+use crate::cycle::Cycle;
+use crate::pagetable::PageTable;
+use crate::request::{Outcome, TranslateRequest, WritebackKind};
+use crate::stats::TranslatorStats;
+
+/// A data-TLB mechanism, driven one cycle at a time.
+///
+/// Protocol, per simulated cycle:
+///
+/// 1. the core calls [`begin_cycle`](AddressTranslator::begin_cycle) once;
+/// 2. it then presents that cycle's translation requests **in issue order**
+///    via [`translate`](AddressTranslator::translate); an [`Outcome::Retry`]
+///    means the request got no port and must be re-presented in a later
+///    cycle;
+/// 3. register writebacks are reported through
+///    [`note_writeback`](AddressTranslator::note_writeback) (only the
+///    pretranslation design listens).
+///
+/// Translators own their [`PageTable`]: a miss triggers a walk internally
+/// and reports completion time through [`Outcome::Miss`].
+pub trait AddressTranslator {
+    /// Human-readable design mnemonic (e.g. `"T4"`, `"M8"`, `"I4/PB"`).
+    fn name(&self) -> &str;
+
+    /// Opens a new cycle; resets per-cycle port bookkeeping.
+    ///
+    /// `now` must be monotonically non-decreasing across calls.
+    fn begin_cycle(&mut self, now: Cycle);
+
+    /// Presents one translation request for the current cycle.
+    fn translate(&mut self, req: &TranslateRequest) -> Outcome;
+
+    /// Reports a register writeback so pretranslations can propagate or be
+    /// invalidated. Designs without register-attached state ignore this.
+    fn note_writeback(&mut self, _dest: u8, _srcs: &[u8], _kind: WritebackKind) {}
+
+    /// Invalidates all cached translation state (context switch or
+    /// wholesale virtual-memory change).
+    fn flush(&mut self);
+
+    /// Invalidates any cached translation of one page (a TLB shootdown,
+    /// [BRG+89]): required after `page_table_mut().unmap(..)` or
+    /// `protect(..)`. The default conservatively flushes everything.
+    fn invalidate_page(&mut self, vpn: crate::addr::Vpn) {
+        let _ = vpn;
+        self.flush();
+    }
+
+    /// Event counters accumulated so far.
+    fn stats(&self) -> &TranslatorStats;
+
+    /// The page table backing this translator.
+    fn page_table(&self) -> &PageTable;
+
+    /// Mutable access to the page table (for test scenarios that remap or
+    /// reprotect pages mid-run).
+    fn page_table_mut(&mut self) -> &mut PageTable;
+
+    /// Page geometry in force.
+    fn geometry(&self) -> PageGeometry {
+        self.page_table().geometry()
+    }
+}
+
+/// Convenience driver used by tests and the miss-rate experiment: pushes a
+/// batch of same-cycle requests through `t`, retrying rejected requests in
+/// subsequent cycles, and returns the outcomes in request order along with
+/// the first cycle at which each request was *accepted*.
+///
+/// This is a miniature stand-in for the load/store queue's retry loop.
+pub fn drive_batch(
+    t: &mut dyn AddressTranslator,
+    start: Cycle,
+    reqs: &[TranslateRequest],
+) -> Vec<(Outcome, Cycle)> {
+    let mut out: Vec<Option<(Outcome, Cycle)>> = vec![None; reqs.len()];
+    let mut now = start;
+    loop {
+        t.begin_cycle(now);
+        let mut progressed = false;
+        for (i, req) in reqs.iter().enumerate() {
+            if out[i].is_some() {
+                continue;
+            }
+            match t.translate(req) {
+                Outcome::Retry => {}
+                done => {
+                    out[i] = Some((done, now));
+                    progressed = true;
+                }
+            }
+        }
+        if out.iter().all(Option::is_some) {
+            return out.into_iter().map(Option::unwrap).collect();
+        }
+        assert!(
+            progressed || now - start < 10_000,
+            "translator made no progress for 10k cycles"
+        );
+        now += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::VirtAddr;
+    use crate::designs::multiported::MultiPortedTlb;
+    use crate::pagetable::PageTable;
+
+    #[test]
+    fn drive_batch_retries_until_all_served() {
+        let pt = PageTable::new(PageGeometry::KB4);
+        let mut t = MultiPortedTlb::new("T1", 1, 128, pt, 1);
+        let reqs: Vec<_> = (0..3)
+            .map(|i| TranslateRequest::load(VirtAddr(0x1000 * (i + 1)), i))
+            .collect();
+        let outcomes = drive_batch(&mut t, Cycle(0), &reqs);
+        // One port: accepted on cycles 0, 1, 2.
+        assert_eq!(outcomes[0].1, Cycle(0));
+        assert_eq!(outcomes[1].1, Cycle(1));
+        assert_eq!(outcomes[2].1, Cycle(2));
+        assert!(outcomes.iter().all(|(o, _)| o.is_translated()));
+    }
+}

@@ -1,0 +1,131 @@
+//! Serde round-trips for the data types (enabled with `--features serde`).
+#![cfg(feature = "serde")]
+
+use hbat_core::addr::{PageGeometry, PhysAddr, Ppn, VirtAddr, Vpn};
+use hbat_core::cycle::Cycle;
+use hbat_core::entry::{Protection, TlbEntry};
+use hbat_core::replacement::ReplacementPolicy;
+use hbat_core::stats::TranslatorStats;
+
+mod count {
+    //! A serializer that just counts events — proves the impls exist and
+    //! exercise every field.
+    use serde::ser::*;
+
+    #[derive(Default)]
+    pub struct Counter {
+        pub events: u64,
+    }
+
+    impl Serializer for &mut Counter {
+        type Ok = ();
+        type Error = std::fmt::Error;
+        type SerializeSeq = Self;
+        type SerializeTuple = Self;
+        type SerializeTupleStruct = Self;
+        type SerializeTupleVariant = Self;
+        type SerializeMap = Self;
+        type SerializeStruct = Self;
+        type SerializeStructVariant = Self;
+
+        fn serialize_bool(self, _: bool) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_i8(self, _: i8) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_i16(self, _: i16) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_i32(self, _: i32) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_i64(self, _: i64) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_u8(self, _: u8) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_u16(self, _: u16) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_u32(self, _: u32) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_u64(self, _: u64) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_f32(self, _: f32) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_f64(self, _: f64) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_char(self, _: char) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_str(self, _: &str) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_bytes(self, _: &[u8]) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_none(self) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_some<T: ?Sized + serde::Serialize>(self, v: &T) -> Result<(), Self::Error> { v.serialize(self) }
+        fn serialize_unit(self) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_unit_variant(self, _: &'static str, _: u32, _: &'static str) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
+        fn serialize_newtype_struct<T: ?Sized + serde::Serialize>(self, _: &'static str, v: &T) -> Result<(), Self::Error> { v.serialize(self) }
+        fn serialize_newtype_variant<T: ?Sized + serde::Serialize>(self, _: &'static str, _: u32, _: &'static str, v: &T) -> Result<(), Self::Error> { v.serialize(self) }
+        fn serialize_seq(self, _: Option<usize>) -> Result<Self::SerializeSeq, Self::Error> { Ok(self) }
+        fn serialize_tuple(self, _: usize) -> Result<Self::SerializeTuple, Self::Error> { Ok(self) }
+        fn serialize_tuple_struct(self, _: &'static str, _: usize) -> Result<Self::SerializeTupleStruct, Self::Error> { Ok(self) }
+        fn serialize_tuple_variant(self, _: &'static str, _: u32, _: &'static str, _: usize) -> Result<Self::SerializeTupleVariant, Self::Error> { Ok(self) }
+        fn serialize_map(self, _: Option<usize>) -> Result<Self::SerializeMap, Self::Error> { Ok(self) }
+        fn serialize_struct(self, _: &'static str, _: usize) -> Result<Self::SerializeStruct, Self::Error> { Ok(self) }
+        fn serialize_struct_variant(self, _: &'static str, _: u32, _: &'static str, _: usize) -> Result<Self::SerializeStructVariant, Self::Error> { Ok(self) }
+    }
+
+    macro_rules! compound {
+        ($trait:ident, $method:ident) => {
+            impl $trait for &mut Counter {
+                type Ok = ();
+                type Error = std::fmt::Error;
+                fn $method<T: ?Sized + serde::Serialize>(&mut self, v: &T) -> Result<(), Self::Error> {
+                    v.serialize(&mut **self)
+                }
+                fn end(self) -> Result<(), Self::Error> {
+                    Ok(())
+                }
+            }
+        };
+    }
+    compound!(SerializeSeq, serialize_element);
+    compound!(SerializeTuple, serialize_element);
+    compound!(SerializeTupleStruct, serialize_field);
+    compound!(SerializeTupleVariant, serialize_field);
+
+    impl SerializeMap for &mut Counter {
+        type Ok = ();
+        type Error = std::fmt::Error;
+        fn serialize_key<T: ?Sized + serde::Serialize>(&mut self, k: &T) -> Result<(), Self::Error> { k.serialize(&mut **self) }
+        fn serialize_value<T: ?Sized + serde::Serialize>(&mut self, v: &T) -> Result<(), Self::Error> { v.serialize(&mut **self) }
+        fn end(self) -> Result<(), Self::Error> { Ok(()) }
+    }
+    impl SerializeStruct for &mut Counter {
+        type Ok = ();
+        type Error = std::fmt::Error;
+        fn serialize_field<T: ?Sized + serde::Serialize>(&mut self, _: &'static str, v: &T) -> Result<(), Self::Error> { v.serialize(&mut **self) }
+        fn end(self) -> Result<(), Self::Error> { Ok(()) }
+    }
+    impl SerializeStructVariant for &mut Counter {
+        type Ok = ();
+        type Error = std::fmt::Error;
+        fn serialize_field<T: ?Sized + serde::Serialize>(&mut self, _: &'static str, v: &T) -> Result<(), Self::Error> { v.serialize(&mut **self) }
+        fn end(self) -> Result<(), Self::Error> { Ok(()) }
+    }
+}
+
+fn count_events<T: serde::Serialize>(v: &T) -> u64 {
+    let mut c = count::Counter::default();
+    serde::Serialize::serialize(v, &mut c).expect("serializable");
+    c.events
+}
+
+#[test]
+fn all_data_types_serialize() {
+    assert_eq!(count_events(&VirtAddr(1)), 1);
+    assert_eq!(count_events(&PhysAddr(1)), 1);
+    assert_eq!(count_events(&Vpn(1)), 1);
+    assert_eq!(count_events(&Ppn(1)), 1);
+    assert_eq!(count_events(&Cycle(1)), 1);
+    assert_eq!(count_events(&PageGeometry::KB4), 1);
+    assert_eq!(count_events(&Protection::READ_WRITE), 3);
+    assert!(count_events(&TlbEntry::new(Vpn(1), Ppn(2), Protection::READ_ONLY)) >= 6);
+    assert!(count_events(&TranslatorStats::new()) >= 9);
+    assert_eq!(count_events(&ReplacementPolicy::Lru), 1);
+}
+
+#[allow(dead_code)]
+fn deserialize_impls_exist() {
+    // Compile-time check only: the Deserialize impls must exist.
+    fn takes_deserialize<T: serde::de::DeserializeOwned>() {}
+    takes_deserialize::<VirtAddr>();
+    takes_deserialize::<TlbEntry>();
+    takes_deserialize::<TranslatorStats>();
+    takes_deserialize::<ReplacementPolicy>();
+    takes_deserialize::<PageGeometry>();
+}
+

@@ -1,0 +1,76 @@
+//! TLB shootdown ([BRG+89]) semantics across every design: after
+//! `page_table_mut().unmap(vpn)` + `invalidate_page(vpn)`, the next access
+//! re-walks and observes the new mapping; other pages are unaffected.
+
+use hbat_core::addr::{PageGeometry, VirtAddr};
+use hbat_core::cycle::Cycle;
+use hbat_core::designs::spec::DesignSpec;
+use hbat_core::request::TranslateRequest;
+use hbat_core::translator::drive_batch;
+
+#[test]
+fn shootdown_remaps_one_page_and_spares_the_rest() {
+    for spec in DesignSpec::TABLE2.iter().chain([&DesignSpec::Unlimited]) {
+        let mut t = spec.build(PageGeometry::KB4, 3);
+        let target = VirtAddr(0x5000);
+        let bystander = VirtAddr(0x9000);
+        let reqs = [
+            TranslateRequest::load(target, 0).with_base(1, 0),
+            TranslateRequest::load(bystander, 1).with_base(2, 0),
+        ];
+        let before = drive_batch(t.as_mut(), Cycle(0), &reqs);
+        let old_target = before[0].0.ppn().unwrap();
+        let old_bystander = before[1].0.ppn().unwrap();
+
+        // The OS unmaps the target page and shoots the TLB down.
+        let vpn = t.geometry().vpn(target);
+        t.page_table_mut().unmap(vpn);
+        t.invalidate_page(vpn);
+
+        let after = drive_batch(t.as_mut(), Cycle(1_000), &reqs);
+        let new_target = after[0].0.ppn().unwrap();
+        let new_bystander = after[1].0.ppn().unwrap();
+        assert_ne!(
+            new_target, old_target,
+            "{spec}: remapped page must get a fresh frame"
+        );
+        assert_eq!(
+            new_bystander, old_bystander,
+            "{spec}: shootdown must not disturb other pages"
+        );
+        assert!(t.stats().is_consistent(), "{spec}");
+    }
+}
+
+#[test]
+fn shootdown_of_an_uncached_page_is_harmless() {
+    for spec in DesignSpec::TABLE2 {
+        let mut t = spec.build(PageGeometry::KB4, 3);
+        t.invalidate_page(hbat_core::addr::Vpn(0x123));
+        let r = drive_batch(
+            t.as_mut(),
+            Cycle(0),
+            &[TranslateRequest::load(VirtAddr(0x1000), 0).with_base(1, 0)],
+        );
+        assert!(r[0].0.is_translated(), "{spec}");
+    }
+}
+
+#[test]
+fn status_bits_survive_a_shootdown_writeback() {
+    // A dirtied page's status reaches the page table when shot down.
+    for mnemonic in ["T4", "I4", "M8", "PB2", "P8"] {
+        let mut t = DesignSpec::parse(mnemonic).unwrap().build(PageGeometry::KB4, 3);
+        let va = VirtAddr(0x7000);
+        drive_batch(
+            t.as_mut(),
+            Cycle(0),
+            &[TranslateRequest::store(va, 0).with_base(1, 0)],
+        );
+        let vpn = t.geometry().vpn(va);
+        t.invalidate_page(vpn);
+        let e = t.page_table().probe(vpn).expect("still mapped");
+        assert!(e.dirty, "{mnemonic}: dirty bit lost in shootdown");
+        assert!(e.referenced, "{mnemonic}: referenced bit lost in shootdown");
+    }
+}

@@ -1,0 +1,106 @@
+//! Simulator configuration (Table 1 of the paper).
+
+use hbat_mem::cache::CacheConfig;
+
+/// Instruction issue discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IssueModel {
+    /// In-order issue of up to 8 operations per cycle, out-of-order
+    /// completion, stall on any register data hazard.
+    InOrder,
+    /// Out-of-order issue with a 64-entry re-order buffer and a 32-entry
+    /// load/store queue.
+    OutOfOrder,
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Issue discipline.
+    pub issue_model: IssueModel,
+    /// Fetch/issue/commit width (8 in Table 1).
+    pub width: usize,
+    /// Re-order buffer entries (64).
+    pub rob_entries: usize,
+    /// Load/store queue entries (32).
+    pub lsq_entries: usize,
+    /// Branch misprediction penalty in cycles after resolution (3).
+    pub mispredict_penalty: u64,
+    /// Maximum branches fetched per cycle (2 with the collapsing-buffer
+    /// variant the paper adopted, 1 classically).
+    pub fetch_branches: usize,
+    /// Instruction cache.
+    pub icache: CacheConfig,
+    /// Data cache.
+    pub dcache: CacheConfig,
+    /// Integer ALU units (8).
+    pub int_alu_units: usize,
+    /// Load/store units (4) — this bounds simultaneous translation
+    /// requests.
+    pub ldst_units: usize,
+    /// FP adder units (4).
+    pub fp_add_units: usize,
+    /// Integer multiply/divide units (1).
+    pub int_mul_units: usize,
+    /// FP multiply/divide units (1).
+    pub fp_mul_units: usize,
+    /// Upper bound on simulated cycles (runaway guard).
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// The paper's baseline 8-way out-of-order machine (Table 1).
+    pub fn baseline() -> Self {
+        SimConfig {
+            issue_model: IssueModel::OutOfOrder,
+            width: 8,
+            rob_entries: 64,
+            lsq_entries: 32,
+            mispredict_penalty: 3,
+            fetch_branches: 2,
+            icache: CacheConfig::table1_icache(),
+            dcache: CacheConfig::table1_dcache(),
+            int_alu_units: 8,
+            ldst_units: 4,
+            fp_add_units: 4,
+            int_mul_units: 1,
+            fp_mul_units: 1,
+            max_cycles: u64::MAX,
+        }
+    }
+
+    /// The same machine constrained to in-order issue (Section 4.4).
+    pub fn baseline_inorder() -> Self {
+        SimConfig {
+            issue_model: IssueModel::InOrder,
+            ..SimConfig::baseline()
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let c = SimConfig::baseline();
+        assert_eq!(c.width, 8);
+        assert_eq!(c.rob_entries, 64);
+        assert_eq!(c.lsq_entries, 32);
+        assert_eq!(c.ldst_units, 4);
+        assert_eq!(c.int_alu_units, 8);
+        assert_eq!(c.mispredict_penalty, 3);
+        assert_eq!(c.issue_model, IssueModel::OutOfOrder);
+        assert_eq!(
+            SimConfig::baseline_inorder().issue_model,
+            IssueModel::InOrder
+        );
+    }
+}

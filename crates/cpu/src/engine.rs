@@ -1,0 +1,794 @@
+//! The cycle-timing engine: an 8-way superscalar processor in the mould of
+//! the paper's baseline simulator (Table 1), driven by the committed-path
+//! dynamic trace from `hbat-isa`.
+//!
+//! One engine serves both issue disciplines: out-of-order issue over a
+//! 64-entry re-order buffer with a 32-entry load/store queue, or in-order
+//! issue with stall-on-hazard (Section 4.4). Address translation is
+//! delegated to any [`AddressTranslator`]; translation requests are made
+//! when a memory operation's address generation executes, earliest
+//! instruction first, exactly as the paper allocates TLB ports.
+//!
+//! ## Speculative (wrong-path) execution
+//!
+//! Like the paper's simulator, execution continues down the speculative
+//! path after a branch misprediction: *phantom* instructions are fetched,
+//! issued, translated, and access the data cache, then are squashed when
+//! the branch resolves (plus the 3-cycle redirect penalty). This is where
+//! most of the extra translation bandwidth demand beyond the committed
+//! instruction stream comes from — the paper's issue rates run 30–60 %
+//! above its commit rates. Since the simulator is trace-driven, the
+//! phantom stream is the *upcoming committed path* rather than the true
+//! not-taken path; the traffic volume and timing match, and for loops
+//! (the common case) the wrong path largely is the fall-through code.
+//! Matching Section 4.1, a speculative TLB miss is not serviced —
+//! instruction dispatch stalls until the squash.
+//!
+//! Other modelling notes (see `DESIGN.md`):
+//!
+//! * a non-speculative TLB miss begins its 30-cycle walk only once every
+//!   earlier instruction has completed (Table 1's "after earlier-issued
+//!   instructions complete"), and dispatch stalls until the walk is done;
+//! * pretranslation attach/propagate events are applied to the translator
+//!   in program order immediately before the first translation with a
+//!   higher serial number; phantom writebacks are not applied.
+
+use std::collections::{HashMap, VecDeque};
+
+use hbat_core::addr::Ppn;
+use hbat_core::cycle::Cycle;
+use hbat_core::request::{TranslateRequest, WritebackKind};
+use hbat_core::translator::AddressTranslator;
+use hbat_core::Outcome;
+use hbat_isa::trace::{OpClass, TraceInst};
+use hbat_mem::cache::{Cache, CacheAccess};
+
+use crate::bpred::BranchPredictor;
+use crate::config::{IssueModel, SimConfig};
+use crate::fu::FuPool;
+use crate::metrics::RunMetrics;
+
+/// Progress of one in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Waiting for operands / functional unit / translation port.
+    Waiting,
+    /// Memory op: address generated and translated; execution pending.
+    Translated,
+    /// Result available at `finish`.
+    Complete,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Unique, monotonically increasing dispatch id (never reused).
+    id: u64,
+    t: TraceInst,
+    /// True for wrong-path instructions (squashed, never committed).
+    phantom: bool,
+    state: State,
+    /// Result-ready time (valid when `Complete`).
+    finish: Cycle,
+    /// Address-generation writeback time for post-increment (`aux_dest`).
+    aux_finish: Cycle,
+    /// Translation available at (valid from `Translated` on).
+    addr_ready: Cycle,
+    /// Physical page of the access (valid from `Translated` on).
+    ppn: Ppn,
+    /// Producer of each source: (slot id, produced-as-aux), or None if
+    /// the value was architected at dispatch time.
+    producers: [Option<(u64, bool)>; 3],
+    /// Producer of the previous value of the primary dest (WAW stall for
+    /// the in-order model).
+    waw: Option<(u64, bool)>,
+    /// Fetched with a wrong direction prediction.
+    mispredicted: bool,
+    /// TLB miss awaiting service: the walk latency to charge once every
+    /// older instruction has completed (Table 1: "30 cycle fixed TLB miss
+    /// latency after earlier-issued instructions complete").
+    pending_walk: Option<u64>,
+    /// Cycle at which the translator answered this request (used to share
+    /// walks between piggybacked requests to the same page).
+    translated_at: Cycle,
+}
+
+/// A pending pretranslation register-writeback notification.
+#[derive(Debug, Clone, Copy)]
+struct PendingWb {
+    serial: u64,
+    dest: u8,
+    srcs: [Option<u8>; 3],
+    kind: WritebackKind,
+}
+
+/// Wrong-path fetch state, entered when a mispredicted branch dispatches.
+#[derive(Debug, Clone)]
+struct SpecEpoch {
+    /// Slot id of the mispredicted branch.
+    branch_id: u64,
+    /// Where phantom fetch reads the trace (never advances `next_fetch`).
+    phantom_ptr: usize,
+    /// Rename map snapshot taken right after the branch dispatched.
+    rename_snapshot: [Option<(u64, bool)>; 64],
+    /// Phantom fetch hit a (would-be) second misprediction and stopped.
+    fetch_stopped: bool,
+    /// Resolution time of the branch, once it has issued.
+    squash_at: Option<Cycle>,
+}
+
+/// The timing engine. Construct with [`Engine::new`], then call
+/// [`Engine::run`].
+pub struct Engine<'a> {
+    cfg: &'a SimConfig,
+    trace: &'a [TraceInst],
+    translator: &'a mut dyn AddressTranslator,
+    now: Cycle,
+    rob: VecDeque<Slot>,
+    /// Slot id of `rob[0]`.
+    front_id: u64,
+    next_id: u64,
+    next_fetch: usize,
+    lsq_occupancy: usize,
+    rename: [Option<(u64, bool)>; 64],
+    fus: FuPool,
+    dcache: Cache,
+    icache: Cache,
+    bpred: BranchPredictor,
+    fetch_stall_until: Cycle,
+    dispatch_stall_until: Cycle,
+    /// A speculative access missed the TLB: dispatch stalls until squash.
+    spec_tlb_miss_stall: bool,
+    spec: Option<SpecEpoch>,
+    pending_wb: VecDeque<PendingWb>,
+    /// Completion times of page walks, by VPN: piggybacked requests that
+    /// shared a translation share its (serialized) walk instead of paying
+    /// a second one.
+    walk_done: HashMap<u64, Cycle>,
+    metrics: RunMetrics,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds an engine over `trace` using `translator` for data-memory
+    /// address translation.
+    pub fn new(
+        cfg: &'a SimConfig,
+        trace: &'a [TraceInst],
+        translator: &'a mut dyn AddressTranslator,
+    ) -> Self {
+        Engine {
+            cfg,
+            trace,
+            translator,
+            now: Cycle::ZERO,
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            front_id: 0,
+            next_id: 0,
+            next_fetch: 0,
+            lsq_occupancy: 0,
+            rename: [None; 64],
+            fus: FuPool::new(cfg),
+            dcache: Cache::new(cfg.dcache),
+            icache: Cache::new(cfg.icache),
+            bpred: BranchPredictor::table1(),
+            fetch_stall_until: Cycle::ZERO,
+            dispatch_stall_until: Cycle::ZERO,
+            spec_tlb_miss_stall: false,
+            spec: None,
+            pending_wb: VecDeque::new(),
+            walk_done: HashMap::new(),
+            metrics: RunMetrics::default(),
+        }
+    }
+
+    /// Runs to completion and returns the metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds `cfg.max_cycles` (a model bug, not an
+    /// input condition) or if the engine stops making progress.
+    pub fn run(mut self) -> RunMetrics {
+        let mut idle_cycles = 0u64;
+        while self.next_fetch < self.trace.len() || !self.rob.is_empty() {
+            assert!(self.now.0 < self.cfg.max_cycles, "cycle budget exceeded");
+            self.begin_cycle();
+            let progressed = {
+                let s = self.maybe_squash();
+                let a = self.commit();
+                let b = self.issue();
+                let c = self.dispatch();
+                s || a || b || c
+            };
+            if progressed {
+                idle_cycles = 0;
+            } else {
+                idle_cycles += 1;
+                if idle_cycles >= 100_000 {
+                    let head = self.rob.front().map(|s| {
+                        (s.id, s.t.serial, s.t.class, s.phantom, s.state, s.mispredicted)
+                    });
+                    panic!(
+                        "engine deadlocked at {} (rob {} entries, next_fetch {}, head {:?}, spec {:?}, stalls: fetch {} dispatch {} spec_tlb {})",
+                        self.now,
+                        self.rob.len(),
+                        self.next_fetch,
+                        head,
+                        self.spec.as_ref().map(|e| (e.branch_id, e.squash_at, e.fetch_stopped)),
+                        self.fetch_stall_until,
+                        self.dispatch_stall_until,
+                        self.spec_tlb_miss_stall,
+                    );
+                }
+            }
+            self.now += 1;
+        }
+        self.metrics.cycles = self.now.0;
+        self.metrics.committed = self.trace.len() as u64;
+        self.metrics.tlb = *self.translator.stats();
+        self.metrics.dcache = *self.dcache.stats();
+        self.metrics.icache = *self.icache.stats();
+        self.metrics
+    }
+
+    fn begin_cycle(&mut self) {
+        self.translator.begin_cycle(self.now);
+        self.dcache.begin_cycle(self.now);
+        self.icache.begin_cycle(self.now);
+        self.fus.begin_cycle(self.now);
+    }
+
+    fn slot_by_id(&self, id: u64) -> Option<&Slot> {
+        if id < self.front_id {
+            return None;
+        }
+        self.rob.get((id - self.front_id) as usize)
+    }
+
+    /// Is the value produced by `producer` available now?
+    fn value_ready(&self, producer: Option<(u64, bool)>) -> bool {
+        let Some((id, aux)) = producer else {
+            return true;
+        };
+        let Some(slot) = self.slot_by_id(id) else {
+            return true; // producer already committed
+        };
+        if aux {
+            // Post-increment writeback: ready once address generation ran.
+            slot.state != State::Waiting && slot.aux_finish <= self.now
+        } else {
+            slot.state == State::Complete && slot.finish <= self.now
+        }
+    }
+
+    /// Producers of the registers involved in address generation.
+    fn addr_deps_ready(&self, slot: &Slot) -> bool {
+        let mem = slot.t.mem.expect("addr deps of a non-memory op");
+        slot.t
+            .srcs
+            .iter()
+            .zip(slot.producers.iter())
+            .filter(|(src, _)| {
+                src.map(|r| r == mem.base_reg || mem.index_reg == Some(r))
+                    .unwrap_or(false)
+            })
+            .all(|(_, p)| self.value_ready(*p))
+    }
+
+    /// All source operands (including store data) available?
+    fn all_deps_ready(&self, slot: &Slot) -> bool {
+        slot.producers.iter().all(|p| self.value_ready(*p))
+    }
+
+    // ---- squash ---------------------------------------------------------
+
+    /// If the active misprediction has resolved, squash everything younger
+    /// than the branch and redirect fetch.
+    fn maybe_squash(&mut self) -> bool {
+        let Some(epoch) = &self.spec else { return false };
+        let Some(squash_at) = epoch.squash_at else {
+            return false;
+        };
+        if squash_at > self.now {
+            return false;
+        }
+        let branch_id = epoch.branch_id;
+        let keep = (branch_id - self.front_id + 1) as usize;
+        while self.rob.len() > keep {
+            let s = self.rob.pop_back().expect("rob longer than keep");
+            debug_assert!(s.phantom, "squashed a non-phantom slot");
+            if s.t.is_mem() {
+                self.lsq_occupancy -= 1;
+            }
+            self.metrics.squashed += 1;
+        }
+        let epoch = self.spec.take().expect("epoch checked above");
+        self.rename = epoch.rename_snapshot;
+        // Squashed ids are recycled so ROB slot ids stay contiguous (the
+        // restored rename map holds no reference to them).
+        self.next_id = branch_id + 1;
+        self.spec_tlb_miss_stall = false;
+        self.fetch_stall_until = self
+            .fetch_stall_until
+            .max(squash_at + self.cfg.mispredict_penalty);
+        true
+    }
+
+    // ---- commit stage ---------------------------------------------------
+
+    fn commit(&mut self) -> bool {
+        let mut n = 0;
+        while n < self.cfg.width {
+            let Some(head) = self.rob.front() else { break };
+            debug_assert!(!head.phantom, "phantom at commit: squash failed");
+            if head.state != State::Complete || head.finish > self.now {
+                break;
+            }
+            if head.t.class == OpClass::Store {
+                // Committed stores write the data cache; they need a port.
+                let mem = head.t.mem.expect("store without memory record");
+                let pa = self.translator.geometry().splice(head.ppn, mem.vaddr);
+                match self.dcache.access(pa, true) {
+                    CacheAccess::Served { .. } => {}
+                    CacheAccess::NoPort => break,
+                }
+                self.metrics.stores += 1;
+            } else if head.t.class == OpClass::Load {
+                self.metrics.loads += 1;
+            }
+            if head.t.is_mem() {
+                self.lsq_occupancy -= 1;
+            }
+            self.rob.pop_front();
+            self.front_id += 1;
+            n += 1;
+        }
+        n > 0
+    }
+
+    // ---- issue/execute stage --------------------------------------------
+
+    fn issue(&mut self) -> bool {
+        let mut progressed = false;
+        let mut issue_slots = self.cfg.width;
+        let in_order = self.cfg.issue_model == IssueModel::InOrder;
+        let len = self.rob.len();
+        for idx in 0..len {
+            if issue_slots == 0 {
+                break;
+            }
+            match self.rob[idx].state {
+                State::Complete => continue,
+                State::Translated => {
+                    // Phase 2 does not consume an issue slot.
+                    if self.try_complete_mem(idx) {
+                        progressed = true;
+                    }
+                    continue;
+                }
+                State::Waiting => {}
+            }
+            if self.try_issue(idx, in_order) {
+                progressed = true;
+                issue_slots -= 1;
+                self.metrics.issued += 1;
+                // Mem ops that just translated may finish the same cycle.
+                if self.rob[idx].state == State::Translated {
+                    self.try_complete_mem(idx);
+                }
+            } else if in_order {
+                break; // in-order issue: an unissued op blocks younger ones
+            }
+        }
+        progressed
+    }
+
+    /// Phase 1: operands/FU/translation. Returns true on any state change.
+    fn try_issue(&mut self, idx: usize, in_order: bool) -> bool {
+        let class = self.rob[idx].t.class;
+        let is_mem = self.rob[idx].t.is_mem();
+
+        // Operand readiness: memory ops need address operands only in
+        // phase 1 — except under in-order issue, where every operand
+        // (store data included) must be ready before issue.
+        let ready = if is_mem && !in_order {
+            self.addr_deps_ready(&self.rob[idx])
+        } else {
+            self.all_deps_ready(&self.rob[idx])
+        };
+        if !ready {
+            return false;
+        }
+        // In-order issue has no renaming: stall on WAW hazards.
+        if in_order && !self.value_ready(self.rob[idx].waw) {
+            return false;
+        }
+        if !self.fus.can_issue(class) {
+            return false;
+        }
+
+        if is_mem {
+            return self.try_issue_mem(idx);
+        }
+
+        // Plain operation.
+        let finish = self.fus.issue(class);
+        let slot = &mut self.rob[idx];
+        slot.state = State::Complete;
+        slot.finish = finish;
+        slot.aux_finish = finish;
+        if slot.mispredicted {
+            // Branch resolved: everything younger dies at `finish`.
+            if let Some(epoch) = &mut self.spec {
+                if epoch.branch_id == slot.id {
+                    epoch.squash_at = Some(finish);
+                }
+            }
+        }
+        true
+    }
+
+    /// Address generation + translation for a load or store.
+    fn try_issue_mem(&mut self, idx: usize) -> bool {
+        let serial = self.rob[idx].t.serial;
+        let phantom = self.rob[idx].phantom;
+        let mem = self.rob[idx].t.mem.expect("memory op without record");
+        // Apply pretranslation register writebacks in program order up to
+        // this instruction.
+        self.drain_writebacks(serial);
+        let base_code = (!mem.base_reg.is_zero()).then(|| mem.base_reg.code());
+        let req = TranslateRequest {
+            vaddr: mem.vaddr,
+            kind: mem.kind,
+            base_reg: base_code,
+            offset: mem.offset,
+            serial,
+        };
+        let outcome = self.translator.translate(&req);
+        let addr_ready = match outcome {
+            Outcome::Retry => {
+                // The address-generation unit did its work even though the
+                // translator had no port: the retry next cycle goes through
+                // an AGU again, so port contention also burns load/store
+                // unit bandwidth.
+                self.fus.issue(self.rob[idx].t.class);
+                self.metrics.translation_retries += 1;
+                return false;
+            }
+            Outcome::Hit { ppn, extra_latency } => {
+                self.rob[idx].ppn = ppn;
+                self.now + extra_latency
+            }
+            Outcome::Miss { ppn, ready_at } => {
+                self.rob[idx].ppn = ppn;
+                if phantom {
+                    // Speculative TLB misses are not permitted: dispatch
+                    // stalls until this instruction is squashed.
+                    self.spec_tlb_miss_stall = true;
+                    ready_at
+                } else {
+                    // Non-speculative miss: the walk is charged only after
+                    // earlier-issued instructions complete (Table 1), so
+                    // record its latency and defer it to phase 2.
+                    self.rob[idx].pending_walk = Some(ready_at.since(self.now));
+                    self.now // placeholder; fixed when the walk starts
+                }
+            }
+        };
+        if phantom {
+            self.metrics.wrong_path_translations += 1;
+        }
+        self.metrics.issued_mem += 1;
+        let finish_agu = self.fus.issue(self.rob[idx].t.class);
+        let now = self.now;
+        let slot = &mut self.rob[idx];
+        slot.addr_ready = addr_ready;
+        slot.aux_finish = finish_agu; // post-increment writeback
+        slot.state = State::Translated;
+        slot.translated_at = now;
+        true
+    }
+
+    /// Phase 2: complete a translated load (cache or forward) or store
+    /// (data ready). Returns true on completion.
+    fn try_complete_mem(&mut self, idx: usize) -> bool {
+        // A deferred TLB-miss walk starts only once every older
+        // instruction has completed; dispatch stays stalled meanwhile. A
+        // request that piggybacked on another request's translation shares
+        // that request's walk rather than paying a second one.
+        if let Some(walk) = self.rob[idx].pending_walk {
+            let vpn = {
+                let slot = &self.rob[idx];
+                let mem = slot.t.mem.expect("memory op without record");
+                self.translator.geometry().vpn(mem.vaddr).0
+            };
+            let shared = self
+                .walk_done
+                .get(&vpn)
+                .copied()
+                .filter(|&done| done >= self.rob[idx].translated_at);
+            if let Some(done) = shared {
+                self.rob[idx].pending_walk = None;
+                self.rob[idx].addr_ready = done.max(self.now);
+            } else {
+                let older_done = self
+                    .rob
+                    .iter()
+                    .take(idx)
+                    .all(|s| s.state == State::Complete && s.finish <= self.now);
+                if !older_done {
+                    return false;
+                }
+                let ready_at = self.now + walk;
+                self.rob[idx].pending_walk = None;
+                self.rob[idx].addr_ready = ready_at;
+                self.walk_done.insert(vpn, ready_at);
+                if ready_at > self.dispatch_stall_until {
+                    self.metrics.tlb_dispatch_stall_cycles +=
+                        ready_at - self.dispatch_stall_until.max(self.now);
+                    self.dispatch_stall_until = ready_at;
+                }
+            }
+        }
+        let slot = &self.rob[idx];
+        let mem = slot.t.mem.expect("memory op without record");
+        match slot.t.class {
+            OpClass::Store => {
+                if !self.all_deps_ready(slot) {
+                    return false;
+                }
+                let finish = slot.addr_ready.max(self.now + 1);
+                let s = &mut self.rob[idx];
+                s.state = State::Complete;
+                s.finish = finish;
+                true
+            }
+            OpClass::Load => {
+                // Loads execute only once every older store address is
+                // known.
+                let older_stores_known = self
+                    .rob
+                    .iter()
+                    .take(idx)
+                    .all(|s| s.t.class != OpClass::Store || s.state != State::Waiting);
+                if !older_stores_known {
+                    return false;
+                }
+                // Store-to-load forwarding from the youngest older store
+                // overlapping this access.
+                let lo = mem.vaddr.0;
+                let hi = lo + mem.width.bytes();
+                let forward = self.rob.iter().take(idx).rev().find_map(|s| {
+                    if s.t.class != OpClass::Store {
+                        return None;
+                    }
+                    let sm = s.t.mem.expect("store without record");
+                    let slo = sm.vaddr.0;
+                    let shi = slo + sm.width.bytes();
+                    (slo < hi && lo < shi).then_some((s.state, s.finish))
+                });
+                let addr_ready = slot.addr_ready;
+                if let Some((state, st_finish)) = forward {
+                    if state != State::Complete {
+                        return false; // wait for the store's data
+                    }
+                    let finish = addr_ready.max(st_finish).max(self.now) + 1;
+                    let s = &mut self.rob[idx];
+                    s.state = State::Complete;
+                    s.finish = finish;
+                    return true;
+                }
+                // Cache access (physically tagged; TLB overlap means only
+                // `addr_ready` beyond `now` adds latency).
+                let pa = self.translator.geometry().splice(slot.ppn, mem.vaddr);
+                match self.dcache.access(pa, false) {
+                    CacheAccess::Served { data_at, .. } => {
+                        let extra = addr_ready.since(self.now);
+                        let s = &mut self.rob[idx];
+                        s.state = State::Complete;
+                        s.finish = data_at + extra;
+                        true
+                    }
+                    CacheAccess::NoPort => false,
+                }
+            }
+            _ => unreachable!("try_complete_mem on a non-memory op"),
+        }
+    }
+
+    fn drain_writebacks(&mut self, up_to_serial: u64) {
+        while self
+            .pending_wb
+            .front()
+            .map(|w| w.serial < up_to_serial)
+            .unwrap_or(false)
+        {
+            let w = self.pending_wb.pop_front().expect("checked non-empty");
+            let srcs: Vec<u8> = w.srcs.iter().flatten().copied().collect();
+            self.translator.note_writeback(w.dest, &srcs, w.kind);
+        }
+    }
+
+    // ---- fetch/dispatch stage --------------------------------------------
+
+    fn dispatch(&mut self) -> bool {
+        if self.now < self.fetch_stall_until
+            || self.now < self.dispatch_stall_until
+            || self.spec_tlb_miss_stall
+        {
+            return false;
+        }
+        let phantom_mode = self.spec.is_some();
+        if phantom_mode && self.spec.as_ref().map(|e| e.fetch_stopped).unwrap_or(false) {
+            return false;
+        }
+        let mut ptr = if phantom_mode {
+            self.spec.as_ref().expect("phantom mode").phantom_ptr
+        } else {
+            self.next_fetch
+        };
+        if ptr >= self.trace.len() {
+            return false;
+        }
+
+        let mut fetched = 0usize;
+        let mut branches = 0usize;
+        let mut block: Option<u64> = None;
+        while fetched < self.cfg.width && ptr < self.trace.len() {
+            if self.rob.len() == self.cfg.rob_entries {
+                break;
+            }
+            let t = self.trace[ptr];
+            if t.is_mem() && self.lsq_occupancy == self.cfg.lsq_entries {
+                break;
+            }
+            // Fetch-group rule: all instructions from one I-cache block.
+            let iblock = (t.pc as u64 * 4) / self.cfg.icache.block_bytes;
+            match block {
+                None => {
+                    // First instruction: access the I-cache for the block.
+                    let pa = hbat_core::addr::PhysAddr(t.pc as u64 * 4);
+                    match self.icache.access(pa, false) {
+                        CacheAccess::Served { data_at, was_miss } => {
+                            if was_miss {
+                                self.fetch_stall_until = data_at;
+                                break;
+                            }
+                        }
+                        CacheAccess::NoPort => break,
+                    }
+                    block = Some(iblock);
+                }
+                Some(b) if b != iblock => break,
+                Some(_) => {}
+            }
+
+            // Branch handling.
+            let mut end_group = false;
+            let mut mispredicted = false;
+            if let Some(br) = t.branch {
+                if branches == self.cfg.fetch_branches {
+                    break; // prediction bandwidth exhausted
+                }
+                branches += 1;
+                if br.conditional {
+                    if phantom_mode {
+                        // Phantom branches consult but never train the
+                        // predictor; a second misprediction ends the
+                        // speculative fetch stream.
+                        if self.bpred.predict(t.pc) != br.taken {
+                            self.spec
+                                .as_mut()
+                                .expect("phantom mode")
+                                .fetch_stopped = true;
+                            end_group = true;
+                        }
+                    } else {
+                        self.metrics.cond_branches += 1;
+                        let correct = self.bpred.update(t.pc, br.taken);
+                        if correct {
+                            self.metrics.bpred_correct += 1;
+                        } else {
+                            mispredicted = true;
+                            end_group = true;
+                        }
+                    }
+                }
+                if !mispredicted && br.taken {
+                    // Redirect within the same block may continue (the
+                    // collapsing buffer); otherwise the group ends.
+                    let tblock = (br.target as u64 * 4) / self.cfg.icache.block_bytes;
+                    if Some(tblock) != block {
+                        end_group = true;
+                    }
+                }
+            }
+
+            self.enqueue(t, phantom_mode, mispredicted);
+            ptr += 1;
+            fetched += 1;
+            if mispredicted {
+                // Enter wrong-path mode: younger fetches are phantoms of
+                // the upcoming trace, squashed when the branch resolves.
+                self.spec = Some(SpecEpoch {
+                    branch_id: self.next_id - 1,
+                    phantom_ptr: ptr,
+                    rename_snapshot: self.rename,
+                    fetch_stopped: false,
+                    squash_at: None,
+                });
+                self.next_fetch = ptr;
+                return true;
+            }
+            if end_group {
+                break;
+            }
+        }
+        if phantom_mode {
+            self.spec.as_mut().expect("phantom mode").phantom_ptr = ptr;
+        } else {
+            self.next_fetch = ptr;
+        }
+        fetched > 0
+    }
+
+    /// Allocates a ROB slot for `t`, recording producers and updating the
+    /// rename map and the pretranslation writeback queue.
+    fn enqueue(&mut self, t: TraceInst, phantom: bool, mispredicted: bool) {
+        let mut producers = [None; 3];
+        for (i, src) in t.srcs.iter().enumerate() {
+            if let Some(r) = src {
+                producers[i] = self.rename[r.code() as usize];
+            }
+        }
+        let waw = t.dest.and_then(|d| self.rename[d.code() as usize]);
+        let id = self.next_id;
+        self.next_id += 1;
+        for d in t.dest.iter() {
+            self.rename[d.code() as usize] = Some((id, false));
+        }
+        for d in t.aux_dest.iter() {
+            self.rename[d.code() as usize] = Some((id, true));
+        }
+        // Pretranslation bookkeeping — committed path only (wrong-path
+        // writebacks would corrupt the program-order attachment stream).
+        if !phantom {
+            if let Some(d) = t.dest {
+                let mut srcs = [None; 3];
+                for (i, s) in t.srcs.iter().enumerate() {
+                    srcs[i] = s.map(|r| r.code());
+                }
+                self.pending_wb.push_back(PendingWb {
+                    serial: t.serial,
+                    dest: d.code(),
+                    srcs,
+                    kind: t.dest_kind,
+                });
+            }
+            if let Some(d) = t.aux_dest {
+                self.pending_wb.push_back(PendingWb {
+                    serial: t.serial,
+                    dest: d.code(),
+                    srcs: [Some(d.code()), None, None],
+                    kind: WritebackKind::PointerArith,
+                });
+            }
+        }
+        if t.is_mem() {
+            self.lsq_occupancy += 1;
+        }
+        self.rob.push_back(Slot {
+            id,
+            t,
+            phantom,
+            state: State::Waiting,
+            finish: Cycle::ZERO,
+            aux_finish: Cycle::ZERO,
+            addr_ready: Cycle::ZERO,
+            ppn: Ppn(0),
+            producers,
+            waw,
+            mispredicted,
+            pending_walk: None,
+            translated_at: Cycle::ZERO,
+        });
+    }
+}

@@ -1,0 +1,190 @@
+//! Functional-unit pool with Table 1's latencies and issue rates.
+//!
+//! | Unit | Count | Latency (total/issue) |
+//! |---|---|---|
+//! | integer ALU (incl. branches) | 8 | 1/1 |
+//! | load/store | 4 | 2/1 |
+//! | FP adder | 4 | 2/1 |
+//! | integer MULT/DIV | 1 | 3/1 (MULT), 12/12 (DIV) |
+//! | FP MULT/DIV | 1 | 4/1 (MULT), 12/12 (DIV) |
+
+use hbat_core::cycle::{Cycle, PortTimeline};
+use hbat_isa::trace::OpClass;
+
+use crate::config::SimConfig;
+
+/// Tracks per-cycle and multi-cycle occupancy of the functional units.
+#[derive(Debug)]
+pub struct FuPool {
+    now: Cycle,
+    // Pipelined pools: per-cycle issue counters bounded by unit count.
+    int_alu_used: usize,
+    int_alu_max: usize,
+    ldst_used: usize,
+    ldst_max: usize,
+    fp_add_used: usize,
+    fp_add_max: usize,
+    // The MULT/DIV units are shared and the divides are non-pipelined:
+    // a timeline per physical unit captures both.
+    int_muldiv: PortTimeline,
+    fp_muldiv: PortTimeline,
+}
+
+impl FuPool {
+    /// Builds the pool described by `cfg`.
+    pub fn new(cfg: &SimConfig) -> Self {
+        FuPool {
+            now: Cycle::ZERO,
+            int_alu_used: 0,
+            int_alu_max: cfg.int_alu_units,
+            ldst_used: 0,
+            ldst_max: cfg.ldst_units,
+            fp_add_used: 0,
+            fp_add_max: cfg.fp_add_units,
+            int_muldiv: PortTimeline::new(cfg.int_mul_units),
+            fp_muldiv: PortTimeline::new(cfg.fp_mul_units),
+        }
+    }
+
+    /// Opens a new cycle.
+    pub fn begin_cycle(&mut self, now: Cycle) {
+        debug_assert!(now >= self.now);
+        self.now = now;
+        self.int_alu_used = 0;
+        self.ldst_used = 0;
+        self.fp_add_used = 0;
+    }
+
+    /// Result latency of `class` in cycles (loads add cache time
+    /// separately; the value here is address generation only).
+    pub fn latency(class: OpClass) -> u64 {
+        match class {
+            OpClass::IntAlu | OpClass::Branch => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv | OpClass::FpDiv => 12,
+            OpClass::FpAdd => 2,
+            OpClass::FpMul => 4,
+            OpClass::Load | OpClass::Store => 1, // AGU cycle
+        }
+    }
+
+    /// True if an instruction of `class` could begin this cycle.
+    pub fn can_issue(&self, class: OpClass) -> bool {
+        match class {
+            OpClass::IntAlu | OpClass::Branch => self.int_alu_used < self.int_alu_max,
+            OpClass::Load | OpClass::Store => self.ldst_used < self.ldst_max,
+            OpClass::FpAdd => self.fp_add_used < self.fp_add_max,
+            OpClass::IntMul | OpClass::IntDiv => self.int_muldiv.available_at(self.now),
+            OpClass::FpMul | OpClass::FpDiv => self.fp_muldiv.available_at(self.now),
+        }
+    }
+
+    /// Reserves a unit for `class` this cycle and returns the cycle the
+    /// result is available. Call only after [`can_issue`](Self::can_issue)
+    /// returned true this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the unit was not actually available.
+    pub fn issue(&mut self, class: OpClass) -> Cycle {
+        debug_assert!(self.can_issue(class), "issue() without can_issue()");
+        let now = self.now;
+        match class {
+            OpClass::IntAlu | OpClass::Branch => {
+                self.int_alu_used += 1;
+                now + 1
+            }
+            OpClass::Load | OpClass::Store => {
+                self.ldst_used += 1;
+                now + 1
+            }
+            OpClass::FpAdd => {
+                self.fp_add_used += 1;
+                now + 2
+            }
+            OpClass::IntMul => {
+                self.int_muldiv.allocate(now, 1);
+                now + 3
+            }
+            OpClass::IntDiv => {
+                // Non-pipelined: occupies the unit for the full 12 cycles.
+                self.int_muldiv.allocate(now, 12);
+                now + 12
+            }
+            OpClass::FpMul => {
+                self.fp_muldiv.allocate(now, 1);
+                now + 4
+            }
+            OpClass::FpDiv => {
+                self.fp_muldiv.allocate(now, 12);
+                now + 12
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> FuPool {
+        FuPool::new(&SimConfig::baseline())
+    }
+
+    #[test]
+    fn alu_bandwidth_is_eight_per_cycle() {
+        let mut p = pool();
+        p.begin_cycle(Cycle(0));
+        for _ in 0..8 {
+            assert!(p.can_issue(OpClass::IntAlu));
+            assert_eq!(p.issue(OpClass::IntAlu), Cycle(1));
+        }
+        assert!(!p.can_issue(OpClass::IntAlu));
+        assert!(!p.can_issue(OpClass::Branch), "branches share the ALUs");
+        p.begin_cycle(Cycle(1));
+        assert!(p.can_issue(OpClass::IntAlu));
+    }
+
+    #[test]
+    fn four_loadstore_units() {
+        let mut p = pool();
+        p.begin_cycle(Cycle(0));
+        for _ in 0..4 {
+            assert!(p.can_issue(OpClass::Load));
+            p.issue(OpClass::Load);
+        }
+        assert!(!p.can_issue(OpClass::Store));
+    }
+
+    #[test]
+    fn divide_blocks_the_shared_unit_for_twelve_cycles() {
+        let mut p = pool();
+        p.begin_cycle(Cycle(0));
+        assert_eq!(p.issue(OpClass::IntDiv), Cycle(12));
+        p.begin_cycle(Cycle(1));
+        assert!(!p.can_issue(OpClass::IntMul), "divider busy");
+        p.begin_cycle(Cycle(12));
+        assert!(p.can_issue(OpClass::IntMul));
+        assert_eq!(p.issue(OpClass::IntMul), Cycle(15));
+    }
+
+    #[test]
+    fn multiplies_are_pipelined() {
+        let mut p = pool();
+        p.begin_cycle(Cycle(0));
+        p.issue(OpClass::FpMul);
+        p.begin_cycle(Cycle(1));
+        assert!(p.can_issue(OpClass::FpMul), "pipelined issue rate 1");
+        assert_eq!(p.issue(OpClass::FpMul), Cycle(5));
+    }
+
+    #[test]
+    fn latencies_match_table1() {
+        assert_eq!(FuPool::latency(OpClass::IntAlu), 1);
+        assert_eq!(FuPool::latency(OpClass::IntMul), 3);
+        assert_eq!(FuPool::latency(OpClass::IntDiv), 12);
+        assert_eq!(FuPool::latency(OpClass::FpAdd), 2);
+        assert_eq!(FuPool::latency(OpClass::FpMul), 4);
+        assert_eq!(FuPool::latency(OpClass::FpDiv), 12);
+    }
+}

@@ -1,0 +1,553 @@
+//! The functional executor: runs a [`Program`] and emits the dynamic
+//! instruction trace the timing models consume.
+//!
+//! Execution is architecturally exact (register and memory values are
+//! real), which is what makes the workload behaviour — pointer reuse,
+//! spills, data-dependent branches, hash-table scatter — faithful. Timing
+//! is not modelled here at all.
+
+use hbat_core::addr::VirtAddr;
+use hbat_core::request::{AccessKind, WritebackKind};
+
+use crate::inst::{AddrMode, FpuOp, Inst, Operand, Width};
+use crate::mem::Memory;
+use crate::program::Program;
+use crate::reg::Reg;
+use crate::trace::{BranchRec, MemRef, OpClass, TraceInst};
+
+/// Architectural machine state plus the trace generator.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    program: Program,
+    iregs: [i64; 32],
+    fregs: [f64; 32],
+    mem: Memory,
+    pc: u32,
+    serial: u64,
+    halted: bool,
+}
+
+impl Machine {
+    /// Creates a machine at the entry of `program` with zeroed state.
+    pub fn new(program: Program) -> Self {
+        Machine {
+            program,
+            iregs: [0; 32],
+            fregs: [0.0; 32],
+            mem: Memory::new(),
+            pc: 0,
+            serial: 0,
+            halted: false,
+        }
+    }
+
+    /// The functional memory (e.g. to pre-seed workload data).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to the functional memory.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Reads an architected register (integer or FP, FP as raw bits).
+    pub fn read_reg(&self, r: Reg) -> i64 {
+        if r.is_fp() {
+            self.fregs[r.index()].to_bits() as i64
+        } else if r.is_zero() {
+            0
+        } else {
+            self.iregs[r.index()]
+        }
+    }
+
+    /// Writes an architected register (writes to the zero register are
+    /// discarded).
+    pub fn write_reg(&mut self, r: Reg, v: i64) {
+        if r.is_fp() {
+            self.fregs[r.index()] = f64::from_bits(v as u64);
+        } else if !r.is_zero() {
+            self.iregs[r.index()] = v;
+        }
+    }
+
+    /// True once a `Halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Dynamic instructions executed so far.
+    pub fn instructions_retired(&self) -> u64 {
+        self.serial
+    }
+
+    /// Current program counter (instruction index).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    fn effective_addr(&self, mode: AddrMode) -> VirtAddr {
+        match mode {
+            AddrMode::BaseOffset { base, offset } => {
+                VirtAddr((self.read_reg(base) as u64).wrapping_add(offset as i64 as u64))
+            }
+            AddrMode::BaseIndex { base, index } => VirtAddr(
+                (self.read_reg(base) as u64).wrapping_add(self.read_reg(index) as u64),
+            ),
+            AddrMode::PostInc { base, .. } => VirtAddr(self.read_reg(base) as u64),
+        }
+    }
+
+    fn push_src(t: &mut TraceInst, r: Reg) {
+        if r.is_zero() {
+            return; // the zero register creates no dependence
+        }
+        for slot in &mut t.srcs {
+            if slot.is_none() {
+                *slot = Some(r);
+                return;
+            }
+            if *slot == Some(r) {
+                return;
+            }
+        }
+    }
+
+    fn set_dest(t: &mut TraceInst, r: Reg, kind: WritebackKind) {
+        if !r.is_zero() {
+            t.dest = Some(r);
+            t.dest_kind = kind;
+        }
+    }
+
+    /// Executes one instruction, returning its trace record, or `None` if
+    /// the machine has halted.
+    #[allow(clippy::too_many_lines)]
+    pub fn step(&mut self) -> Option<TraceInst> {
+        if self.halted {
+            return None;
+        }
+        let pc = self.pc;
+        let inst = self.program.fetch(pc);
+        let mut next_pc = pc + 1;
+
+        let mut t = TraceInst::blank(self.serial, pc, OpClass::IntAlu);
+        match inst {
+            Inst::Halt => {
+                self.halted = true;
+                return None;
+            }
+            Inst::Nop => {}
+            Inst::Li { d, imm } => {
+                Self::set_dest(&mut t, d, WritebackKind::Opaque);
+                self.write_reg(d, imm);
+            }
+            Inst::Alu { op, d, a, b } => {
+                let av = self.read_reg(a);
+                Self::push_src(&mut t, a);
+                let bv = match b {
+                    Operand::Reg(r) => {
+                        Self::push_src(&mut t, r);
+                        self.read_reg(r)
+                    }
+                    Operand::Imm(i) => i as i64,
+                };
+                let kind = if op.is_pointer_arith() {
+                    WritebackKind::PointerArith
+                } else {
+                    WritebackKind::Opaque
+                };
+                Self::set_dest(&mut t, d, kind);
+                self.write_reg(d, op.apply(av, bv));
+            }
+            Inst::Mul { d, a, b } => {
+                t.class = OpClass::IntMul;
+                Self::push_src(&mut t, a);
+                Self::push_src(&mut t, b);
+                Self::set_dest(&mut t, d, WritebackKind::Opaque);
+                let v = self.read_reg(a).wrapping_mul(self.read_reg(b));
+                self.write_reg(d, v);
+            }
+            Inst::Div { d, a, b } => {
+                t.class = OpClass::IntDiv;
+                Self::push_src(&mut t, a);
+                Self::push_src(&mut t, b);
+                Self::set_dest(&mut t, d, WritebackKind::Opaque);
+                let bv = self.read_reg(b);
+                let v = if bv == 0 {
+                    0
+                } else {
+                    self.read_reg(a).wrapping_div(bv)
+                };
+                self.write_reg(d, v);
+            }
+            Inst::Fpu { op, d, a, b } => {
+                t.class = match op {
+                    FpuOp::Add | FpuOp::Sub => OpClass::FpAdd,
+                    FpuOp::Mul => OpClass::FpMul,
+                    FpuOp::Div => OpClass::FpDiv,
+                };
+                debug_assert!(d.is_fp() && a.is_fp() && b.is_fp());
+                Self::push_src(&mut t, a);
+                Self::push_src(&mut t, b);
+                Self::set_dest(&mut t, d, WritebackKind::Opaque);
+                let v = op.apply(self.fregs[a.index()], self.fregs[b.index()]);
+                self.fregs[d.index()] = v;
+            }
+            Inst::Load { d, addr, width } => {
+                t.class = OpClass::Load;
+                let base = addr.base();
+                Self::push_src(&mut t, base);
+                let mut index_reg = None;
+                if let AddrMode::BaseIndex { index, .. } = addr {
+                    Self::push_src(&mut t, index);
+                    index_reg = Some(index);
+                }
+                let ea = self.effective_addr(addr);
+                let raw = self.mem.read_le(ea, width.bytes());
+                if d.is_fp() {
+                    debug_assert_eq!(width, Width::B8, "FP loads are 8 bytes");
+                    self.fregs[d.index()] = f64::from_bits(raw);
+                } else if !d.is_zero() {
+                    self.iregs[d.index()] = raw as i64; // zero-extended
+                }
+                Self::set_dest(&mut t, d, WritebackKind::Opaque);
+                t.mem = Some(MemRef {
+                    vaddr: ea,
+                    kind: AccessKind::Load,
+                    width,
+                    base_reg: base,
+                    index_reg,
+                    offset: addr.displacement(),
+                });
+                if let AddrMode::PostInc { base, step } = addr {
+                    let nv = self.read_reg(base).wrapping_add(step as i64);
+                    self.write_reg(base, nv);
+                    if !base.is_zero() {
+                        t.aux_dest = Some(base);
+                    }
+                }
+            }
+            Inst::Store { s, addr, width } => {
+                t.class = OpClass::Store;
+                let base = addr.base();
+                Self::push_src(&mut t, s);
+                Self::push_src(&mut t, base);
+                let mut index_reg = None;
+                if let AddrMode::BaseIndex { index, .. } = addr {
+                    Self::push_src(&mut t, index);
+                    index_reg = Some(index);
+                }
+                let ea = self.effective_addr(addr);
+                let raw = if s.is_fp() {
+                    debug_assert_eq!(width, Width::B8, "FP stores are 8 bytes");
+                    self.fregs[s.index()].to_bits()
+                } else {
+                    self.read_reg(s) as u64
+                };
+                self.mem.write_le(ea, raw, width.bytes());
+                t.mem = Some(MemRef {
+                    vaddr: ea,
+                    kind: AccessKind::Store,
+                    width,
+                    base_reg: base,
+                    index_reg,
+                    offset: addr.displacement(),
+                });
+                if let AddrMode::PostInc { base, step } = addr {
+                    let nv = self.read_reg(base).wrapping_add(step as i64);
+                    self.write_reg(base, nv);
+                    if !base.is_zero() {
+                        t.aux_dest = Some(base);
+                    }
+                }
+            }
+            Inst::Branch { cond, a, b, target } => {
+                t.class = OpClass::Branch;
+                Self::push_src(&mut t, a);
+                Self::push_src(&mut t, b);
+                let taken = cond.holds(self.read_reg(a), self.read_reg(b));
+                if taken {
+                    next_pc = target;
+                }
+                t.branch = Some(BranchRec {
+                    taken,
+                    target,
+                    conditional: true,
+                });
+            }
+            Inst::Jump { target } => {
+                t.class = OpClass::Branch;
+                next_pc = target;
+                t.branch = Some(BranchRec {
+                    taken: true,
+                    target,
+                    conditional: false,
+                });
+            }
+        }
+
+        self.pc = next_pc;
+        self.serial += 1;
+        Some(t)
+    }
+
+    /// Runs until halt or `max_steps`, feeding each record to `sink`.
+    /// Returns the number of instructions executed.
+    pub fn run<F: FnMut(TraceInst)>(&mut self, max_steps: u64, mut sink: F) -> u64 {
+        let mut n = 0;
+        while n < max_steps {
+            match self.step() {
+                Some(t) => {
+                    sink(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Runs until halt or `max_steps`, collecting the trace.
+    pub fn run_to_vec(&mut self, max_steps: u64) -> Vec<TraceInst> {
+        let mut v = Vec::new();
+        self.run(max_steps, |t| v.push(t));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, Cond};
+
+    fn run_program(insts: Vec<Inst>) -> (Machine, Vec<TraceInst>) {
+        let mut m = Machine::new(Program::new(insts).unwrap());
+        let trace = m.run_to_vec(100_000);
+        (m, trace)
+    }
+
+    #[test]
+    fn li_and_alu() {
+        let (m, trace) = run_program(vec![
+            Inst::Li { d: Reg::int(1), imm: 40 },
+            Inst::Alu {
+                op: AluOp::Add,
+                d: Reg::int(2),
+                a: Reg::int(1),
+                b: Operand::Imm(2),
+            },
+            Inst::Halt,
+        ]);
+        assert_eq!(m.read_reg(Reg::int(2)), 42);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[1].dest, Some(Reg::int(2)));
+        assert_eq!(trace[1].dest_kind, WritebackKind::PointerArith);
+        assert_eq!(trace[1].srcs[0], Some(Reg::int(1)));
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip_through_memory() {
+        let (m, trace) = run_program(vec![
+            Inst::Li { d: Reg::int(1), imm: 0x1000 },
+            Inst::Li { d: Reg::int(2), imm: 77 },
+            Inst::Store {
+                s: Reg::int(2),
+                addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 8 },
+                width: Width::B8,
+            },
+            Inst::Load {
+                d: Reg::int(3),
+                addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 8 },
+                width: Width::B8,
+            },
+            Inst::Halt,
+        ]);
+        assert_eq!(m.read_reg(Reg::int(3)), 77);
+        let st = trace[2].mem.unwrap();
+        assert_eq!(st.vaddr, VirtAddr(0x1008));
+        assert_eq!(st.kind, AccessKind::Store);
+        assert_eq!(st.base_reg, Reg::int(1));
+        assert_eq!(st.offset, 8);
+        let ld = trace[3].mem.unwrap();
+        assert_eq!(ld.kind, AccessKind::Load);
+        assert_eq!(ld.vaddr, VirtAddr(0x1008));
+    }
+
+    #[test]
+    fn post_increment_walks_and_writes_back() {
+        let (m, trace) = run_program(vec![
+            Inst::Li { d: Reg::int(1), imm: 0x2000 },
+            Inst::Load {
+                d: Reg::int(2),
+                addr: AddrMode::PostInc { base: Reg::int(1), step: 8 },
+                width: Width::B8,
+            },
+            Inst::Load {
+                d: Reg::int(3),
+                addr: AddrMode::PostInc { base: Reg::int(1), step: 8 },
+                width: Width::B8,
+            },
+            Inst::Halt,
+        ]);
+        assert_eq!(m.read_reg(Reg::int(1)), 0x2010);
+        assert_eq!(trace[1].mem.unwrap().vaddr, VirtAddr(0x2000));
+        assert_eq!(trace[2].mem.unwrap().vaddr, VirtAddr(0x2008));
+        assert_eq!(trace[1].aux_dest, Some(Reg::int(1)));
+    }
+
+    #[test]
+    fn base_index_addressing() {
+        let (_, trace) = run_program(vec![
+            Inst::Li { d: Reg::int(1), imm: 0x3000 },
+            Inst::Li { d: Reg::int(2), imm: 0x40 },
+            Inst::Load {
+                d: Reg::int(3),
+                addr: AddrMode::BaseIndex { base: Reg::int(1), index: Reg::int(2) },
+                width: Width::B4,
+            },
+            Inst::Halt,
+        ]);
+        let mem = trace[2].mem.unwrap();
+        assert_eq!(mem.vaddr, VirtAddr(0x3040));
+        assert_eq!(mem.offset, 0);
+        assert!(trace[2].srcs.contains(&Some(Reg::int(2))));
+    }
+
+    #[test]
+    fn branch_loop_executes_expected_iterations() {
+        // r1 = 5; loop { r2 += r1; r1 -= 1 } while r1 > 0
+        let (m, trace) = run_program(vec![
+            Inst::Li { d: Reg::int(1), imm: 5 },
+            Inst::Alu {
+                op: AluOp::Add,
+                d: Reg::int(2),
+                a: Reg::int(2),
+                b: Operand::Reg(Reg::int(1)),
+            },
+            Inst::Alu {
+                op: AluOp::Sub,
+                d: Reg::int(1),
+                a: Reg::int(1),
+                b: Operand::Imm(1),
+            },
+            Inst::Branch {
+                cond: Cond::Gt,
+                a: Reg::int(1),
+                b: Reg::ZERO,
+                target: 1,
+            },
+            Inst::Halt,
+        ]);
+        assert_eq!(m.read_reg(Reg::int(2)), 15);
+        let branches: Vec<_> = trace.iter().filter_map(|t| t.branch).collect();
+        assert_eq!(branches.len(), 5);
+        assert!(branches[..4].iter().all(|b| b.taken));
+        assert!(!branches[4].taken);
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let (m, trace) = run_program(vec![
+            Inst::Li { d: Reg::int(1), imm: 0x1000 },
+            Inst::Li { d: Reg::int(2), imm: (2.5f64).to_bits() as i64 },
+            Inst::Store {
+                s: Reg::int(2),
+                addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 0 },
+                width: Width::B8,
+            },
+            Inst::Load {
+                d: Reg::fp(0),
+                addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 0 },
+                width: Width::B8,
+            },
+            Inst::Fpu {
+                op: FpuOp::Mul,
+                d: Reg::fp(1),
+                a: Reg::fp(0),
+                b: Reg::fp(0),
+            },
+            Inst::Halt,
+        ]);
+        assert_eq!(m.fregs[1], 6.25);
+        assert_eq!(trace[4].class, OpClass::FpMul);
+    }
+
+    #[test]
+    fn zero_register_is_immutable_and_invisible_in_deps() {
+        let (m, trace) = run_program(vec![
+            Inst::Li { d: Reg::ZERO, imm: 99 },
+            Inst::Alu {
+                op: AluOp::Add,
+                d: Reg::int(1),
+                a: Reg::ZERO,
+                b: Operand::Imm(1),
+            },
+            Inst::Halt,
+        ]);
+        assert_eq!(m.read_reg(Reg::ZERO), 0);
+        assert_eq!(m.read_reg(Reg::int(1)), 1);
+        assert_eq!(trace[0].dest, None, "r0 writes create no destination");
+        assert_eq!(trace[1].src_regs().count(), 0);
+    }
+
+    #[test]
+    fn division_semantics() {
+        let (m, _) = run_program(vec![
+            Inst::Li { d: Reg::int(1), imm: 42 },
+            Inst::Li { d: Reg::int(2), imm: 5 },
+            Inst::Div { d: Reg::int(3), a: Reg::int(1), b: Reg::int(2) },
+            Inst::Div { d: Reg::int(4), a: Reg::int(1), b: Reg::ZERO },
+            Inst::Halt,
+        ]);
+        assert_eq!(m.read_reg(Reg::int(3)), 8);
+        assert_eq!(m.read_reg(Reg::int(4)), 0, "divide by zero yields 0");
+    }
+
+    #[test]
+    fn determinism_same_program_same_trace() {
+        let prog = vec![
+            Inst::Li { d: Reg::int(1), imm: 3 },
+            Inst::Alu {
+                op: AluOp::Sub,
+                d: Reg::int(1),
+                a: Reg::int(1),
+                b: Operand::Imm(1),
+            },
+            Inst::Branch {
+                cond: Cond::Gt,
+                a: Reg::int(1),
+                b: Reg::ZERO,
+                target: 1,
+            },
+            Inst::Halt,
+        ];
+        let (_, t1) = run_program(prog.clone());
+        let (_, t2) = run_program(prog);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn serials_are_consecutive() {
+        let (_, trace) = run_program(vec![
+            Inst::Nop,
+            Inst::Nop,
+            Inst::Nop,
+            Inst::Halt,
+        ]);
+        for (i, t) in trace.iter().enumerate() {
+            assert_eq!(t.serial, i as u64);
+        }
+    }
+
+    #[test]
+    fn run_respects_step_limit() {
+        let mut m = Machine::new(
+            Program::new(vec![Inst::Jump { target: 0 }, Inst::Halt]).unwrap(),
+        );
+        let n = m.run(1000, |_| {});
+        assert_eq!(n, 1000);
+        assert!(!m.is_halted());
+    }
+}

@@ -1,0 +1,394 @@
+//! The instruction set: a compact extended-MIPS in the spirit of the
+//! paper's simulated architecture (MIPS-I superset with register+register
+//! and post-increment/decrement addressing modes, no delay slots).
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// Integer ALU operations (single-cycle, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition — propagates pretranslations (pointer arithmetic).
+    Add,
+    /// Subtraction — propagates pretranslations (pointer arithmetic).
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Logical shift left.
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set-less-than (signed): `d = (a < b) as i64`.
+    Slt,
+}
+
+impl AluOp {
+    /// True for operations that move a pointer within its object —
+    /// additions and subtractions of (typically small) values. These are
+    /// the operations whose results inherit pretranslations (Section 3.5).
+    pub fn is_pointer_arith(self) -> bool {
+        matches!(self, AluOp::Add | AluOp::Sub)
+    }
+
+    /// Applies the operation to two values.
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => ((a as u64) << (b as u64 & 63)) as i64,
+            AluOp::Srl => ((a as u64) >> (b as u64 & 63)) as i64,
+            AluOp::Sra => a >> (b as u64 & 63),
+            AluOp::Slt => i64::from(a < b),
+        }
+    }
+}
+
+/// Floating-point operations with their Table-1 unit classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpuOp {
+    /// FP add (FP-adder unit, latency 2).
+    Add,
+    /// FP subtract (FP-adder unit, latency 2).
+    Sub,
+    /// FP multiply (FP-MULT unit, latency 4).
+    Mul,
+    /// FP divide (FP-DIV unit, latency 12, non-pipelined).
+    Div,
+}
+
+impl FpuOp {
+    /// Applies the operation.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            FpuOp::Add => a + b,
+            FpuOp::Sub => a - b,
+            FpuOp::Mul => a * b,
+            FpuOp::Div => a / b,
+        }
+    }
+}
+
+/// Branch conditions over two integer registers (signed compare).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Greater than or equal.
+    Ge,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+}
+
+impl Cond {
+    /// Evaluates the condition.
+    pub fn holds(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+        }
+    }
+}
+
+/// Second ALU operand: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand.
+    Imm(i32),
+}
+
+/// Memory access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// One byte.
+    B1,
+    /// Two bytes.
+    B2,
+    /// Four bytes.
+    B4,
+    /// Eight bytes.
+    B8,
+}
+
+impl Width {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::B1 => 1,
+            Width::B2 => 2,
+            Width::B4 => 4,
+            Width::B8 => 8,
+        }
+    }
+}
+
+/// Effective-address computation (the paper's extended addressing modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrMode {
+    /// `base + offset` (classic MIPS displacement addressing).
+    BaseOffset {
+        /// Base register.
+        base: Reg,
+        /// Signed byte displacement.
+        offset: i32,
+    },
+    /// `base + index` (the extended register+register mode).
+    BaseIndex {
+        /// Base register.
+        base: Reg,
+        /// Index register.
+        index: Reg,
+    },
+    /// Effective address is `base`; after the access, `base += step`
+    /// (post-increment, or post-decrement for negative `step`).
+    PostInc {
+        /// Base register (also written back).
+        base: Reg,
+        /// Signed post-adjust in bytes.
+        step: i32,
+    },
+}
+
+impl AddrMode {
+    /// The base register of the mode (used for pretranslation tagging).
+    pub fn base(self) -> Reg {
+        match self {
+            AddrMode::BaseOffset { base, .. }
+            | AddrMode::BaseIndex { base, .. }
+            | AddrMode::PostInc { base, .. } => base,
+        }
+    }
+
+    /// The immediate displacement carried by the mode (zero for
+    /// register+register; zero for post-increment, whose effective address
+    /// is the unmodified base).
+    pub fn displacement(self) -> i32 {
+        match self {
+            AddrMode::BaseOffset { offset, .. } => offset,
+            AddrMode::BaseIndex { .. } | AddrMode::PostInc { .. } => 0,
+        }
+    }
+}
+
+/// One static instruction. Branch/jump targets are indices into the
+/// program's instruction vector (the front end models one instruction per
+/// 4-byte slot when mapping to instruction-cache blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// `d = a <op> b`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        d: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second operand.
+        b: Operand,
+    },
+    /// `d = a * b` (integer multiply, latency 3).
+    Mul {
+        /// Destination register.
+        d: Reg,
+        /// First source.
+        a: Reg,
+        /// Second source.
+        b: Reg,
+    },
+    /// `d = a / b` (integer divide, latency 12; divide-by-zero yields 0).
+    Div {
+        /// Destination register.
+        d: Reg,
+        /// Dividend.
+        a: Reg,
+        /// Divisor.
+        b: Reg,
+    },
+    /// Floating-point `d = a <op> b` over FP registers.
+    Fpu {
+        /// Operation.
+        op: FpuOp,
+        /// Destination FP register.
+        d: Reg,
+        /// First source FP register.
+        a: Reg,
+        /// Second source FP register.
+        b: Reg,
+    },
+    /// Load an immediate constant: `d = imm`.
+    Li {
+        /// Destination register.
+        d: Reg,
+        /// The constant.
+        imm: i64,
+    },
+    /// Load from memory into `d` (integer or FP register).
+    Load {
+        /// Destination register.
+        d: Reg,
+        /// Effective-address computation.
+        addr: AddrMode,
+        /// Access width.
+        width: Width,
+    },
+    /// Store register `s` to memory.
+    Store {
+        /// Source register (integer or FP).
+        s: Reg,
+        /// Effective-address computation.
+        addr: AddrMode,
+        /// Access width.
+        width: Width,
+    },
+    /// Conditional branch to `target` if `cond(a, b)`.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// First compare register.
+        a: Reg,
+        /// Second compare register.
+        b: Reg,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Unconditional jump to `target`.
+    Jump {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Stop execution.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Alu { op, d, a, b } => match b {
+                Operand::Reg(r) => write!(f, "{op:?} {d}, {a}, {r}"),
+                Operand::Imm(i) => write!(f, "{op:?}i {d}, {a}, {i}"),
+            },
+            Inst::Mul { d, a, b } => write!(f, "mul {d}, {a}, {b}"),
+            Inst::Div { d, a, b } => write!(f, "div {d}, {a}, {b}"),
+            Inst::Fpu { op, d, a, b } => write!(f, "f{op:?} {d}, {a}, {b}"),
+            Inst::Li { d, imm } => write!(f, "li {d}, {imm}"),
+            Inst::Load { d, addr, width } => {
+                write!(f, "ld{} {d}, {addr:?}", width.bytes())
+            }
+            Inst::Store { s, addr, width } => {
+                write!(f, "st{} {s}, {addr:?}", width.bytes())
+            }
+            Inst::Branch { cond, a, b, target } => {
+                write!(f, "b{cond:?} {a}, {b} -> @{target}")
+            }
+            Inst::Jump { target } => write!(f, "j @{target}"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(3, 4), 7);
+        assert_eq!(AluOp::Sub.apply(3, 4), -1);
+        assert_eq!(AluOp::Add.apply(i64::MAX, 1), i64::MIN, "wrapping");
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Sll.apply(1, 4), 16);
+        assert_eq!(AluOp::Srl.apply(-1, 60), 15);
+        assert_eq!(AluOp::Sra.apply(-16, 2), -4);
+        assert_eq!(AluOp::Slt.apply(-1, 0), 1);
+        assert_eq!(AluOp::Slt.apply(1, 0), 0);
+    }
+
+    #[test]
+    fn pointer_arith_classification() {
+        assert!(AluOp::Add.is_pointer_arith());
+        assert!(AluOp::Sub.is_pointer_arith());
+        for op in [AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Sll, AluOp::Srl, AluOp::Sra, AluOp::Slt] {
+            assert!(!op.is_pointer_arith(), "{op:?} must not carry pointers");
+        }
+    }
+
+    #[test]
+    fn conditions() {
+        assert!(Cond::Eq.holds(2, 2) && !Cond::Eq.holds(2, 3));
+        assert!(Cond::Ne.holds(2, 3));
+        assert!(Cond::Lt.holds(-5, 0));
+        assert!(Cond::Ge.holds(0, 0));
+        assert!(Cond::Le.holds(0, 0) && Cond::Le.holds(-1, 0));
+        assert!(Cond::Gt.holds(1, 0));
+    }
+
+    #[test]
+    fn fpu_semantics() {
+        assert_eq!(FpuOp::Add.apply(1.5, 2.5), 4.0);
+        assert_eq!(FpuOp::Sub.apply(1.5, 2.5), -1.0);
+        assert_eq!(FpuOp::Mul.apply(3.0, 4.0), 12.0);
+        assert_eq!(FpuOp::Div.apply(1.0, 4.0), 0.25);
+    }
+
+    #[test]
+    fn addr_mode_base_and_displacement() {
+        let r = Reg::int(3);
+        let i = Reg::int(4);
+        assert_eq!(AddrMode::BaseOffset { base: r, offset: 8 }.base(), r);
+        assert_eq!(AddrMode::BaseOffset { base: r, offset: 8 }.displacement(), 8);
+        assert_eq!(AddrMode::BaseIndex { base: r, index: i }.displacement(), 0);
+        assert_eq!(AddrMode::PostInc { base: r, step: -8 }.base(), r);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(Width::B1.bytes(), 1);
+        assert_eq!(Width::B2.bytes(), 2);
+        assert_eq!(Width::B4.bytes(), 4);
+        assert_eq!(Width::B8.bytes(), 8);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let insts = [
+            Inst::Alu {
+                op: AluOp::Add,
+                d: Reg::int(1),
+                a: Reg::int(2),
+                b: Operand::Imm(4),
+            },
+            Inst::Li { d: Reg::int(1), imm: 9 },
+            Inst::Halt,
+            Inst::Nop,
+        ];
+        for i in insts {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # hbat-isa — the simulated instruction set and functional executor
+//!
+//! The paper evaluates its TLB designs on an extended (virtual) MIPS-like
+//! architecture: a MIPS-I superset with register+register and
+//! post-increment/decrement addressing modes and no architected delay
+//! slots (Section 4.1). This crate provides:
+//!
+//! * [`inst`] / [`reg`] / [`program`] — the static instruction set;
+//! * [`mem`] — sparse, zero-filled functional memory;
+//! * [`executor`] — an architecturally exact interpreter;
+//! * [`trace`] — the dynamic instruction records consumed by the
+//!   cycle-timing models in `hbat-cpu`;
+//! * [`tracefile`] — a compact binary on-disk trace format (dump once,
+//!   replay against many designs).
+//!
+//! ## Example: trace a tiny loop
+//!
+//! ```
+//! use hbat_isa::executor::Machine;
+//! use hbat_isa::inst::{AluOp, Cond, Inst, Operand};
+//! use hbat_isa::program::Program;
+//! use hbat_isa::reg::Reg;
+//!
+//! let program = Program::new(vec![
+//!     Inst::Li { d: Reg::int(1), imm: 3 },
+//!     Inst::Alu { op: AluOp::Sub, d: Reg::int(1), a: Reg::int(1), b: Operand::Imm(1) },
+//!     Inst::Branch { cond: Cond::Gt, a: Reg::int(1), b: Reg::ZERO, target: 1 },
+//!     Inst::Halt,
+//! ])?;
+//! let trace = Machine::new(program).run_to_vec(1_000);
+//! assert_eq!(trace.len(), 1 + 3 * 2); // li + three (sub, branch) pairs
+//! # Ok::<(), hbat_isa::program::ProgramError>(())
+//! ```
+
+pub mod executor;
+pub mod inst;
+pub mod mem;
+pub mod program;
+pub mod reg;
+pub mod trace;
+pub mod tracefile;
+
+pub use executor::Machine;
+pub use inst::{AddrMode, AluOp, Cond, FpuOp, Inst, Operand, Width};
+pub use program::{Program, ProgramError};
+pub use reg::Reg;
+pub use trace::{BranchRec, MemRef, OpClass, TraceInst};

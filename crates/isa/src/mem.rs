@@ -1,0 +1,165 @@
+//! Sparse functional memory.
+//!
+//! Backs the executor with byte-addressable storage allocated lazily in
+//! fixed 4 KiB chunks (a storage granule, independent of the simulated
+//! virtual-memory page size). Unwritten memory reads as zero, like
+//! demand-zero pages.
+
+use std::collections::HashMap;
+
+use hbat_core::addr::VirtAddr;
+
+const CHUNK_BITS: u32 = 12;
+const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
+
+/// Sparse, zero-initialised functional memory.
+///
+/// # Examples
+///
+/// ```
+/// use hbat_core::addr::VirtAddr;
+/// use hbat_isa::mem::Memory;
+///
+/// let mut m = Memory::new();
+/// m.write_u64(VirtAddr(0x1000), 0xdead_beef);
+/// assert_eq!(m.read_u64(VirtAddr(0x1000)), 0xdead_beef);
+/// assert_eq!(m.read_u64(VirtAddr(0x8000)), 0); // untouched reads as zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    chunks: HashMap<u64, Box<[u8; CHUNK_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Number of 4 KiB storage chunks materialised so far.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn chunk_mut(&mut self, addr: u64) -> &mut [u8; CHUNK_SIZE] {
+        self.chunks
+            .entry(addr >> CHUNK_BITS)
+            .or_insert_with(|| Box::new([0; CHUNK_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: VirtAddr) -> u8 {
+        match self.chunks.get(&(addr.0 >> CHUNK_BITS)) {
+            Some(c) => c[(addr.0 & (CHUNK_SIZE as u64 - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: VirtAddr, val: u8) {
+        let off = (addr.0 & (CHUNK_SIZE as u64 - 1)) as usize;
+        self.chunk_mut(addr.0)[off] = val;
+    }
+
+    /// Reads `n` bytes little-endian into a u64 (`n <= 8`); accesses may
+    /// straddle chunk boundaries.
+    pub fn read_le(&self, addr: VirtAddr, n: u64) -> u64 {
+        debug_assert!(n <= 8);
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(VirtAddr(addr.0.wrapping_add(i))) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `n` bytes of `val` little-endian (`n <= 8`).
+    pub fn write_le(&mut self, addr: VirtAddr, val: u64, n: u64) {
+        debug_assert!(n <= 8);
+        for i in 0..n {
+            self.write_u8(VirtAddr(addr.0.wrapping_add(i)), (val >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&self, addr: VirtAddr) -> u64 {
+        self.read_le(addr, 8)
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: VirtAddr, val: u64) {
+        self.write_le(addr, val, 8)
+    }
+
+    /// Reads an f64 (bit pattern stored little-endian).
+    pub fn read_f64(&self, addr: VirtAddr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an f64.
+    pub fn write_f64(&mut self, addr: VirtAddr, val: f64) {
+        self.write_u64(addr, val.to_bits())
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: VirtAddr, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(VirtAddr(addr.0.wrapping_add(i as u64)), b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(VirtAddr(12345)), 0);
+        assert_eq!(m.read_u64(VirtAddr(1 << 40)), 0);
+        assert_eq!(m.chunk_count(), 0, "reads must not materialise chunks");
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut m = Memory::new();
+        m.write_u64(VirtAddr(0x100), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(VirtAddr(0x100)), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u8(VirtAddr(0x100)), 0xef, "little endian");
+        assert_eq!(m.read_u8(VirtAddr(0x107)), 0x01);
+    }
+
+    #[test]
+    fn straddling_chunk_boundary() {
+        let mut m = Memory::new();
+        let addr = VirtAddr(0xffc); // last 4 bytes of chunk 0
+        m.write_u64(addr, u64::MAX);
+        assert_eq!(m.read_u64(addr), u64::MAX);
+        assert_eq!(m.chunk_count(), 2);
+    }
+
+    #[test]
+    fn partial_widths() {
+        let mut m = Memory::new();
+        m.write_le(VirtAddr(0), 0xAABBCCDD, 4);
+        assert_eq!(m.read_le(VirtAddr(0), 4), 0xAABBCCDD);
+        assert_eq!(m.read_le(VirtAddr(0), 2), 0xCCDD);
+        m.write_le(VirtAddr(0), 0x11, 1);
+        assert_eq!(m.read_le(VirtAddr(0), 4), 0xAABBCC11);
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        let mut m = Memory::new();
+        m.write_f64(VirtAddr(8), -1234.5678);
+        assert_eq!(m.read_f64(VirtAddr(8)), -1234.5678);
+    }
+
+    #[test]
+    fn byte_slices() {
+        let mut m = Memory::new();
+        m.write_bytes(VirtAddr(0x10), b"hello");
+        assert_eq!(m.read_u8(VirtAddr(0x10)), b'h');
+        assert_eq!(m.read_u8(VirtAddr(0x14)), b'o');
+    }
+}

@@ -1,0 +1,189 @@
+//! Static programs: validated instruction sequences.
+
+use std::fmt;
+
+use crate::inst::Inst;
+
+/// Error produced when validating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// A control-transfer target is out of range.
+    BadTarget {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// The program cannot terminate: no `Halt` instruction anywhere.
+    NoHalt,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "program has no instructions"),
+            ProgramError::BadTarget { at, target } => {
+                write!(f, "instruction {at} targets out-of-range index {target}")
+            }
+            ProgramError::NoHalt => write!(f, "program has no halt instruction"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A validated instruction sequence, executed from index 0.
+///
+/// # Examples
+///
+/// ```
+/// use hbat_isa::inst::Inst;
+/// use hbat_isa::program::Program;
+///
+/// let p = Program::new(vec![Inst::Nop, Inst::Halt])?;
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), hbat_isa::program::ProgramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Validates and wraps an instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if the sequence is empty, has no `Halt`, or
+    /// any branch/jump target is out of range.
+    pub fn new(insts: Vec<Inst>) -> Result<Program, ProgramError> {
+        if insts.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        if !insts.iter().any(|i| matches!(i, Inst::Halt)) {
+            return Err(ProgramError::NoHalt);
+        }
+        for (at, inst) in insts.iter().enumerate() {
+            let target = match *inst {
+                Inst::Branch { target, .. } | Inst::Jump { target } => Some(target),
+                _ => None,
+            };
+            if let Some(target) = target {
+                if target as usize >= insts.len() {
+                    return Err(ProgramError::BadTarget { at, target });
+                }
+            }
+        }
+        Ok(Program { insts })
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the program is empty (never true for a validated program).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at index `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn fetch(&self, pc: u32) -> Inst {
+        self.insts[pc as usize]
+    }
+
+    /// All instructions, in order.
+    pub fn instructions(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Renders a human-readable listing with branch-target labels, for
+    /// debugging generated programs.
+    pub fn disassemble(&self) -> String {
+        use std::collections::BTreeSet;
+        use std::fmt::Write as _;
+        let targets: BTreeSet<u32> = self
+            .insts
+            .iter()
+            .filter_map(|i| match *i {
+                Inst::Branch { target, .. } | Inst::Jump { target } => Some(target),
+                _ => None,
+            })
+            .collect();
+        let mut out = String::new();
+        for (pc, inst) in self.insts.iter().enumerate() {
+            let marker = if targets.contains(&(pc as u32)) { "L" } else { " " };
+            let _ = writeln!(out, "{marker}{pc:>6}:  {inst}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Cond;
+    use crate::reg::Reg;
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Program::new(vec![]).unwrap_err(), ProgramError::Empty);
+    }
+
+    #[test]
+    fn rejects_missing_halt() {
+        assert_eq!(
+            Program::new(vec![Inst::Nop]).unwrap_err(),
+            ProgramError::NoHalt
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_targets() {
+        let err = Program::new(vec![
+            Inst::Branch {
+                cond: Cond::Eq,
+                a: Reg::int(1),
+                b: Reg::int(2),
+                target: 9,
+            },
+            Inst::Halt,
+        ])
+        .unwrap_err();
+        assert_eq!(err, ProgramError::BadTarget { at: 0, target: 9 });
+        assert!(err.to_string().contains("out-of-range"));
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        let p = Program::new(vec![Inst::Jump { target: 1 }, Inst::Halt]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.fetch(1), Inst::Halt);
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction_and_marks_targets() {
+        let p = Program::new(vec![
+            Inst::Nop,
+            Inst::Branch {
+                cond: Cond::Eq,
+                a: Reg::int(1),
+                b: Reg::int(2),
+                target: 0,
+            },
+            Inst::Halt,
+        ])
+        .unwrap();
+        let d = p.disassemble();
+        assert_eq!(d.lines().count(), 3);
+        assert!(d.lines().next().unwrap().starts_with('L'), "{d}");
+        assert!(d.contains("halt"));
+    }
+}

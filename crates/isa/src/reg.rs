@@ -1,0 +1,131 @@
+//! Architected registers.
+//!
+//! The modelled machine has 32 integer and 32 floating-point registers
+//! (Table 1); Figure 9 re-runs everything with 8 + 8. Integer register 0 is
+//! hardwired to zero, MIPS-style.
+
+use std::fmt;
+
+/// Number of architected integer registers.
+pub const INT_REGS: usize = 32;
+/// Number of architected floating-point registers.
+pub const FP_REGS: usize = 32;
+
+/// An architected register: integer `r0..r31` or floating-point `f0..f31`.
+///
+/// Encoded in a single byte: 0–31 are integer, 32–63 floating-point. The
+/// encoding is what flows into trace records and the pretranslation cache
+/// (which tags entries by register identifier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero integer register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Integer register `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn int(n: u8) -> Reg {
+        assert!((n as usize) < INT_REGS, "integer register {n} out of range");
+        Reg(n)
+    }
+
+    /// Floating-point register `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn fp(n: u8) -> Reg {
+        assert!((n as usize) < FP_REGS, "fp register {n} out of range");
+        Reg(32 + n)
+    }
+
+    /// Raw encoding (0–63); integer registers first.
+    pub fn code(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs a register from its raw encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= 64`.
+    pub fn from_code(code: u8) -> Reg {
+        assert!(code < 64, "register code {code} out of range");
+        Reg(code)
+    }
+
+    /// True for floating-point registers.
+    pub fn is_fp(self) -> bool {
+        self.0 >= 32
+    }
+
+    /// Index within the integer or FP file.
+    pub fn index(self) -> usize {
+        (self.0 % 32) as usize
+    }
+
+    /// True for the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.index())
+        } else {
+            write!(f, "r{}", self.index())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_round_trips() {
+        for n in 0..32 {
+            assert_eq!(Reg::from_code(Reg::int(n).code()), Reg::int(n));
+            assert_eq!(Reg::from_code(Reg::fp(n).code()), Reg::fp(n));
+        }
+    }
+
+    #[test]
+    fn int_and_fp_spaces_are_disjoint() {
+        assert!(!Reg::int(5).is_fp());
+        assert!(Reg::fp(5).is_fp());
+        assert_ne!(Reg::int(5), Reg::fp(5));
+        assert_eq!(Reg::int(5).index(), Reg::fp(5).index());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::int(1).is_zero());
+        assert!(!Reg::fp(0).is_zero(), "f0 is a normal register");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::int(7).to_string(), "r7");
+        assert_eq!(Reg::fp(7).to_string(), "f7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_register_bounds_checked() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn code_bounds_checked() {
+        let _ = Reg::from_code(64);
+    }
+}

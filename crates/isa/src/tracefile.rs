@@ -1,0 +1,381 @@
+//! A compact binary on-disk format for dynamic traces.
+//!
+//! Functional execution is cheap but not free; dumping a trace once and
+//! replaying it against many designs is how large experiments are run.
+//! The format is a little-endian, varint-packed stream:
+//!
+//! ```text
+//! magic "HBATTRC1" | u64 record count | records…
+//! record: pc varint | class u8 | flags u8 | srcs | [dest] [aux] [mem] [branch]
+//! ```
+//!
+//! Serial numbers are implicit (records are consecutive from zero).
+
+use std::io::{self, Read, Write};
+
+use hbat_core::addr::VirtAddr;
+use hbat_core::request::{AccessKind, WritebackKind};
+
+use crate::inst::Width;
+use crate::reg::Reg;
+use crate::trace::{BranchRec, MemRef, OpClass, TraceInst};
+
+const MAGIC: &[u8; 8] = b"HBATTRC1";
+
+// Flag bits.
+const F_DEST: u8 = 1 << 0;
+const F_DEST_PTR: u8 = 1 << 1;
+const F_AUX: u8 = 1 << 2;
+const F_MEM: u8 = 1 << 3;
+const F_BRANCH: u8 = 1 << 4;
+const F_TAKEN: u8 = 1 << 5;
+const F_COND: u8 = 1 << 6;
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8];
+        r.read_exact(&mut b)?;
+        if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint too long",
+            ));
+        }
+        v |= ((b[0] & 0x7f) as u64) << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn class_code(c: OpClass) -> u8 {
+    match c {
+        OpClass::IntAlu => 0,
+        OpClass::IntMul => 1,
+        OpClass::IntDiv => 2,
+        OpClass::FpAdd => 3,
+        OpClass::FpMul => 4,
+        OpClass::FpDiv => 5,
+        OpClass::Load => 6,
+        OpClass::Store => 7,
+        OpClass::Branch => 8,
+    }
+}
+
+fn class_from(code: u8) -> io::Result<OpClass> {
+    Ok(match code {
+        0 => OpClass::IntAlu,
+        1 => OpClass::IntMul,
+        2 => OpClass::IntDiv,
+        3 => OpClass::FpAdd,
+        4 => OpClass::FpMul,
+        5 => OpClass::FpDiv,
+        6 => OpClass::Load,
+        7 => OpClass::Store,
+        8 => OpClass::Branch,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad opclass code",
+            ))
+        }
+    })
+}
+
+fn width_code(w: Width) -> u8 {
+    match w {
+        Width::B1 => 0,
+        Width::B2 => 1,
+        Width::B4 => 2,
+        Width::B8 => 3,
+    }
+}
+
+fn width_from(code: u8) -> io::Result<Width> {
+    Ok(match code {
+        0 => Width::B1,
+        1 => Width::B2,
+        2 => Width::B4,
+        3 => Width::B8,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad width")),
+    })
+}
+
+/// Writes `trace` to `w` in the HBATTRC1 format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn write_trace<W: Write>(w: &mut W, trace: &[TraceInst]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for t in trace {
+        write_varint(w, t.pc as u64)?;
+        let mut flags = 0u8;
+        if t.dest.is_some() {
+            flags |= F_DEST;
+        }
+        if t.dest_kind == WritebackKind::PointerArith {
+            flags |= F_DEST_PTR;
+        }
+        if t.aux_dest.is_some() {
+            flags |= F_AUX;
+        }
+        if t.mem.is_some() {
+            flags |= F_MEM;
+        }
+        if let Some(br) = t.branch {
+            flags |= F_BRANCH;
+            if br.taken {
+                flags |= F_TAKEN;
+            }
+            if br.conditional {
+                flags |= F_COND;
+            }
+        }
+        w.write_all(&[class_code(t.class), flags])?;
+        let srcs: Vec<u8> = t.src_regs().map(Reg::code).collect();
+        w.write_all(&[srcs.len() as u8])?;
+        w.write_all(&srcs)?;
+        if let Some(d) = t.dest {
+            w.write_all(&[d.code()])?;
+        }
+        if let Some(a) = t.aux_dest {
+            w.write_all(&[a.code()])?;
+        }
+        if let Some(m) = t.mem {
+            write_varint(w, m.vaddr.0)?;
+            let kw = (width_code(m.width) << 2)
+                | (u8::from(m.kind == AccessKind::Store) << 1)
+                | u8::from(m.index_reg.is_some());
+            w.write_all(&[kw, m.base_reg.code()])?;
+            if let Some(ix) = m.index_reg {
+                w.write_all(&[ix.code()])?;
+            }
+            write_varint(w, zigzag(m.offset as i64))?;
+        }
+        if let Some(br) = t.branch {
+            write_varint(w, br.target as u64)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Fails on I/O errors, a bad magic number, or malformed records.
+pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Vec<TraceInst>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an HBATTRC1 trace",
+        ));
+    }
+    let mut count_bytes = [0u8; 8];
+    r.read_exact(&mut count_bytes)?;
+    let count = u64::from_le_bytes(count_bytes);
+    let mut trace = Vec::with_capacity(count.min(1 << 24) as usize);
+    for serial in 0..count {
+        let pc = read_varint(r)? as u32;
+        let mut head = [0u8; 2];
+        r.read_exact(&mut head)?;
+        let class = class_from(head[0])?;
+        let flags = head[1];
+        let mut t = TraceInst::blank(serial, pc, class);
+        let mut nsrc = [0u8];
+        r.read_exact(&mut nsrc)?;
+        if nsrc[0] as usize > t.srcs.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "too many sources",
+            ));
+        }
+        for i in 0..nsrc[0] as usize {
+            let mut b = [0u8];
+            r.read_exact(&mut b)?;
+            t.srcs[i] = Some(Reg::from_code(b[0]));
+        }
+        if flags & F_DEST != 0 {
+            let mut b = [0u8];
+            r.read_exact(&mut b)?;
+            t.dest = Some(Reg::from_code(b[0]));
+        }
+        t.dest_kind = if flags & F_DEST_PTR != 0 {
+            WritebackKind::PointerArith
+        } else {
+            WritebackKind::Opaque
+        };
+        if flags & F_AUX != 0 {
+            let mut b = [0u8];
+            r.read_exact(&mut b)?;
+            t.aux_dest = Some(Reg::from_code(b[0]));
+        }
+        if flags & F_MEM != 0 {
+            let vaddr = read_varint(r)?;
+            let mut kw = [0u8; 2];
+            r.read_exact(&mut kw)?;
+            let width = width_from(kw[0] >> 2)?;
+            let kind = if kw[0] & 0b10 != 0 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            let index_reg = if kw[0] & 0b01 != 0 {
+                let mut b = [0u8];
+                r.read_exact(&mut b)?;
+                Some(Reg::from_code(b[0]))
+            } else {
+                None
+            };
+            let offset = unzigzag(read_varint(r)?) as i32;
+            t.mem = Some(MemRef {
+                vaddr: VirtAddr(vaddr),
+                kind,
+                width,
+                base_reg: Reg::from_code(kw[1]),
+                index_reg,
+                offset,
+            });
+        }
+        if flags & F_BRANCH != 0 {
+            t.branch = Some(BranchRec {
+                taken: flags & F_TAKEN != 0,
+                target: read_varint(r)? as u32,
+                conditional: flags & F_COND != 0,
+            });
+        }
+        trace.push(t);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceInst> {
+        let mut a = TraceInst::blank(0, 10, OpClass::Load);
+        a.srcs[0] = Some(Reg::int(5));
+        a.dest = Some(Reg::int(6));
+        a.aux_dest = Some(Reg::int(5));
+        a.mem = Some(MemRef {
+            vaddr: VirtAddr(0x1234_5678),
+            kind: AccessKind::Load,
+            width: Width::B8,
+            base_reg: Reg::int(5),
+            index_reg: None,
+            offset: -32,
+        });
+        let mut b = TraceInst::blank(1, 11, OpClass::IntAlu);
+        b.srcs = [Some(Reg::int(6)), Some(Reg::fp(2)), None];
+        b.dest = Some(Reg::int(7));
+        b.dest_kind = WritebackKind::PointerArith;
+        let mut c = TraceInst::blank(2, 12, OpClass::Branch);
+        c.srcs[0] = Some(Reg::int(7));
+        c.branch = Some(BranchRec {
+            taken: true,
+            target: 10,
+            conditional: true,
+        });
+        let mut d = TraceInst::blank(3, 13, OpClass::Store);
+        d.srcs = [Some(Reg::int(7)), Some(Reg::int(5)), Some(Reg::int(6))];
+        d.mem = Some(MemRef {
+            vaddr: VirtAddr(u64::from(u32::MAX) + 17),
+            kind: AccessKind::Store,
+            width: Width::B4,
+            base_reg: Reg::int(5),
+            index_reg: Some(Reg::int(6)),
+            offset: 0,
+        });
+        vec![a, b, c, d]
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTATRCE\0\0\0\0\0\0\0\0".to_vec();
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_errors_cleanly() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn format_is_compact() {
+        // A realistic trace should average well under 10 bytes/record.
+        let trace: Vec<TraceInst> = (0..1000u64)
+            .map(|i| {
+                let mut t = TraceInst::blank(i, (i % 32) as u32, OpClass::IntAlu);
+                t.srcs[0] = Some(Reg::int(1));
+                t.dest = Some(Reg::int(2));
+                t
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        assert!(
+            buf.len() < trace.len() * 8,
+            "{} bytes for {} records",
+            buf.len(),
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn varint_and_zigzag_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
+        }
+        for v in [0i64, 1, -1, i32::MAX as i64, i32::MIN as i64, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Set-associative cache timing model.
+//!
+//! Models the paper's 32 KB two-way set-associative, write-back,
+//! write-allocate caches with 32-byte blocks, a 6-cycle miss latency, and
+//! a non-blocking, multi-ported interface (Table 1). Only tags and timing
+//! are modelled — data values live in the functional executor.
+
+use hbat_core::addr::PhysAddr;
+use hbat_core::cycle::Cycle;
+
+/// Cache configuration.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Block (line) size in bytes.
+    pub block_bytes: u64,
+    /// Cycles from access to hit data (pipelined).
+    pub hit_latency: u64,
+    /// Additional cycles a miss takes to fill from the next level.
+    pub miss_latency: u64,
+    /// Simultaneous accesses per cycle.
+    pub ports: usize,
+}
+
+impl CacheConfig {
+    /// Table 1's data cache: 32 KB, 2-way, 32 B blocks, 6-cycle miss,
+    /// four ports, non-blocking.
+    pub fn table1_dcache() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 2,
+            block_bytes: 32,
+            hit_latency: 2, // load total latency (Table 1: load/store 2/1)
+            miss_latency: 6,
+            ports: 4,
+        }
+    }
+
+    /// Table 1's instruction cache: 32 KB, 2-way, 32 B blocks, 6-cycle
+    /// miss, single fetch port.
+    pub fn table1_icache() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 2,
+            block_bytes: 32,
+            hit_latency: 0, // overlapped with fetch
+            miss_latency: 6,
+            ports: 1,
+        }
+    }
+
+    fn sets(&self) -> usize {
+        (self.size_bytes / self.block_bytes) as usize / self.ways
+    }
+}
+
+/// Counters accumulated by a [`Cache`].
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses accepted.
+    pub accesses: u64,
+    /// Accesses that hit (including hits on in-flight fill blocks).
+    pub hits: u64,
+    /// Accesses that initiated a fill.
+    pub misses: u64,
+    /// Misses that merged with an in-flight fill of the same block.
+    pub merged: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Accesses rejected for lack of a port.
+    pub port_rejects: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over accepted accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// When the fill completes (for non-blocking misses); data accessed
+    /// before this time waits for it.
+    ready_at: Cycle,
+    lru_stamp: u64,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAccess {
+    /// Served; data available at `data_at`. `was_miss` tells whether a
+    /// fill was initiated (or joined).
+    Served {
+        /// Cycle the data is available.
+        data_at: Cycle,
+        /// True if this access missed (initiated or merged into a fill).
+        was_miss: bool,
+    },
+    /// No port free this cycle; retry next cycle.
+    NoPort,
+}
+
+impl CacheAccess {
+    /// The data-ready time, if served.
+    pub fn data_at(&self) -> Option<Cycle> {
+        match *self {
+            CacheAccess::Served { data_at, .. } => Some(data_at),
+            CacheAccess::NoPort => None,
+        }
+    }
+}
+
+/// A non-blocking, multi-ported, set-associative cache (timing only).
+///
+/// # Examples
+///
+/// ```
+/// use hbat_core::addr::PhysAddr;
+/// use hbat_core::cycle::Cycle;
+/// use hbat_mem::cache::{Cache, CacheAccess, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::table1_dcache());
+/// c.begin_cycle(Cycle(0));
+/// let first = c.access(PhysAddr(0x100), false);
+/// let again = {
+///     c.begin_cycle(Cycle(20));
+///     c.access(PhysAddr(0x104), false) // same block, now resident
+/// };
+/// assert!(matches!(first, CacheAccess::Served { was_miss: true, .. }));
+/// assert!(matches!(again, CacheAccess::Served { was_miss: false, .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Option<Line>>>,
+    stats: CacheStats,
+    now: Cycle,
+    ports_used: usize,
+    lru_counter: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways/ports, non-power-of
+    /// two sets, ...).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.ways > 0 && cfg.ports > 0, "degenerate cache geometry");
+        assert!(cfg.block_bytes.is_power_of_two(), "block size must be 2^k");
+        let sets = cfg.sets();
+        assert!(sets > 0 && sets.is_power_of_two(), "set count must be 2^k");
+        Cache {
+            cfg,
+            sets: vec![vec![None; cfg.ways]; sets],
+            stats: CacheStats::default(),
+            now: Cycle::ZERO,
+            ports_used: 0,
+            lru_counter: 0,
+        }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Opens a new cycle, freeing the ports.
+    pub fn begin_cycle(&mut self, now: Cycle) {
+        debug_assert!(now >= self.now, "time must not run backwards");
+        self.now = now;
+        self.ports_used = 0;
+    }
+
+    fn index_of(&self, addr: PhysAddr) -> (usize, u64) {
+        let block = addr.0 / self.cfg.block_bytes;
+        let set = (block as usize) & (self.sets.len() - 1);
+        let tag = block >> self.sets.len().trailing_zeros();
+        (set, tag)
+    }
+
+    /// Accesses `addr`; `is_store` marks the line dirty.
+    pub fn access(&mut self, addr: PhysAddr, is_store: bool) -> CacheAccess {
+        if self.ports_used == self.cfg.ports {
+            self.stats.port_rejects += 1;
+            return CacheAccess::NoPort;
+        }
+        self.ports_used += 1;
+        self.stats.accesses += 1;
+        self.lru_counter += 1;
+        let (set, tag) = self.index_of(addr);
+        let now = self.now;
+        let hit_latency = self.cfg.hit_latency;
+        let lru_counter = self.lru_counter;
+
+        // Hit (possibly on a block still being filled).
+        if let Some(line) = self.sets[set].iter_mut().flatten().find(|l| l.tag == tag) {
+            line.dirty |= is_store;
+            line.lru_stamp = lru_counter;
+            let still_filling = line.ready_at > now;
+            let data_at = line.ready_at.max(now + hit_latency);
+            if still_filling {
+                self.stats.merged += 1;
+                self.stats.misses += 1;
+            } else {
+                self.stats.hits += 1;
+            }
+            return CacheAccess::Served {
+                data_at,
+                was_miss: still_filling,
+            };
+        }
+
+        // Miss: pick a victim (invalid way first, then LRU).
+        self.stats.misses += 1;
+        let ways = &mut self.sets[set];
+        let victim = match ways.iter().position(Option::is_none) {
+            Some(i) => i,
+            None => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.map(|l| l.lru_stamp).unwrap_or(0))
+                .map(|(i, _)| i)
+                .expect("cache set has ways"),
+        };
+        if let Some(old) = ways[victim] {
+            if old.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        let ready_at = now + self.cfg.hit_latency + self.cfg.miss_latency;
+        ways[victim] = Some(Line {
+            tag,
+            dirty: is_store,
+            ready_at,
+            lru_stamp: lru_counter,
+        });
+        CacheAccess::Served {
+            data_at: ready_at,
+            was_miss: true,
+        }
+    }
+
+    /// Probes without touching timing, ports, or stats (tests only).
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        let (set, tag) = self.index_of(addr);
+        self.sets[set].iter().flatten().any(|l| l.tag == tag)
+    }
+
+    /// Empties the cache (statistics are preserved).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.fill(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            block_bytes: 32,
+            hit_latency: 2,
+            miss_latency: 6,
+            ports: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit_latency() {
+        let mut c = small();
+        c.begin_cycle(Cycle(0));
+        match c.access(PhysAddr(0x40), false) {
+            CacheAccess::Served { data_at, was_miss } => {
+                assert!(was_miss);
+                assert_eq!(data_at, Cycle(8)); // 2 + 6
+            }
+            other => panic!("{other:?}"),
+        }
+        c.begin_cycle(Cycle(10));
+        match c.access(PhysAddr(0x44), false) {
+            CacheAccess::Served { data_at, was_miss } => {
+                assert!(!was_miss);
+                assert_eq!(data_at, Cycle(12)); // hit latency 2
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn access_during_fill_waits_for_the_fill() {
+        let mut c = small();
+        c.begin_cycle(Cycle(0));
+        c.access(PhysAddr(0x40), false);
+        c.begin_cycle(Cycle(3));
+        match c.access(PhysAddr(0x48), false) {
+            CacheAccess::Served { data_at, was_miss } => {
+                assert!(was_miss, "merged into the in-flight fill");
+                assert_eq!(data_at, Cycle(8), "waits for the fill, no new miss");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats().merged, 1);
+    }
+
+    #[test]
+    fn ports_limit_per_cycle() {
+        let mut c = small();
+        c.begin_cycle(Cycle(0));
+        assert!(c.access(PhysAddr(0x000), false).data_at().is_some());
+        assert!(c.access(PhysAddr(0x100), false).data_at().is_some());
+        assert_eq!(c.access(PhysAddr(0x200), false), CacheAccess::NoPort);
+        assert_eq!(c.stats().port_rejects, 1);
+        c.begin_cycle(Cycle(1));
+        assert!(c.access(PhysAddr(0x200), false).data_at().is_some());
+    }
+
+    #[test]
+    fn lru_within_set_and_writeback_of_dirty_victims() {
+        let mut c = small(); // 16 sets; same set every 512 bytes
+        let set_stride = 512;
+        c.begin_cycle(Cycle(0));
+        c.access(PhysAddr(0), true); // dirty
+        c.begin_cycle(Cycle(20));
+        c.access(PhysAddr(set_stride), false);
+        c.begin_cycle(Cycle(40));
+        c.access(PhysAddr(0), false); // touch to make way-0 MRU
+        c.begin_cycle(Cycle(60));
+        c.access(PhysAddr(2 * set_stride), false); // evicts set_stride (clean)
+        assert_eq!(c.stats().writebacks, 0);
+        assert!(c.contains(PhysAddr(0)));
+        assert!(!c.contains(PhysAddr(set_stride)));
+        c.begin_cycle(Cycle(80));
+        c.access(PhysAddr(3 * set_stride), false); // evicts 0 (dirty)
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn store_allocates_and_dirties() {
+        let mut c = small();
+        c.begin_cycle(Cycle(0));
+        c.access(PhysAddr(0x80), true);
+        assert!(c.contains(PhysAddr(0x80)), "write-allocate");
+        c.flush();
+        assert!(!c.contains(PhysAddr(0x80)));
+    }
+
+    #[test]
+    fn capacity_thrash_produces_misses() {
+        let mut c = small(); // 1 KB: 32 blocks
+        let mut t = 0;
+        for round in 0..3 {
+            for b in 0..64u64 {
+                c.begin_cycle(Cycle(t));
+                t += 10;
+                let r = c.access(PhysAddr(b * 32), false);
+                if round > 0 {
+                    assert!(
+                        matches!(r, CacheAccess::Served { was_miss: true, .. }),
+                        "64 blocks through a 32-block cache must thrash"
+                    );
+                }
+            }
+        }
+        assert!(c.stats().miss_rate() > 0.9);
+    }
+
+    #[test]
+    fn table1_configs() {
+        let d = CacheConfig::table1_dcache();
+        assert_eq!(d.sets(), 512);
+        assert_eq!(d.ports, 4);
+        let i = CacheConfig::table1_icache();
+        assert_eq!(i.ports, 1);
+        // Both build.
+        let _ = Cache::new(d);
+        let _ = Cache::new(i);
+    }
+}

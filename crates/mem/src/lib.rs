@@ -1,0 +1,13 @@
+//! # hbat-mem — cache memory models
+//!
+//! Timing models for the paper's memory hierarchy (Table 1): 32 KB 2-way
+//! set-associative instruction and data caches with 32-byte blocks, a
+//! 6-cycle miss latency, write-back/write-allocate policy, and a
+//! four-ported non-blocking data-cache interface.
+//!
+//! Only tags and timing are modelled; architectural data lives in the
+//! functional executor (`hbat-isa`).
+
+pub mod cache;
+
+pub use cache::{Cache, CacheAccess, CacheConfig, CacheStats};

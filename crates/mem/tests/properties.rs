@@ -1,0 +1,109 @@
+//! Property-based tests of the cache model against a reference
+//! set-associative LRU simulation.
+
+use proptest::prelude::*;
+
+use hbat_core::addr::PhysAddr;
+use hbat_core::cycle::Cycle;
+use hbat_mem::cache::{Cache, CacheAccess, CacheConfig};
+
+fn small_cfg() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 512,
+        ways: 2,
+        block_bytes: 32,
+        hit_latency: 2,
+        miss_latency: 6,
+        ports: 4,
+    }
+}
+
+/// A reference model: per-set vectors of block tags, most recent last.
+struct RefCache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    block: u64,
+}
+
+impl RefCache {
+    fn new(cfg: &CacheConfig) -> Self {
+        let sets = (cfg.size_bytes / cfg.block_bytes) as usize / cfg.ways;
+        RefCache {
+            sets: vec![Vec::new(); sets],
+            ways: cfg.ways,
+            block: cfg.block_bytes,
+        }
+    }
+
+    /// Returns true on hit.
+    fn access(&mut self, addr: u64) -> bool {
+        let blk = addr / self.block;
+        let set = (blk as usize) % self.sets.len();
+        let tag = blk / self.sets.len() as u64;
+        let s = &mut self.sets[set];
+        let hit = s.contains(&tag);
+        s.retain(|&t| t != tag);
+        s.push(tag);
+        if s.len() > self.ways {
+            s.remove(0);
+        }
+        hit
+    }
+}
+
+proptest! {
+    /// The cache's hit/miss decisions equal the reference LRU model's, for
+    /// arbitrary access sequences (accesses spaced out so fills complete —
+    /// in-flight merging is timing, not content).
+    #[test]
+    fn cache_contents_match_reference_lru(addrs in prop::collection::vec(0u64..4096, 1..300)) {
+        let cfg = small_cfg();
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(&cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            cache.begin_cycle(Cycle(i as u64 * 100));
+            let got = match cache.access(PhysAddr(a), false) {
+                CacheAccess::Served { was_miss, .. } => !was_miss,
+                CacheAccess::NoPort => unreachable!("one access per cycle"),
+            };
+            let want = reference.access(a);
+            prop_assert_eq!(got, want, "access {} to {:#x}", i, a);
+        }
+        let st = cache.stats();
+        prop_assert_eq!(st.accesses, addrs.len() as u64);
+        prop_assert_eq!(st.hits + st.misses, st.accesses);
+    }
+
+    /// Data-ready times are bounded: hit latency ≤ t ≤ hit+miss latency.
+    #[test]
+    fn latencies_are_bounded(addrs in prop::collection::vec(0u64..2048, 1..100)) {
+        let cfg = small_cfg();
+        let mut cache = Cache::new(cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            let now = Cycle(i as u64 * 3); // overlapping fills allowed
+            cache.begin_cycle(now);
+            if let CacheAccess::Served { data_at, .. } = cache.access(PhysAddr(a), i % 3 == 0) {
+                prop_assert!(data_at >= now + cfg.hit_latency);
+                prop_assert!(data_at <= now + cfg.hit_latency + cfg.miss_latency);
+            }
+        }
+    }
+
+    /// Port rejections happen exactly beyond the per-cycle port count.
+    #[test]
+    fn port_accounting_is_exact(n in 1usize..12) {
+        let cfg = small_cfg();
+        let mut cache = Cache::new(cfg);
+        cache.begin_cycle(Cycle(0));
+        let mut served = 0;
+        let mut rejected = 0;
+        for i in 0..n {
+            match cache.access(PhysAddr(i as u64 * 64), false) {
+                CacheAccess::Served { .. } => served += 1,
+                CacheAccess::NoPort => rejected += 1,
+            }
+        }
+        prop_assert_eq!(served, n.min(cfg.ports));
+        prop_assert_eq!(rejected, n.saturating_sub(cfg.ports));
+    }
+}

@@ -1,0 +1,132 @@
+//! Aggregation helpers: the paper reports run-time weighted averages
+//! across benchmarks ("All the results presented ... are run-time weighted
+//! averages", weighted by the run time of the T4 design in cycles).
+
+/// Computes a weighted average of `values` with the given `weights`.
+///
+/// Returns 0 when the weight mass is zero.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn weighted_average(values: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(
+        values.len(),
+        weights.len(),
+        "values and weights must pair up"
+    );
+    let mass: f64 = weights.iter().sum();
+    if mass == 0.0 {
+        return 0.0;
+    }
+    values
+        .iter()
+        .zip(weights)
+        .map(|(v, w)| v * w)
+        .sum::<f64>()
+        / mass
+}
+
+/// The paper's aggregate: per-benchmark IPCs combined into one number by
+/// weighting each benchmark with its T4 run time in cycles.
+///
+/// Equivalent formulation: total instructions over total cycles if every
+/// benchmark ran for its T4-cycle duration. We use the direct weighted
+/// mean of IPCs, which is what "run-time weighted average IPC" denotes.
+pub fn runtime_weighted_ipc(ipcs: &[f64], t4_cycles: &[u64]) -> f64 {
+    let weights: Vec<f64> = t4_cycles.iter().map(|&c| c as f64).collect();
+    weighted_average(ipcs, &weights)
+}
+
+/// An accumulator for min/max/mean summaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, v: f64) {
+        self.n += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_average_basics() {
+        assert_eq!(weighted_average(&[1.0, 3.0], &[1.0, 1.0]), 2.0);
+        assert_eq!(weighted_average(&[1.0, 3.0], &[3.0, 1.0]), 1.5);
+        assert_eq!(weighted_average(&[], &[]), 0.0);
+        assert_eq!(weighted_average(&[5.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_lengths_panic() {
+        weighted_average(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn runtime_weighting_prefers_long_benchmarks() {
+        // A slow, long benchmark dominates the average.
+        let v = runtime_weighted_ipc(&[1.0, 3.0], &[900, 100]);
+        assert!((v - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for v in [2.0, -1.0, 4.0] {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(4.0));
+    }
+}

@@ -1,0 +1,158 @@
+//! ASCII bar charts — the paper's figures are bar charts of relative
+//! IPC, so the figure binaries render one alongside the numeric table.
+
+use std::fmt::Write as _;
+
+/// A horizontal bar chart with labelled bars.
+///
+/// # Examples
+///
+/// ```
+/// use hbat_stats::chart::BarChart;
+///
+/// let mut c = BarChart::new("IPC vs design", 30);
+/// c.bar("T4", 1.0);
+/// c.bar("T1", 0.76);
+/// let s = c.render();
+/// assert!(s.contains("T4"));
+/// assert!(s.contains('█'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    bars: Vec<(String, f64)>,
+    /// Fixed maximum for the axis; `None` = max of the data.
+    scale_max: Option<f64>,
+    /// Render values as percentages.
+    percent: bool,
+}
+
+impl BarChart {
+    /// Creates a chart whose longest bar is `width` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(title: &str, width: usize) -> Self {
+        assert!(width > 0, "chart width must be positive");
+        BarChart {
+            title: title.to_owned(),
+            width,
+            bars: Vec::new(),
+            scale_max: None,
+            percent: false,
+        }
+    }
+
+    /// Fixes the axis maximum (e.g. 1.0 for normalised IPC).
+    #[must_use]
+    pub fn with_max(mut self, max: f64) -> Self {
+        self.scale_max = Some(max);
+        self
+    }
+
+    /// Formats values as percentages.
+    #[must_use]
+    pub fn percent(mut self) -> Self {
+        self.percent = true;
+        self
+    }
+
+    /// Appends a bar.
+    pub fn bar(&mut self, label: &str, value: f64) -> &mut Self {
+        self.bars.push((label.to_owned(), value));
+        self
+    }
+
+    /// Number of bars so far.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// True if no bars have been added.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+
+    /// Renders the chart. Negative values clamp to zero-length bars.
+    pub fn render(&self) -> String {
+        let max = self
+            .scale_max
+            .unwrap_or_else(|| {
+                self.bars
+                    .iter()
+                    .map(|(_, v)| *v)
+                    .fold(0.0_f64, f64::max)
+            })
+            .max(f64::MIN_POSITIVE);
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        for (label, value) in &self.bars {
+            let frac = (value / max).clamp(0.0, 1.0);
+            let filled = (frac * self.width as f64).round() as usize;
+            let bar: String = "█".repeat(filled);
+            let val = if self.percent {
+                format!("{:.1}%", value * 100.0)
+            } else {
+                format!("{value:.3}")
+            };
+            let _ = writeln!(out, "{label:<label_w$} |{bar:<w$}| {val}", w = self.width);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let mut c = BarChart::new("t", 10);
+        c.bar("full", 2.0);
+        c.bar("half", 1.0);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.chars().filter(|&ch| ch == '█').count();
+        assert_eq!(count(lines[1]), 10);
+        assert_eq!(count(lines[2]), 5);
+    }
+
+    #[test]
+    fn fixed_scale_and_percent_formatting() {
+        let mut c = BarChart::new("t", 20).with_max(1.0).percent();
+        c.bar("x", 0.941);
+        let s = c.render();
+        assert!(s.contains("94.1%"), "{s}");
+        let filled = s.lines().nth(1).unwrap().chars().filter(|&ch| ch == '█').count();
+        assert_eq!(filled, 19); // 0.941 * 20 rounded
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        let mut c = BarChart::new("t", 5);
+        assert!(c.is_empty());
+        c.bar("zero", 0.0);
+        c.bar("neg", -1.0);
+        let s = c.render();
+        assert_eq!(c.len(), 2);
+        assert!(s.contains("zero"));
+        assert!(!s.lines().nth(2).unwrap().contains('█'));
+    }
+
+    #[test]
+    fn labels_are_aligned() {
+        let mut c = BarChart::new("t", 4);
+        c.bar("ab", 1.0);
+        c.bar("abcdef", 1.0);
+        let s = c.render();
+        let pipes: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.find('|').unwrap())
+            .collect();
+        assert_eq!(pipes[0], pipes[1]);
+    }
+}

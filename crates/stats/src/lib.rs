@@ -1,0 +1,13 @@
+//! # hbat-stats — statistics aggregation and reporting
+//!
+//! Small utilities shared by the experiment harness: run-time weighted
+//! averages (the paper's aggregate across benchmarks) and monospace table
+//! rendering for regenerated tables and figures.
+
+pub mod agg;
+pub mod chart;
+pub mod table;
+
+pub use agg::{runtime_weighted_ipc, weighted_average, Summary};
+pub use chart::BarChart;
+pub use table::{fnum, percent, Align, TextTable};

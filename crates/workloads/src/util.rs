@@ -1,0 +1,145 @@
+//! Code-generation helpers shared by the workload programs.
+
+use hbat_isa::inst::Cond;
+
+use crate::builder::{Builder, Var};
+
+/// Emits `x = xorshift64(x)` — a fast in-ISA PRNG used by workloads whose
+/// originals have data-dependent access patterns. Six ALU operations.
+pub fn emit_xorshift(b: &mut Builder, x: Var, tmp: Var) {
+    // x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    b.sll(tmp, x, 13);
+    b.xor(x, x, tmp);
+    b.srl(tmp, x, 7);
+    b.xor(x, x, tmp);
+    b.sll(tmp, x, 17);
+    b.xor(x, x, tmp);
+}
+
+/// Emits a counted loop: `body` runs `count` times with `i` descending
+/// `count..0`. `i` must be a dedicated counter variable.
+pub fn emit_counted_loop<F: FnOnce(&mut Builder)>(
+    b: &mut Builder,
+    i: Var,
+    count: i64,
+    body: F,
+) {
+    b.li(i, count);
+    let top = b.new_label();
+    b.bind(top);
+    body(b);
+    b.sub(i, i, 1);
+    b.br(Cond::Gt, i, 0, top);
+}
+
+/// Multiplicative hash: `h = (key * 0x9E3779B97F4A7C15) >> (64 - bits)`.
+/// `golden` must hold the constant already (load it once outside loops).
+pub fn emit_hash(b: &mut Builder, h: Var, key: Var, golden: Var, bits: u32) {
+    b.mul(h, key, golden);
+    b.srl(h, h, (64 - bits) as i32);
+}
+
+/// The multiplicative-hash constant for [`emit_hash`].
+pub const GOLDEN: i64 = 0x9E37_79B9_7F4A_7C15_u64 as i64;
+
+/// Emits a *decision branch*: a data-dependent conditional whose direction
+/// is a Weyl-sequence bit of `ctr` (`(ctr * GOLDEN) >> 13`, masked), far
+/// beyond what an 8-bit-history GAp predictor can learn. Real programs are
+/// full of such input-dependent decisions; the regular synthetic loops
+/// need them injected to reach the paper's 80–93 % prediction rates —
+/// and, through the engine's wrong-path execution, to generate the
+/// speculative translation traffic the paper's issue rates imply.
+///
+/// Taken with probability `1/(mask+1)`; the taken path bumps `sink`.
+/// `golden` must already hold [`GOLDEN`].
+pub fn emit_decision(
+    b: &mut Builder,
+    golden: Var,
+    ctr: Var,
+    tmp: Var,
+    sink: Var,
+    mask: i32,
+) {
+    b.mul(tmp, ctr, golden);
+    b.srl(tmp, tmp, 13);
+    b.and(tmp, tmp, mask);
+    let skip = b.new_label();
+    b.br(Cond::Ne, tmp, 0, skip);
+    b.add(sink, sink, 1);
+    b.bind(skip);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RegBudget;
+    use crate::layout::HEAP_BASE;
+    use hbat_core::addr::VirtAddr;
+    use hbat_isa::executor::Machine;
+    use hbat_isa::inst::Width;
+
+    #[test]
+    fn xorshift_matches_reference() {
+        let mut b = Builder::new(RegBudget::FULL);
+        let x = b.ivar("x");
+        let t = b.ivar("t");
+        let out = b.ivar("out");
+        b.li(out, HEAP_BASE as i64);
+        b.li(x, 88172645463325252u64 as i64);
+        for _ in 0..3 {
+            emit_xorshift(&mut b, x, t);
+        }
+        b.store(x, out, 0, Width::B8);
+        let mut m = Machine::new(b.finish().unwrap());
+        m.run(1_000, |_| {});
+        // Reference implementation.
+        let mut r = 88172645463325252u64;
+        for _ in 0..3 {
+            r ^= r << 13;
+            r ^= r >> 7;
+            r ^= r << 17;
+        }
+        assert_eq!(m.memory().read_u64(VirtAddr(HEAP_BASE)), r);
+    }
+
+    #[test]
+    fn counted_loop_runs_exactly_count_times() {
+        let mut b = Builder::new(RegBudget::FULL);
+        let i = b.ivar("i");
+        let n = b.ivar("n");
+        let out = b.ivar("out");
+        b.li(out, HEAP_BASE as i64);
+        b.li(n, 0);
+        emit_counted_loop(&mut b, i, 7, |b| {
+            b.add(n, n, 1);
+        });
+        b.store(n, out, 0, Width::B8);
+        let mut m = Machine::new(b.finish().unwrap());
+        m.run(1_000, |_| {});
+        assert_eq!(m.memory().read_u64(VirtAddr(HEAP_BASE)), 7);
+    }
+
+    #[test]
+    fn hash_spreads_keys() {
+        let mut b = Builder::new(RegBudget::FULL);
+        let h = b.ivar("h");
+        let k = b.ivar("k");
+        let g = b.ivar("g");
+        let out = b.ivar("out");
+        b.li(out, HEAP_BASE as i64);
+        b.li(g, GOLDEN);
+        for key in 0..4i64 {
+            b.li(k, key);
+            emit_hash(&mut b, h, k, g, 16);
+            b.store(h, out, (key * 8) as i32, Width::B8);
+        }
+        let mut m = Machine::new(b.finish().unwrap());
+        m.run(1_000, |_| {});
+        let hashes: Vec<u64> = (0..4)
+            .map(|i| m.memory().read_u64(VirtAddr(HEAP_BASE + i * 8)))
+            .collect();
+        let distinct: std::collections::HashSet<_> = hashes.iter().collect();
+        assert_eq!(distinct.len(), 4, "hashes collide: {hashes:?}");
+        assert!(hashes.iter().all(|&h| h < (1 << 16)));
+    }
+}

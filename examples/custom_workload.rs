@@ -1,0 +1,102 @@
+//! Writing your own workload: build a program with the `hbat-workloads`
+//! assembler, run it functionally, and compare two TLB designs on it.
+//!
+//! The program below walks a linked list that was deliberately laid out
+//! to alternate between two distant memory regions — a pathological
+//! pattern for small shielding structures, a friendly one for piggyback
+//! ports (the two regions are revisited constantly).
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use hbat_core::addr::VirtAddr;
+use hbat_isa::inst::{Cond, Width};
+use hbat_suite::prelude::*;
+use hbat_workloads::builder::Builder;
+use hbat_workloads::layout::HEAP_BASE;
+
+fn build_pingpong() -> (hbat_isa::Program, Vec<(u64, Vec<u8>)>) {
+    // Two node arenas a megabyte apart; list nodes alternate between them.
+    let arena_a = HEAP_BASE;
+    let arena_b = HEAP_BASE + (1 << 20);
+    let nodes = 4_096u64;
+    let node_bytes = 16u64;
+
+    // Lay the list out host-side: node i lives in arena (i % 2), its cdr
+    // points at node i+1, the last node's cdr is 0.
+    let addr_of = |i: u64| {
+        let arena = if i.is_multiple_of(2) { arena_a } else { arena_b };
+        arena + (i / 2) * node_bytes
+    };
+    let mut image_a = Vec::new();
+    let mut image_b = Vec::new();
+    for i in 0..nodes {
+        let next = if i + 1 < nodes { addr_of(i + 1) } else { 0 };
+        let target = if i % 2 == 0 { &mut image_a } else { &mut image_b };
+        target.extend_from_slice(&(i * 3).to_le_bytes()); // car: a value
+        target.extend_from_slice(&next.to_le_bytes()); // cdr: next node
+    }
+
+    let mut b = Builder::new(RegBudget::FULL);
+    let node = b.ivar("node");
+    let sum = b.ivar("sum");
+    let v = b.ivar("v");
+    let rounds = b.ivar("rounds");
+    b.li(rounds, 24);
+    let outer = b.new_label();
+    b.bind(outer);
+    b.li(node, arena_a as i64);
+    b.li(sum, 0);
+    let walk = b.new_label();
+    let done = b.new_label();
+    b.bind(walk);
+    b.load(v, node, 0, Width::B8); // car
+    b.add(sum, sum, v);
+    b.load(node, node, 8, Width::B8); // cdr
+    b.br(Cond::Ne, node, 0, walk);
+    b.bind(done);
+    b.sub(rounds, rounds, 1);
+    b.br(Cond::Gt, rounds, 0, outer);
+
+    let program = b.finish().expect("well-formed list walk");
+    (program, vec![(arena_a, image_a), (arena_b, image_b)])
+}
+
+fn main() {
+    let (program, image) = build_pingpong();
+
+    // Functional run for the trace (and a sanity check of the sum).
+    let mut machine = Machine::new(program);
+    for (base, bytes) in &image {
+        machine.memory_mut().write_bytes(VirtAddr(*base), bytes);
+    }
+    let trace = machine.run_to_vec(3_000_000);
+    assert!(machine.is_halted(), "list walk must terminate");
+    println!("ping-pong list walk: {} dynamic instructions", trace.len());
+
+    // Consecutive nodes live on different pages, so cross-node requests
+    // never combine; the two *within-node* loads do. A tiny L1 TLB holds
+    // both arenas' hot pages comfortably.
+    let cfg = SimConfig::baseline();
+    for mnemonic in ["T4", "T1", "PB1", "M4"] {
+        let design = DesignSpec::parse(mnemonic).expect("known design");
+        let mut tlb = design.build(PageGeometry::KB4, 7);
+        let m = simulate(&cfg, &trace, tlb.as_mut());
+        println!(
+            "{:<4} cycles {:>8}  IPC {:.3}  shielded {:>5.1}%  retries {:>6}",
+            mnemonic,
+            m.cycles,
+            m.ipc(),
+            100.0 * m.tlb.shield_rate(),
+            m.tlb.retries
+        );
+    }
+    println!(
+        "\nThe serial pointer chase issues about one translation per cycle\n\
+         pair, so even T1 mostly keeps up. PB1 combines the car and cdr\n\
+         loads of each node (same page, same cycle) but never across nodes\n\
+         (alternating pages), while M4's tiny L1 TLB holds both arenas'\n\
+         hot pages and shields nearly everything."
+    );
+}

@@ -1,0 +1,227 @@
+//! `hbat` — the command-line front end to the reproduction suite.
+//!
+//! ```text
+//! hbat list                             designs and benchmarks
+//! hbat run <bench> <design> [opts]      one timing simulation
+//! hbat sweep [opts]                     all 13 designs × 10 benchmarks
+//! hbat anatomy <bench> [opts]           trace-anatomy ceilings
+//! hbat dump <bench> <file> [opts]       write a binary trace file
+//! hbat replay <file> <design> [opts]    simulate a dumped trace
+//!
+//! options: --scale test|small|reference   (default small)
+//!          --inorder                      in-order issue
+//!          --pages-8k                     8 KB pages
+//!          --small-regs                   8 int / 8 fp registers
+//!          --seed N                       design replacement seed
+//! ```
+
+use std::process::ExitCode;
+
+use hbat_suite::analysis::{AdjacencyProfile, PointerProfile, ReuseProfile};
+use hbat_suite::bench::experiment::{sweep_table2, ExperimentConfig};
+use hbat_suite::isa::tracefile;
+use hbat_suite::prelude::*;
+
+struct Options {
+    scale: Scale,
+    inorder: bool,
+    pages_8k: bool,
+    small_regs: bool,
+    seed: u64,
+    positional: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        scale: Scale::Small,
+        inorder: false,
+        pages_8k: false,
+        small_regs: false,
+        seed: 1996,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                o.scale = match v.as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "reference" | "ref" => Scale::Reference,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--inorder" => o.inorder = true,
+            "--pages-8k" => o.pages_8k = true,
+            "--small-regs" => o.small_regs = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                o.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown option `{flag}`"));
+            }
+            pos => o.positional.push(pos.to_owned()),
+        }
+    }
+    Ok(o)
+}
+
+impl Options {
+    fn experiment(&self) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::baseline(self.scale);
+        if self.inorder {
+            cfg = cfg.with_inorder();
+        }
+        if self.pages_8k {
+            cfg = cfg.with_8k_pages();
+        }
+        if self.small_regs {
+            cfg = cfg.with_small_regs();
+        }
+        cfg.design_seed = self.seed;
+        cfg
+    }
+
+    fn bench(&self, idx: usize) -> Result<Benchmark, String> {
+        let name = self
+            .positional
+            .get(idx)
+            .ok_or("missing benchmark name (try `hbat list`)")?;
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown benchmark `{name}` (try `hbat list`)"))
+    }
+
+    fn design(&self, idx: usize) -> Result<DesignSpec, String> {
+        let name = self
+            .positional
+            .get(idx)
+            .ok_or("missing design mnemonic (try `hbat list`)")?;
+        DesignSpec::parse(name).map_err(|e| e.to_string())
+    }
+}
+
+fn print_metrics(design: DesignSpec, m: &RunMetrics) {
+    println!("design            : {} ({})", design.mnemonic(), design.description());
+    println!("cycles            : {}", m.cycles);
+    println!("IPC (commit)      : {:.3}", m.ipc());
+    println!("IPC (issue)       : {:.3}", m.issue_ipc());
+    println!("loads / stores    : {} / {}", m.loads, m.stores);
+    println!("branch prediction : {:.1}%", m.bpred_rate() * 100.0);
+    println!("TLB accesses      : {}", m.tlb.accesses);
+    println!("TLB shielded      : {:.1}%", m.tlb.shield_rate() * 100.0);
+    println!("TLB miss rate     : {:.3}%", m.tlb.miss_rate() * 100.0);
+    println!("port retries      : {}", m.tlb.retries);
+    println!("wrong-path xlat   : {}", m.wrong_path_translations);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: hbat <list|run|sweep|anatomy|dump|replay> …");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_args(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_command(cmd, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
+    match cmd {
+        "list" => {
+            println!("designs (Table 2):");
+            for d in DesignSpec::TABLE2 {
+                println!("  {:<6} {}", d.mnemonic(), d.description());
+            }
+            println!("\nbenchmarks (Table 3):");
+            for b in Benchmark::ALL {
+                println!("  {b}");
+            }
+            Ok(())
+        }
+        "run" => {
+            let bench = opts.bench(0)?;
+            let design = opts.design(1)?;
+            let cfg = opts.experiment();
+            let trace = bench.build(&cfg.workload).trace();
+            let mut tlb = design.build(cfg.geometry, cfg.design_seed);
+            let m = simulate(&cfg.sim, &trace, tlb.as_mut());
+            println!("{bench}: {} instructions\n", trace.len());
+            print_metrics(design, &m);
+            Ok(())
+        }
+        "sweep" => {
+            let cfg = opts.experiment();
+            let r = sweep_table2(&cfg);
+            println!("{}", r.render_figure("design sweep"));
+            println!("{}", r.render_details());
+            Ok(())
+        }
+        "anatomy" => {
+            let bench = opts.bench(0)?;
+            let cfg = opts.experiment();
+            let trace = bench.build(&cfg.workload).trace();
+            let reuse = ReuseProfile::of_trace(&trace, cfg.geometry);
+            let adj = AdjacencyProfile::of_trace(&trace, cfg.geometry, 4);
+            let ptr = PointerProfile::of_trace(&trace, cfg.geometry);
+            println!("{bench}: {} instructions", trace.len());
+            println!("distinct pages        : {}", reuse.distinct_pages());
+            for n in [4usize, 8, 16, 64, 128] {
+                println!(
+                    "LRU-{n:<3} miss rate    : {:.2}%",
+                    reuse.lru_miss_rate(n) * 100.0
+                );
+            }
+            println!(
+                "combinable (window 4) : {:.1}%",
+                adj.combinable_fraction() * 100.0
+            );
+            println!(
+                "pointer-page reuse    : {:.1}%",
+                ptr.reuse_fraction() * 100.0
+            );
+            Ok(())
+        }
+        "dump" => {
+            let bench = opts.bench(0)?;
+            let path = opts.positional.get(1).ok_or("missing output path")?;
+            let cfg = opts.experiment();
+            let trace = bench.build(&cfg.workload).trace();
+            let mut f = std::io::BufWriter::new(
+                std::fs::File::create(path).map_err(|e| e.to_string())?,
+            );
+            tracefile::write_trace(&mut f, &trace).map_err(|e| e.to_string())?;
+            println!("wrote {} records to {path}", trace.len());
+            Ok(())
+        }
+        "replay" => {
+            let path = opts.positional.first().ok_or("missing trace path")?;
+            let design = opts.design(1)?;
+            let mut f = std::io::BufReader::new(
+                std::fs::File::open(path).map_err(|e| e.to_string())?,
+            );
+            let trace = tracefile::read_trace(&mut f).map_err(|e| e.to_string())?;
+            let cfg = opts.experiment();
+            let mut tlb = design.build(cfg.geometry, cfg.design_seed);
+            let m = simulate(&cfg.sim, &trace, tlb.as_mut());
+            println!("{path}: {} instructions\n", trace.len());
+            print_metrics(design, &m);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

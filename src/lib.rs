@@ -1,0 +1,57 @@
+//! # hbat-suite — High-Bandwidth Address Translation for Multiple-Issue Processors
+//!
+//! A full reproduction of Austin & Sohi's ISCA 1996 paper, as a Rust
+//! workspace. This facade crate re-exports the whole stack:
+//!
+//! * `core` — the paper's contribution: multi-ported,
+//!   interleaved, multi-level, piggybacked, and pretranslation TLB designs
+//!   behind one cycle-level [`AddressTranslator`](hbat_core::AddressTranslator)
+//!   trait, plus the page table and replacement policies;
+//! * `isa` — the simulated MIPS-like instruction set and the
+//!   functional executor that produces dynamic traces;
+//! * `workloads` — ten synthetic analogues of the
+//!   paper's benchmarks, built by a spilling register assigner;
+//! * `mem` — the 32 KB split caches;
+//! * `cpu` — the 8-way in-order/out-of-order timing engine
+//!   with speculative wrong-path execution;
+//! * `stats` — aggregation and table rendering;
+//! * `bench` — the harness that regenerates every table and
+//!   figure;
+//! * `analysis` — trace anatomy: reuse distance,
+//!   same-page adjacency, pointer-register reuse.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hbat_suite::prelude::*;
+//!
+//! // Build the paper's M8 design and one benchmark, then measure IPC.
+//! let workload = Benchmark::Espresso.build(&WorkloadConfig::new(Scale::Test));
+//! let trace = workload.trace();
+//! let mut tlb = DesignSpec::parse("M8")?.build(PageGeometry::KB4, 1996);
+//! let metrics = simulate(&SimConfig::baseline(), &trace, tlb.as_mut());
+//! assert!(metrics.ipc() > 0.5);
+//! # Ok::<(), hbat_core::designs::spec::ParseDesignError>(())
+//! ```
+
+pub use hbat_analysis as analysis;
+pub use hbat_bench as bench;
+pub use hbat_core as core;
+pub use hbat_cpu as cpu;
+pub use hbat_isa as isa;
+pub use hbat_mem as mem;
+pub use hbat_stats as stats;
+pub use hbat_workloads as workloads;
+
+/// The names most users need, in one import.
+pub mod prelude {
+    pub use hbat_analysis::{AdjacencyProfile, PointerProfile, ReuseProfile};
+    pub use hbat_bench::experiment::{sweep, sweep_table2, ExperimentConfig};
+    pub use hbat_core::designs::spec::DesignSpec;
+    pub use hbat_core::{
+        AddressTranslator, Cycle, Outcome, PageGeometry, PageTable, TranslateRequest,
+    };
+    pub use hbat_cpu::{simulate, IssueModel, RunMetrics, SimConfig};
+    pub use hbat_isa::{Machine, Program};
+    pub use hbat_workloads::{Benchmark, RegBudget, Scale, Workload, WorkloadConfig};
+}

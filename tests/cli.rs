@@ -1,0 +1,85 @@
+//! End-to-end tests of the `hbat` command-line tool.
+
+use std::process::Command;
+
+fn hbat(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hbat"))
+        .args(args)
+        .output()
+        .expect("hbat binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn list_shows_designs_and_benchmarks() {
+    let (ok, stdout, _) = hbat(&["list"]);
+    assert!(ok);
+    for needle in ["T4", "I4/PB", "P8", "Compress", "Xlisp"] {
+        assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
+    }
+}
+
+#[test]
+fn run_reports_metrics() {
+    let (ok, stdout, _) = hbat(&["run", "Espresso", "M8", "--scale", "test"]);
+    assert!(ok);
+    assert!(stdout.contains("IPC (commit)"));
+    assert!(stdout.contains("TLB shielded"));
+}
+
+#[test]
+fn dump_and_replay_round_trip() {
+    let dir = std::env::temp_dir().join("hbat-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("perl.trc");
+    let path_s = path.to_str().unwrap();
+
+    let (ok, stdout, stderr) = hbat(&["dump", "Perl", path_s, "--scale", "test"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrote"));
+
+    // Replaying the dump gives the same cycle count as a direct run.
+    let (ok, replay_out, _) = hbat(&["replay", path_s, "T2", "--scale", "test"]);
+    assert!(ok);
+    let (ok, direct_out, _) = hbat(&["run", "Perl", "T2", "--scale", "test"]);
+    assert!(ok);
+    let cycles = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("cycles"))
+            .map(str::to_owned)
+            .expect("cycles line")
+    };
+    assert_eq!(cycles(&replay_out), cycles(&direct_out));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let (ok, _, stderr) = hbat(&["run", "NoSuchBench", "T4"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown benchmark"));
+
+    let (ok, _, stderr) = hbat(&["run", "Perl", "Z9"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown design mnemonic"));
+
+    let (ok, _, stderr) = hbat(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (ok, _, stderr) = hbat(&["replay", "/nonexistent/trace.trc", "T4"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+}
+
+#[test]
+fn anatomy_prints_ceilings() {
+    let (ok, stdout, _) = hbat(&["anatomy", "Tomcatv", "--scale", "test"]);
+    assert!(ok);
+    assert!(stdout.contains("LRU-8"));
+    assert!(stdout.contains("pointer-page reuse"));
+}
