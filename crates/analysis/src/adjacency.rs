@@ -25,6 +25,10 @@ pub struct AdjacencyProfile {
     /// Sum over windows of (refs − distinct pages): the requests a
     /// perfect combiner could absorb.
     pub combinable: u64,
+    /// Same sum under the *best* partition of the stream into consecutive
+    /// groups of ≤ `window` refs — the regrouping a piggyback retry loop
+    /// can reach, where a retried request joins younger neighbours.
+    pub max_combinable: u64,
     /// Windows whose references all hit one page.
     pub single_page_windows: u64,
     /// Histogram of distinct-pages-per-window (index 0 ⇒ 1 page, ...).
@@ -73,6 +77,21 @@ impl AdjacencyProfile {
             }
             p.distinct_hist[distinct - 1] += 1;
         }
+        // Best-partition combinable: f[i] = most absorbable requests in
+        // pages[..i] over all splits into consecutive groups of ≤ window.
+        // Combinability is superadditive under merging, but alignment
+        // matters, so the aligned chunking above is only one candidate.
+        let mut f = vec![0u64; pages.len() + 1];
+        for i in 1..=pages.len() {
+            let mut best = f[i - 1]; // a singleton group absorbs nothing
+            for k in 2..=window.min(i) {
+                seen.clear();
+                seen.extend(pages[i - k..i].iter().copied());
+                best = best.max(f[i - k] + (k - seen.len()) as u64);
+            }
+            f[i] = best;
+        }
+        p.max_combinable = f[pages.len()];
         p
     }
 
@@ -84,6 +103,18 @@ impl AdjacencyProfile {
             0.0
         } else {
             self.combinable as f64 / windowed as f64
+        }
+    }
+
+    /// Fraction of all references a perfect combiner absorbs when the
+    /// request stream may regroup dynamically — the right ceiling for
+    /// piggyback designs whose retries re-present requests alongside
+    /// younger neighbours.
+    pub fn regrouped_combinable_fraction(&self) -> f64 {
+        if self.references == 0 {
+            0.0
+        } else {
+            self.max_combinable as f64 / self.references as f64
         }
     }
 
@@ -169,6 +200,23 @@ mod tests {
         assert_eq!(p.combinable, 2);
         assert_eq!(p.same_page_pairs, 2);
         assert_eq!(p.distinct_hist, vec![0, 1]);
+    }
+
+    #[test]
+    fn regrouping_beats_aligned_chunking() {
+        // a b b b b a a a: aligned windows absorb 2 + 2; the best
+        // partition (a)(b b b b)(a a a) absorbs 3 + 2.
+        let p =
+            AdjacencyProfile::of_trace(&mem_trace(&[1, 2, 2, 2, 2, 1, 1, 1]), PageGeometry::KB4, 4);
+        assert_eq!(p.combinable, 4);
+        assert_eq!(p.max_combinable, 5);
+        assert!(p.regrouped_combinable_fraction() > p.combinable_fraction());
+    }
+
+    #[test]
+    fn regrouping_matches_aligned_when_alignment_is_perfect() {
+        let p = AdjacencyProfile::of_trace(&mem_trace(&[5; 16]), PageGeometry::KB4, 4);
+        assert_eq!(p.max_combinable, 12, "4 windows of 4 absorb 3 each");
     }
 
     #[test]

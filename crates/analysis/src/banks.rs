@@ -124,7 +124,11 @@ mod tests {
     #[test]
     fn same_page_windows_conflict_maximally_and_unfixably() {
         let t = mem_trace(&[3; 16]);
-        for sel in [BankSelect::BitSelect, BankSelect::XorFold, BankSelect::Multiplicative] {
+        for sel in [
+            BankSelect::BitSelect,
+            BankSelect::XorFold,
+            BankSelect::Multiplicative,
+        ] {
             let p = BankConflictProfile::of_trace(&t, PageGeometry::KB4, sel, 8, 4);
             assert_eq!(p.conflicts, 4 * 3, "{sel:?}");
             assert_eq!(p.same_page_share(), 1.0, "{sel:?}: all same-page");

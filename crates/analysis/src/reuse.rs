@@ -186,6 +186,9 @@ mod tests {
         let seq: Vec<u64> = (0..1000).map(|i| i % 10).collect();
         let p = ReuseProfile::of_pages(vpns(&seq));
         assert_eq!(p.entries_for_miss_rate(0.05), Some(10));
-        assert!(p.entries_for_miss_rate(0.0).is_none(), "compulsory misses remain");
+        assert!(
+            p.entries_for_miss_rate(0.0).is_none(),
+            "compulsory misses remain"
+        );
     }
 }

@@ -16,15 +16,7 @@ fn bench_missrate(c: &mut Criterion) {
     group.throughput(Throughput::Elements(refs));
     for (entries, policy) in FIG6_SIZES {
         group.bench_function(format!("{entries}_entries"), |b| {
-            b.iter(|| {
-                black_box(miss_count(
-                    &trace,
-                    entries,
-                    policy,
-                    PageGeometry::KB4,
-                    1996,
-                ))
-            })
+            b.iter(|| black_box(miss_count(&trace, entries, policy, PageGeometry::KB4, 1996)))
         });
     }
     group.finish();

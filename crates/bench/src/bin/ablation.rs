@@ -42,7 +42,9 @@ fn main() {
     let xlisp = trace_for(Benchmark::Xlisp, &cfg);
     let pt = || PageTable::new(cfg.geometry);
 
-    println!("Ablation studies ({scale:?} scale; Compress = poor locality, Xlisp = pointer-heavy)\n");
+    println!(
+        "Ablation studies ({scale:?} scale; Compress = poor locality, Xlisp = pointer-heavy)\n"
+    );
 
     // 1. L1 TLB size sweep.
     let mut t = TextTable::new(vec![
@@ -73,7 +75,12 @@ fn main() {
     println!("A1. Multi-level TLB: L1 size sweep\n{}", t.render());
 
     // 2. Piggyback port count over one real port.
-    let mut t = TextTable::new(vec!["piggyback ports", "Compress IPC", "Xlisp IPC", "combined"]);
+    let mut t = TextTable::new(vec![
+        "piggyback ports",
+        "Compress IPC",
+        "Xlisp IPC",
+        "combined",
+    ]);
     t.numeric();
     for pb in [0usize, 1, 2, 3, 7] {
         let (_, ic, _) = run(
@@ -117,10 +124,19 @@ fn main() {
             ]);
         }
     }
-    println!("A3. Pretranslation cache size × offset-tag width\n{}", t.render());
+    println!(
+        "A3. Pretranslation cache size × offset-tag width\n{}",
+        t.render()
+    );
 
     // 4. Interleave factor at fixed 128-entry capacity.
-    let mut t = TextTable::new(vec!["banks", "Compress IPC", "retries", "Xlisp IPC", "retries"]);
+    let mut t = TextTable::new(vec![
+        "banks",
+        "Compress IPC",
+        "retries",
+        "Xlisp IPC",
+        "retries",
+    ]);
     t.numeric();
     for banks in [2usize, 4, 8, 16] {
         let mk = || {
@@ -154,9 +170,7 @@ fn main() {
     for v in [0usize, 4, 8, 16] {
         let m = if v == 0 {
             let mut base: Box<dyn AddressTranslator> = Box::new(
-                hbat_core::designs::multiported::MultiPortedTlb::new(
-                    "T1", 1, 128, pt(), SEED,
-                ),
+                hbat_core::designs::multiported::MultiPortedTlb::new("T1", 1, 128, pt(), SEED),
             );
             simulate(&SimConfig::baseline(), &compress, base.as_mut())
         } else {
@@ -171,7 +185,10 @@ fn main() {
         };
         t.row(vec!["0 (T1)".into(), fnum(m.ipc(), 3), "-".into()]);
     }
-    println!("A5. Victim buffer behind a single-ported TLB\n{}", t.render());
+    println!(
+        "A5. Victim buffer behind a single-ported TLB\n{}",
+        t.render()
+    );
     println!(
         "Findings mirror Section 4: the L1 TLB saturates within a few\n\
          entries; one or two piggyback ports capture almost all combining;\n\

@@ -9,8 +9,8 @@
 use hbat_analysis::{
     page_stream, working_set, AdjacencyProfile, BankConflictProfile, PointerProfile, ReuseProfile,
 };
-use hbat_core::designs::interleaved::BankSelect;
 use hbat_bench::experiment::{scale_from_args, trace_for, ExperimentConfig};
+use hbat_core::designs::interleaved::BankSelect;
 use hbat_stats::table::{fnum, TextTable};
 use hbat_workloads::Benchmark;
 

@@ -1,0 +1,72 @@
+//! Times the parallel sweep executor against the single-threaded
+//! reference sweep on the Figure-5 configuration, verifies the results
+//! are bit-identical, and records the measurement in
+//! `results/BENCH_sweep.json`.
+//!
+//! Run: `cargo run --release -p hbat-bench --bin sweep_bench [scale]`
+//! (`HBAT_THREADS` overrides the worker count).
+
+use std::path::Path;
+
+use hbat_bench::executor::{timed, worker_threads, JsonReport, TraceCache};
+use hbat_bench::experiment::{scale_from_args, sweep_on, sweep_serial, ExperimentConfig};
+use hbat_core::designs::spec::DesignSpec;
+
+fn main() {
+    let scale = scale_from_args();
+    let cfg = ExperimentConfig::baseline(scale);
+    let designs = DesignSpec::TABLE2;
+    let threads = worker_threads();
+
+    eprintln!(
+        "serial reference sweep ({scale:?} scale, {} designs)...",
+        designs.len()
+    );
+    let (serial, serial_wall) = timed(|| sweep_serial(&designs, &cfg));
+
+    eprintln!("parallel sweep on {threads} threads...");
+    let cache = TraceCache::new();
+    let (parallel, parallel_wall) = timed(|| sweep_on(&designs, &cfg, threads, &cache));
+
+    let identical = serial
+        .cells
+        .iter()
+        .flatten()
+        .zip(parallel.cells.iter().flatten())
+        .all(|(s, p)| s.bench == p.bench && s.design == p.design && s.metrics == p.metrics);
+    assert!(
+        identical,
+        "parallel sweep diverged from the serial reference"
+    );
+
+    let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
+    let t = &parallel.telemetry;
+    println!(
+        "fig5 sweep, {scale:?} scale: serial {serial_wall:.2?}, parallel {parallel_wall:.2?} \
+         on {threads} threads ({speedup:.2}x), results bit-identical"
+    );
+    println!("parallel breakdown: {}", t.summary());
+
+    let mut report = JsonReport::new();
+    report
+        .str("benchmark", "fig5_sweep")
+        .str("scale", &format!("{scale:?}").to_lowercase())
+        .int("designs", designs.len() as u64)
+        .int("cells", t.cells as u64)
+        .int("threads", threads as u64)
+        .int(
+            "available_parallelism",
+            std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+        )
+        .num("serial_ms", serial_wall.as_secs_f64() * 1e3)
+        .num("parallel_ms", parallel_wall.as_secs_f64() * 1e3)
+        .num("speedup", speedup)
+        .num("trace_build_ms", t.trace_build.as_secs_f64() * 1e3)
+        .num("cell_exec_ms", t.cell_exec.as_secs_f64() * 1e3)
+        .int("traces_built", t.traces_built)
+        .int("trace_cache_hits", t.trace_cache_hits)
+        .str("identical_to_serial", "true");
+    let path = Path::new("results/BENCH_sweep.json");
+    report.write(path).expect("write results/BENCH_sweep.json");
+    println!("wrote {}", path.display());
+}

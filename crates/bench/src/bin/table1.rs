@@ -30,7 +30,10 @@ fn main() {
     ]);
     t.row(vec![
         "In-Order Issue".into(),
-        format!("in-order issue of up to {} operations per cycle, out-of-order completion", c.width),
+        format!(
+            "in-order issue of up to {} operations per cycle, out-of-order completion",
+            c.width
+        ),
     ]);
     t.row(vec![
         "Out-of-Order Issue".into(),

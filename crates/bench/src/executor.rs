@@ -1,0 +1,336 @@
+//! The cell-level sweep executor: a self-scheduling worker pool over
+//! (benchmark, design) cells, with a process-wide trace cache.
+//!
+//! The old sweep path parallelised per benchmark: one thread generated a
+//! trace and then ran every design against it serially, so the sweep's
+//! critical path was the slowest benchmark times the full design count,
+//! and a multi-figure binary rebuilt every trace per figure. Here the two
+//! phases are separated and each is scheduled at cell granularity:
+//!
+//! 1. **Trace build** — each benchmark's trace is generated once, in
+//!    parallel, and published as `Arc<[TraceInst]>` through the
+//!    [`TraceCache`], so later sweeps in the same process reuse it.
+//! 2. **Cell execution** — all benchmark × design cells go into one
+//!    shared queue; workers claim the next cell with an atomic fetch-add
+//!    until the queue drains, so a slow cell never idles the other
+//!    workers.
+//!
+//! Scheduling is invisible in the results: every cell seeds its design's
+//! replacement RNG from the experiment's `design_seed` and replays an
+//! immutable shared trace, so the metrics are bit-identical to a serial
+//! sweep regardless of worker count or claim order (tested in
+//! `tests/executor.rs`).
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use hbat_isa::trace::TraceInst;
+use hbat_workloads::{Benchmark, WorkloadConfig};
+
+/// How many workers a sweep uses: `HBAT_THREADS` when set to a positive
+/// integer (with a stderr warning otherwise), else the machine's
+/// available parallelism.
+pub fn worker_threads() -> usize {
+    if let Ok(raw) = std::env::var("HBAT_THREADS") {
+        match raw.parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!("warning: ignoring HBAT_THREADS={raw:?} (expected a positive integer)"),
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `job(0..n)` across `threads` workers and returns the results in
+/// index order. Workers self-schedule: each claims the next unclaimed
+/// index with an atomic fetch-add, so imbalanced jobs spread naturally.
+pub fn parallel_map<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads == 1 {
+        return (0..n).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = job(i);
+                *slots[i].lock().expect("unpoisoned result slot") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("unpoisoned result slot")
+                .expect("all cells completed")
+        })
+        .collect()
+}
+
+/// A process-wide cache of generated benchmark traces, keyed by the
+/// complete workload identity. Traces are immutable once built, so they
+/// are shared as `Arc<[TraceInst]>`; a multi-figure binary that sweeps
+/// the same workload under several machine models builds each trace
+/// exactly once.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    /// One slot per workload; the `OnceLock` lets concurrent requesters
+    /// of the same trace block on a single builder instead of racing.
+    slots: Mutex<HashMap<(Benchmark, WorkloadConfig), TraceSlot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A shared once-built trace slot in the [`TraceCache`].
+type TraceSlot = Arc<OnceLock<Arc<[TraceInst]>>>;
+
+impl TraceCache {
+    /// An empty cache (tests use private caches; sweeps share
+    /// [`TraceCache::global`]).
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// The process-wide cache used by `sweep`.
+    pub fn global() -> &'static TraceCache {
+        static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
+        GLOBAL.get_or_init(TraceCache::new)
+    }
+
+    /// Returns the trace for `bench` under `cfg`, building and publishing
+    /// it if no other caller has yet. Concurrent requests for the same
+    /// trace build it once; the rest block and share the result.
+    pub fn get_or_build(&self, bench: Benchmark, cfg: &WorkloadConfig) -> Arc<[TraceInst]> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("trace cache lock");
+            slots.entry((bench, *cfg)).or_default().clone()
+        };
+        let mut built = false;
+        let trace = slot
+            .get_or_init(|| {
+                built = true;
+                bench.build(cfg).trace().into()
+            })
+            .clone();
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        trace
+    }
+
+    /// Requests served from an already-built trace.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to generate the trace.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Where a sweep's wall time went, for throughput reporting.
+#[derive(Debug, Clone, Default)]
+pub struct SweepTelemetry {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Benchmark × design cells executed.
+    pub cells: usize,
+    /// Traces generated by this sweep (cache misses).
+    pub traces_built: u64,
+    /// Traces reused from the cache.
+    pub trace_cache_hits: u64,
+    /// Wall time of the trace-build phase.
+    pub trace_build: Duration,
+    /// Wall time of the cell-execution phase.
+    pub cell_exec: Duration,
+}
+
+impl SweepTelemetry {
+    /// Total sweep wall time.
+    pub fn wall(&self) -> Duration {
+        self.trace_build + self.cell_exec
+    }
+
+    /// One-line human summary (figure binaries print this to stderr).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cells on {} threads in {:.2?} (traces: {} built, {} cached; build {:.2?}, cells {:.2?})",
+            self.cells,
+            self.threads,
+            self.wall(),
+            self.traces_built,
+            self.trace_cache_hits,
+            self.trace_build,
+            self.cell_exec,
+        )
+    }
+}
+
+/// A flat key → value record serialised as one JSON object; the sweep
+/// benchmark writes its report through this (no serde dependency in the
+/// hot tree — the format is trivial).
+#[derive(Debug, Clone, Default)]
+pub struct JsonReport {
+    entries: Vec<(String, JsonValue)>,
+}
+
+#[derive(Debug, Clone)]
+enum JsonValue {
+    Num(f64),
+    Int(u64),
+    Str(String),
+}
+
+impl JsonReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        JsonReport::default()
+    }
+
+    /// Adds a float field (serialised with enough digits to round-trip).
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.entries.push((key.to_owned(), JsonValue::Num(value)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.entries.push((key.to_owned(), JsonValue::Int(value)));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.entries
+            .push((key.to_owned(), JsonValue::Str(value.to_owned())));
+        self
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            out.push_str(&format!("  {}: ", escape(key)));
+            match value {
+                JsonValue::Num(v) if v.is_finite() => out.push_str(&format!("{v}")),
+                JsonValue::Num(_) => out.push_str("null"),
+                JsonValue::Int(v) => out.push_str(&format!("{v}")),
+                JsonValue::Str(v) => out.push_str(&escape(v)),
+            }
+            if i + 1 < self.entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Writes the report to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.render())
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Times `f`, returning its result and the elapsed wall time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let value = f();
+    (value, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbat_workloads::Scale;
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let out = parallel_map(64, 4, |i| i * i);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_serial() {
+        assert_eq!(parallel_map(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(3, 1, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn trace_cache_counts_hits_and_misses() {
+        let cache = TraceCache::new();
+        let cfg = WorkloadConfig::new(Scale::Test);
+        let a = cache.get_or_build(Benchmark::Compress, &cfg);
+        assert_eq!((cache.misses(), cache.hits()), (1, 0));
+        let b = cache.get_or_build(Benchmark::Compress, &cfg);
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        assert!(Arc::ptr_eq(&a, &b), "hit returns the shared trace");
+        // A different workload identity is a different trace.
+        cache.get_or_build(Benchmark::Compress, &cfg.with_small_regs());
+        cache.get_or_build(Benchmark::Xlisp, &cfg);
+        assert_eq!((cache.misses(), cache.hits()), (3, 1));
+    }
+
+    #[test]
+    fn concurrent_requests_build_once() {
+        let cache = TraceCache::new();
+        let cfg = WorkloadConfig::new(Scale::Test);
+        let traces = parallel_map(8, 4, |_| cache.get_or_build(Benchmark::Doduc, &cfg));
+        assert_eq!(cache.misses(), 1, "one builder, everyone else waits");
+        assert_eq!(cache.hits(), 7);
+        assert!(traces.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+    }
+
+    #[test]
+    fn json_report_renders_and_escapes() {
+        let mut r = JsonReport::new();
+        r.str("name", "fig5 \"small\"")
+            .int("cells", 130)
+            .num("speedup", 2.5);
+        let s = r.render();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"name\": \"fig5 \\\"small\\\"\""));
+        assert!(s.contains("\"cells\": 130,"));
+        assert!(s.contains("\"speedup\": 2.5\n"));
+    }
+}

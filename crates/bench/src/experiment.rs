@@ -1,11 +1,16 @@
 //! The experiment runner: sweeps translation designs over the benchmark
 //! suite, exactly as Section 4 of the paper does.
 //!
-//! Traces are generated once per benchmark (functional execution) and
-//! replayed against every design; benchmarks run on worker threads since
-//! each (trace, design) pair is independent.
+//! Traces are generated once per benchmark (functional execution),
+//! published through the process-wide [`TraceCache`], and replayed
+//! against every design. The benchmark × design cells are scheduled
+//! individually across a worker pool (see [`crate::executor`]), so a
+//! full Table-2 sweep keeps every core busy until the last cell drains;
+//! results are bit-identical to a serial sweep regardless of worker
+//! count because each cell's replacement RNG is seeded independently
+//! from the experiment's `design_seed`.
 
-use std::sync::Mutex;
+use std::sync::Arc;
 
 use hbat_core::addr::PageGeometry;
 use hbat_core::designs::spec::DesignSpec;
@@ -15,6 +20,8 @@ use hbat_stats::agg::runtime_weighted_ipc;
 use hbat_stats::chart::BarChart;
 use hbat_stats::table::{fnum, TextTable};
 use hbat_workloads::{Benchmark, Scale, WorkloadConfig};
+
+use crate::executor::{parallel_map, timed, worker_threads, SweepTelemetry, TraceCache};
 
 /// Everything one experiment (one figure) varies.
 #[derive(Debug, Clone)]
@@ -86,6 +93,8 @@ pub struct SweepResult {
     pub designs: Vec<DesignSpec>,
     /// Row-major: `cells[bench][design]`.
     pub cells: Vec<Vec<CellResult>>,
+    /// Where the sweep's wall time went.
+    pub telemetry: SweepTelemetry,
 }
 
 impl SweepResult {
@@ -103,7 +112,11 @@ impl SweepResult {
             .iter()
             .position(|d| *d == design)
             .expect("design not part of this sweep");
-        let ipcs: Vec<f64> = self.cells.iter().map(|row| row[col].metrics.ipc()).collect();
+        let ipcs: Vec<f64> = self
+            .cells
+            .iter()
+            .map(|row| row[col].metrics.ipc())
+            .collect();
         let weights: Vec<u64> = self
             .cells
             .iter()
@@ -156,47 +169,103 @@ impl SweepResult {
     }
 }
 
-/// Generates the dynamic trace for one benchmark under `cfg`.
-pub fn trace_for(bench: Benchmark, cfg: &ExperimentConfig) -> Vec<TraceInst> {
-    bench.build(&cfg.workload).trace()
+/// Generates the dynamic trace for one benchmark under `cfg` through the
+/// process-wide cache: the first request builds it, later requests for
+/// the same workload share the stored copy.
+pub fn trace_for(bench: Benchmark, cfg: &ExperimentConfig) -> Arc<[TraceInst]> {
+    TraceCache::global().get_or_build(bench, &cfg.workload)
 }
 
 /// Runs one (trace, design) cell.
-pub fn run_cell(
-    trace: &[TraceInst],
-    design: DesignSpec,
-    cfg: &ExperimentConfig,
-) -> RunMetrics {
+pub fn run_cell(trace: &[TraceInst], design: DesignSpec, cfg: &ExperimentConfig) -> RunMetrics {
     let mut translator = design.build(cfg.geometry, cfg.design_seed);
     simulate(&cfg.sim, trace, translator.as_mut())
 }
 
-/// Sweeps `designs` over all ten benchmarks, one worker thread per
-/// benchmark.
+/// Sweeps `designs` over all ten benchmarks on [`worker_threads`]
+/// workers, sharing traces through the process-wide cache.
 pub fn sweep(designs: &[DesignSpec], cfg: &ExperimentConfig) -> SweepResult {
-    let results: Mutex<Vec<(usize, Vec<CellResult>)>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for (bi, bench) in Benchmark::ALL.iter().enumerate() {
-            let results = &results;
-            scope.spawn(move || {
-                let trace = trace_for(*bench, cfg);
-                let row: Vec<CellResult> = designs
-                    .iter()
-                    .map(|d| CellResult {
-                        bench: *bench,
-                        design: *d,
-                        metrics: run_cell(&trace, *d, cfg),
-                    })
-                    .collect();
-                results.lock().expect("no poisoned workers").push((bi, row));
-            });
-        }
+    sweep_on(designs, cfg, worker_threads(), TraceCache::global())
+}
+
+/// [`sweep`] with explicit worker count and trace cache — the form the
+/// determinism tests and the sweep benchmark drive directly.
+pub fn sweep_on(
+    designs: &[DesignSpec],
+    cfg: &ExperimentConfig,
+    threads: usize,
+    cache: &TraceCache,
+) -> SweepResult {
+    let benches = Benchmark::ALL;
+    let (hits0, misses0) = (cache.hits(), cache.misses());
+
+    // Phase 1: every distinct trace, built in parallel.
+    let (traces, trace_build) = timed(|| {
+        parallel_map(benches.len(), threads, |bi| {
+            cache.get_or_build(benches[bi], &cfg.workload)
+        })
     });
-    let mut rows = results.into_inner().expect("workers done");
-    rows.sort_by_key(|(bi, _)| *bi);
+
+    // Phase 2: one queue of benchmark × design cells; workers claim the
+    // next cell until the queue drains.
+    let n_cells = benches.len() * designs.len();
+    let (flat, cell_exec) = timed(|| {
+        parallel_map(n_cells, threads, |i| {
+            let (bi, di) = (i / designs.len(), i % designs.len());
+            CellResult {
+                bench: benches[bi],
+                design: designs[di],
+                metrics: run_cell(&traces[bi], designs[di], cfg),
+            }
+        })
+    });
+
+    let mut cells: Vec<Vec<CellResult>> = Vec::with_capacity(benches.len());
+    let mut flat = flat.into_iter();
+    for _ in 0..benches.len() {
+        cells.push(flat.by_ref().take(designs.len()).collect());
+    }
     SweepResult {
         designs: designs.to_vec(),
-        cells: rows.into_iter().map(|(_, row)| row).collect(),
+        cells,
+        telemetry: SweepTelemetry {
+            threads,
+            cells: n_cells,
+            traces_built: cache.misses() - misses0,
+            trace_cache_hits: cache.hits() - hits0,
+            trace_build,
+            cell_exec,
+        },
+    }
+}
+
+/// A single-threaded reference sweep that bypasses the scheduler and the
+/// shared cache entirely: the ground truth the parallel executor must
+/// reproduce bit-for-bit.
+pub fn sweep_serial(designs: &[DesignSpec], cfg: &ExperimentConfig) -> SweepResult {
+    let cells: Vec<Vec<CellResult>> = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            let trace = bench.build(&cfg.workload).trace();
+            designs
+                .iter()
+                .map(|&design| CellResult {
+                    bench,
+                    design,
+                    metrics: run_cell(&trace, design, cfg),
+                })
+                .collect()
+        })
+        .collect();
+    SweepResult {
+        designs: designs.to_vec(),
+        cells,
+        telemetry: SweepTelemetry {
+            threads: 1,
+            cells: Benchmark::ALL.len() * designs.len(),
+            traces_built: Benchmark::ALL.len() as u64,
+            ..SweepTelemetry::default()
+        },
     }
 }
 
@@ -215,7 +284,14 @@ pub fn scale_from_args() -> Scale {
     match arg.to_ascii_lowercase().as_str() {
         "test" => Scale::Test,
         "reference" | "ref" | "full" => Scale::Reference,
-        _ => Scale::Small,
+        "small" => Scale::Small,
+        other => {
+            eprintln!(
+                "warning: unrecognized scale {other:?} (expected test, small, or reference); \
+                 defaulting to small"
+            );
+            Scale::Small
+        }
     }
 }
 

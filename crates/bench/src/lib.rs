@@ -12,15 +12,23 @@
 //! | `fig7` | relative IPC, in-order issue |
 //! | `fig8` | relative IPC, 8 KB pages |
 //! | `fig9` | relative IPC, 8 int / 8 fp registers |
+//! | `figs` | Figures 5/7/8/9 in one process, sharing cached traces |
+//! | `sweep_bench` | serial-vs-parallel sweep timing → `results/BENCH_sweep.json` |
 //!
 //! Each binary accepts a scale argument (`test`, `small`, `reference`);
 //! the default is `small`. Run them with
 //! `cargo run --release -p hbat-bench --bin fig5 -- small`.
+//!
+//! Sweeps run on the cell-level parallel executor in [`executor`]
+//! (worker count from `HBAT_THREADS`, default all cores) and are
+//! bit-identical to the single-threaded [`sweep_serial`] reference.
 
+pub mod executor;
 pub mod experiment;
 pub mod missrate;
 
+pub use executor::{parallel_map, worker_threads, JsonReport, SweepTelemetry, TraceCache};
 pub use experiment::{
-    run_cell, scale_from_args, sweep, sweep_table2, trace_for, CellResult, ExperimentConfig,
-    SweepResult,
+    run_cell, scale_from_args, sweep, sweep_on, sweep_serial, sweep_table2, trace_for, CellResult,
+    ExperimentConfig, SweepResult,
 };

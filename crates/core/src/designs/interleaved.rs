@@ -94,7 +94,10 @@ impl InterleavedTlb {
         pt: PageTable,
         seed: u64,
     ) -> Self {
-        assert!(banks.is_power_of_two() && banks > 0, "banks must be a power of two");
+        assert!(
+            banks.is_power_of_two() && banks > 0,
+            "banks must be a power of two"
+        );
         assert_eq!(
             total_entries % banks,
             0,
@@ -132,7 +135,8 @@ impl InterleavedTlb {
 
     /// Which bank `va` maps to.
     pub fn bank_of(&self, va: VirtAddr) -> usize {
-        self.select.bank_of(self.pt.geometry(), va, self.banks.len())
+        self.select
+            .bank_of(self.pt.geometry(), va, self.banks.len())
     }
 }
 
@@ -178,11 +182,7 @@ impl AddressTranslator for InterleavedTlb {
     }
 
     fn flush(&mut self) {
-        let entries: Vec<_> = self
-            .banks
-            .iter()
-            .flat_map(|b| b.iter().cloned())
-            .collect();
+        let entries: Vec<_> = self.banks.iter().flat_map(|b| b.iter().cloned()).collect();
         for e in entries {
             super::write_back_status(&mut self.pt, &e);
         }
@@ -233,10 +233,7 @@ mod tests {
         let g = PageGeometry::KB4;
         for page in 0..32u64 {
             let va = VirtAddr(page << 12);
-            assert_eq!(
-                BankSelect::BitSelect.bank_of(g, va, 8),
-                (page % 8) as usize
-            );
+            assert_eq!(BankSelect::BitSelect.bank_of(g, va, 8), (page % 8) as usize);
         }
     }
 

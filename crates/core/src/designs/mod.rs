@@ -55,13 +55,7 @@ pub(crate) fn access_base_bank(
         }
         let ppn = e.ppn;
         stats.base_hits += 1;
-        return (
-            Outcome::Hit {
-                ppn,
-                extra_latency,
-            },
-            None,
-        );
+        return (Outcome::Hit { ppn, extra_latency }, None);
     }
     // Miss: walk the page table and install.
     let mut entry = pt.walk(vpn);

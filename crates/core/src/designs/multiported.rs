@@ -142,13 +142,7 @@ mod tests {
     use crate::translator::drive_batch;
 
     fn new_tlb(ports: usize) -> MultiPortedTlb {
-        MultiPortedTlb::new(
-            "test",
-            ports,
-            4,
-            PageTable::new(PageGeometry::KB4),
-            7,
-        )
+        MultiPortedTlb::new("test", ports, 4, PageTable::new(PageGeometry::KB4), 7)
     }
 
     #[test]

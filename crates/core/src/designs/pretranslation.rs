@@ -50,6 +50,10 @@ struct PtcEntry {
 struct PretransCache {
     slots: Vec<Option<PtcEntry>>,
     counter: u64,
+    /// Reused by [`PretransCache::propagate`], which runs on every
+    /// pointer-arithmetic writeback: carrying entries are staged here so
+    /// the hot path never allocates.
+    scratch: Vec<PtcEntry>,
 }
 
 impl PretransCache {
@@ -58,6 +62,7 @@ impl PretransCache {
         PretransCache {
             slots: vec![None; entries],
             counter: 0,
+            scratch: Vec::with_capacity(entries),
         }
     }
 
@@ -121,17 +126,17 @@ impl PretransCache {
     /// Copies all of `src`'s attachments to `dest` (pointer-arithmetic
     /// propagation). `dest`'s previous attachments are dropped first.
     fn propagate(&mut self, src: u8, dest: u8) {
-        let carried: Vec<PtcEntry> = self
-            .slots
-            .iter()
-            .flatten()
-            .filter(|e| e.key.reg == src)
-            .copied()
-            .collect();
+        self.scratch.clear();
+        for e in self.slots.iter().flatten() {
+            if e.key.reg == src {
+                self.scratch.push(*e);
+            }
+        }
         if src != dest {
             self.invalidate_reg(dest);
         }
-        for e in carried {
+        for i in 0..self.scratch.len() {
+            let e = self.scratch[i];
             self.insert(
                 PtcKey {
                     reg: dest,
@@ -144,10 +149,7 @@ impl PretransCache {
     }
 
     fn has_attachment(&self, reg: u8) -> bool {
-        self.slots
-            .iter()
-            .flatten()
-            .any(|e| e.key.reg == reg)
+        self.slots.iter().flatten().any(|e| e.key.reg == reg)
     }
 
     fn flush(&mut self) {
@@ -388,14 +390,7 @@ mod tests {
     use crate::addr::{PageGeometry, VirtAddr};
 
     fn make() -> PretranslationTlb {
-        PretranslationTlb::new(
-            "P8",
-            8,
-            4,
-            128,
-            PageTable::new(PageGeometry::KB4),
-            9,
-        )
+        PretranslationTlb::new("P8", 8, 4, 128, PageTable::new(PageGeometry::KB4), 9)
     }
 
     fn load(base: u8, addr: u64, off: i32, serial: u64) -> TranslateRequest {

@@ -135,7 +135,11 @@ mod tests {
         }
         r.touch(0);
         r.touch(0);
-        assert_eq!(r.victim(), 0, "FIFO evicts oldest insertion despite touches");
+        assert_eq!(
+            r.victim(),
+            0,
+            "FIFO evicts oldest insertion despite touches"
+        );
     }
 
     #[test]
@@ -156,7 +160,10 @@ mod tests {
         for _ in 0..200 {
             seen[r.victim()] = true;
         }
-        assert!(seen.iter().all(|&s| s), "random victims should cover all ways");
+        assert!(
+            seen.iter().all(|&s| s),
+            "random victims should cover all ways"
+        );
     }
 
     #[test]

@@ -28,34 +28,143 @@ mod count {
         type SerializeStruct = Self;
         type SerializeStructVariant = Self;
 
-        fn serialize_bool(self, _: bool) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_i8(self, _: i8) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_i16(self, _: i16) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_i32(self, _: i32) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_i64(self, _: i64) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_u8(self, _: u8) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_u16(self, _: u16) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_u32(self, _: u32) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_u64(self, _: u64) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_f32(self, _: f32) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_f64(self, _: f64) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_char(self, _: char) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_str(self, _: &str) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_bytes(self, _: &[u8]) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_none(self) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_some<T: ?Sized + serde::Serialize>(self, v: &T) -> Result<(), Self::Error> { v.serialize(self) }
-        fn serialize_unit(self) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_unit_variant(self, _: &'static str, _: u32, _: &'static str) -> Result<(), Self::Error> { self.events += 1; Ok(()) }
-        fn serialize_newtype_struct<T: ?Sized + serde::Serialize>(self, _: &'static str, v: &T) -> Result<(), Self::Error> { v.serialize(self) }
-        fn serialize_newtype_variant<T: ?Sized + serde::Serialize>(self, _: &'static str, _: u32, _: &'static str, v: &T) -> Result<(), Self::Error> { v.serialize(self) }
-        fn serialize_seq(self, _: Option<usize>) -> Result<Self::SerializeSeq, Self::Error> { Ok(self) }
-        fn serialize_tuple(self, _: usize) -> Result<Self::SerializeTuple, Self::Error> { Ok(self) }
-        fn serialize_tuple_struct(self, _: &'static str, _: usize) -> Result<Self::SerializeTupleStruct, Self::Error> { Ok(self) }
-        fn serialize_tuple_variant(self, _: &'static str, _: u32, _: &'static str, _: usize) -> Result<Self::SerializeTupleVariant, Self::Error> { Ok(self) }
-        fn serialize_map(self, _: Option<usize>) -> Result<Self::SerializeMap, Self::Error> { Ok(self) }
-        fn serialize_struct(self, _: &'static str, _: usize) -> Result<Self::SerializeStruct, Self::Error> { Ok(self) }
-        fn serialize_struct_variant(self, _: &'static str, _: u32, _: &'static str, _: usize) -> Result<Self::SerializeStructVariant, Self::Error> { Ok(self) }
+        fn serialize_bool(self, _: bool) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_i8(self, _: i8) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_i16(self, _: i16) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_i32(self, _: i32) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_i64(self, _: i64) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_u8(self, _: u8) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_u16(self, _: u16) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_u32(self, _: u32) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_u64(self, _: u64) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_f32(self, _: f32) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_f64(self, _: f64) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_char(self, _: char) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_str(self, _: &str) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_bytes(self, _: &[u8]) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_none(self) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_some<T: ?Sized + serde::Serialize>(self, v: &T) -> Result<(), Self::Error> {
+            v.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_unit_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+        ) -> Result<(), Self::Error> {
+            self.events += 1;
+            Ok(())
+        }
+        fn serialize_newtype_struct<T: ?Sized + serde::Serialize>(
+            self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), Self::Error> {
+            v.serialize(self)
+        }
+        fn serialize_newtype_variant<T: ?Sized + serde::Serialize>(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), Self::Error> {
+            v.serialize(self)
+        }
+        fn serialize_seq(self, _: Option<usize>) -> Result<Self::SerializeSeq, Self::Error> {
+            Ok(self)
+        }
+        fn serialize_tuple(self, _: usize) -> Result<Self::SerializeTuple, Self::Error> {
+            Ok(self)
+        }
+        fn serialize_tuple_struct(
+            self,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeTupleStruct, Self::Error> {
+            Ok(self)
+        }
+        fn serialize_tuple_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeTupleVariant, Self::Error> {
+            Ok(self)
+        }
+        fn serialize_map(self, _: Option<usize>) -> Result<Self::SerializeMap, Self::Error> {
+            Ok(self)
+        }
+        fn serialize_struct(
+            self,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error> {
+            Ok(self)
+        }
+        fn serialize_struct_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeStructVariant, Self::Error> {
+            Ok(self)
+        }
     }
 
     macro_rules! compound {
@@ -63,7 +172,10 @@ mod count {
             impl $trait for &mut Counter {
                 type Ok = ();
                 type Error = std::fmt::Error;
-                fn $method<T: ?Sized + serde::Serialize>(&mut self, v: &T) -> Result<(), Self::Error> {
+                fn $method<T: ?Sized + serde::Serialize>(
+                    &mut self,
+                    v: &T,
+                ) -> Result<(), Self::Error> {
                     v.serialize(&mut **self)
                 }
                 fn end(self) -> Result<(), Self::Error> {
@@ -80,21 +192,49 @@ mod count {
     impl SerializeMap for &mut Counter {
         type Ok = ();
         type Error = std::fmt::Error;
-        fn serialize_key<T: ?Sized + serde::Serialize>(&mut self, k: &T) -> Result<(), Self::Error> { k.serialize(&mut **self) }
-        fn serialize_value<T: ?Sized + serde::Serialize>(&mut self, v: &T) -> Result<(), Self::Error> { v.serialize(&mut **self) }
-        fn end(self) -> Result<(), Self::Error> { Ok(()) }
+        fn serialize_key<T: ?Sized + serde::Serialize>(
+            &mut self,
+            k: &T,
+        ) -> Result<(), Self::Error> {
+            k.serialize(&mut **self)
+        }
+        fn serialize_value<T: ?Sized + serde::Serialize>(
+            &mut self,
+            v: &T,
+        ) -> Result<(), Self::Error> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Self::Error> {
+            Ok(())
+        }
     }
     impl SerializeStruct for &mut Counter {
         type Ok = ();
         type Error = std::fmt::Error;
-        fn serialize_field<T: ?Sized + serde::Serialize>(&mut self, _: &'static str, v: &T) -> Result<(), Self::Error> { v.serialize(&mut **self) }
-        fn end(self) -> Result<(), Self::Error> { Ok(()) }
+        fn serialize_field<T: ?Sized + serde::Serialize>(
+            &mut self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), Self::Error> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Self::Error> {
+            Ok(())
+        }
     }
     impl SerializeStructVariant for &mut Counter {
         type Ok = ();
         type Error = std::fmt::Error;
-        fn serialize_field<T: ?Sized + serde::Serialize>(&mut self, _: &'static str, v: &T) -> Result<(), Self::Error> { v.serialize(&mut **self) }
-        fn end(self) -> Result<(), Self::Error> { Ok(()) }
+        fn serialize_field<T: ?Sized + serde::Serialize>(
+            &mut self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), Self::Error> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Self::Error> {
+            Ok(())
+        }
     }
 }
 
@@ -128,4 +268,3 @@ fn deserialize_impls_exist() {
     takes_deserialize::<ReplacementPolicy>();
     takes_deserialize::<PageGeometry>();
 }
-

@@ -60,7 +60,9 @@ fn shootdown_of_an_uncached_page_is_harmless() {
 fn status_bits_survive_a_shootdown_writeback() {
     // A dirtied page's status reaches the page table when shot down.
     for mnemonic in ["T4", "I4", "M8", "PB2", "P8"] {
-        let mut t = DesignSpec::parse(mnemonic).unwrap().build(PageGeometry::KB4, 3);
+        let mut t = DesignSpec::parse(mnemonic)
+            .unwrap()
+            .build(PageGeometry::KB4, 3);
         let va = VirtAddr(0x7000);
         drive_batch(
             t.as_mut(),

@@ -33,7 +33,7 @@
 //!   in program order immediately before the first translation with a
 //!   higher serial number; phantom writebacks are not applied.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use hbat_core::addr::Ppn;
 use hbat_core::cycle::Cycle;
@@ -92,6 +92,52 @@ struct Slot {
     translated_at: Cycle,
 }
 
+/// Completion times of recent page walks, by VPN: piggybacked requests
+/// that shared a translation share its (serialized) walk instead of
+/// paying a second one.
+///
+/// A fixed-capacity table, not a map: a stored walk is only ever matched
+/// by a sharer still in the re-order buffer (the `translated_at` filter
+/// rejects anything older), so keeping the `rob_entries` most recent
+/// walks preserves behaviour while the steady-state loop stays free of
+/// heap allocation and hashing.
+#[derive(Debug)]
+struct WalkTable {
+    /// (vpn, walk completion); at most one entry per VPN.
+    entries: Vec<(u64, Cycle)>,
+    /// Next victim when full (insertion-order rotation).
+    victim: usize,
+    cap: usize,
+}
+
+impl WalkTable {
+    fn new(cap: usize) -> Self {
+        WalkTable {
+            entries: Vec::with_capacity(cap.max(1)),
+            victim: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    fn get(&self, vpn: u64) -> Option<Cycle> {
+        self.entries
+            .iter()
+            .find(|&&(v, _)| v == vpn)
+            .map(|&(_, done)| done)
+    }
+
+    fn insert(&mut self, vpn: u64, done: Cycle) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == vpn) {
+            e.1 = done;
+        } else if self.entries.len() < self.cap {
+            self.entries.push((vpn, done));
+        } else {
+            self.entries[self.victim] = (vpn, done);
+            self.victim = (self.victim + 1) % self.cap;
+        }
+    }
+}
+
 /// A pending pretranslation register-writeback notification.
 #[derive(Debug, Clone, Copy)]
 struct PendingWb {
@@ -140,10 +186,7 @@ pub struct Engine<'a> {
     spec_tlb_miss_stall: bool,
     spec: Option<SpecEpoch>,
     pending_wb: VecDeque<PendingWb>,
-    /// Completion times of page walks, by VPN: piggybacked requests that
-    /// shared a translation share its (serialized) walk instead of paying
-    /// a second one.
-    walk_done: HashMap<u64, Cycle>,
+    walk_done: WalkTable,
     metrics: RunMetrics,
 }
 
@@ -174,8 +217,8 @@ impl<'a> Engine<'a> {
             dispatch_stall_until: Cycle::ZERO,
             spec_tlb_miss_stall: false,
             spec: None,
-            pending_wb: VecDeque::new(),
-            walk_done: HashMap::new(),
+            pending_wb: VecDeque::with_capacity(cfg.rob_entries),
+            walk_done: WalkTable::new(cfg.rob_entries),
             metrics: RunMetrics::default(),
         }
     }
@@ -204,7 +247,14 @@ impl<'a> Engine<'a> {
                 idle_cycles += 1;
                 if idle_cycles >= 100_000 {
                     let head = self.rob.front().map(|s| {
-                        (s.id, s.t.serial, s.t.class, s.phantom, s.state, s.mispredicted)
+                        (
+                            s.id,
+                            s.t.serial,
+                            s.t.class,
+                            s.phantom,
+                            s.state,
+                            s.mispredicted,
+                        )
                     });
                     panic!(
                         "engine deadlocked at {} (rob {} entries, next_fetch {}, head {:?}, spec {:?}, stalls: fetch {} dispatch {} spec_tlb {})",
@@ -283,7 +333,9 @@ impl<'a> Engine<'a> {
     /// If the active misprediction has resolved, squash everything younger
     /// than the branch and redirect fetch.
     fn maybe_squash(&mut self) -> bool {
-        let Some(epoch) = &self.spec else { return false };
+        let Some(epoch) = &self.spec else {
+            return false;
+        };
         let Some(squash_at) = epoch.squash_at else {
             return false;
         };
@@ -502,8 +554,7 @@ impl<'a> Engine<'a> {
             };
             let shared = self
                 .walk_done
-                .get(&vpn)
-                .copied()
+                .get(vpn)
                 .filter(|&done| done >= self.rob[idx].translated_at);
             if let Some(done) = shared {
                 self.rob[idx].pending_walk = None;
@@ -602,8 +653,13 @@ impl<'a> Engine<'a> {
             .unwrap_or(false)
         {
             let w = self.pending_wb.pop_front().expect("checked non-empty");
-            let srcs: Vec<u8> = w.srcs.iter().flatten().copied().collect();
-            self.translator.note_writeback(w.dest, &srcs, w.kind);
+            let mut srcs = [0u8; 3];
+            let mut n = 0;
+            for &s in w.srcs.iter().flatten() {
+                srcs[n] = s;
+                n += 1;
+            }
+            self.translator.note_writeback(w.dest, &srcs[..n], w.kind);
         }
     }
 
@@ -675,10 +731,7 @@ impl<'a> Engine<'a> {
                         // predictor; a second misprediction ends the
                         // speculative fetch stream.
                         if self.bpred.predict(t.pc) != br.taken {
-                            self.spec
-                                .as_mut()
-                                .expect("phantom mode")
-                                .fetch_stopped = true;
+                            self.spec.as_mut().expect("phantom mode").fetch_stopped = true;
                             end_group = true;
                         }
                     } else {

@@ -19,7 +19,11 @@ fn run(bench: Benchmark, design: &str, cfg: &SimConfig) -> RunMetrics {
 #[test]
 fn baseline_ipc_is_plausible() {
     let m = run(Benchmark::Espresso, "T4", &SimConfig::baseline());
-    assert!(m.ipc() > 0.8, "espresso should sustain >0.8 IPC, got {}", m.ipc());
+    assert!(
+        m.ipc() > 0.8,
+        "espresso should sustain >0.8 IPC, got {}",
+        m.ipc()
+    );
     assert!(m.ipc() <= 8.0, "cannot beat machine width");
     assert!(m.cycles > 0);
     assert!(m.loads + m.stores > 1_000);
@@ -53,8 +57,18 @@ fn fewer_tlb_ports_never_helps() {
     let t4 = run(Benchmark::Xlisp, "T4", &cfg);
     let t2 = run(Benchmark::Xlisp, "T2", &cfg);
     let t1 = run(Benchmark::Xlisp, "T1", &cfg);
-    assert!(t4.cycles <= t2.cycles, "T4 {} vs T2 {}", t4.cycles, t2.cycles);
-    assert!(t2.cycles <= t1.cycles, "T2 {} vs T1 {}", t2.cycles, t1.cycles);
+    assert!(
+        t4.cycles <= t2.cycles,
+        "T4 {} vs T2 {}",
+        t4.cycles,
+        t2.cycles
+    );
+    assert!(
+        t2.cycles <= t1.cycles,
+        "T2 {} vs T1 {}",
+        t2.cycles,
+        t1.cycles
+    );
     assert!(
         t1.cycles > t4.cycles,
         "a single-ported TLB must visibly hurt xlisp"
@@ -138,7 +152,11 @@ fn branch_prediction_quality_tracks_workload_character() {
     let irregular = run(Benchmark::Gcc, "T4", &cfg);
     // Tomcatv mixes near-perfect loop branches with its data-dependent
     // residual test (the paper reports 86.6 %).
-    assert!(regular.bpred_rate() > 0.8, "tomcatv: {}", regular.bpred_rate());
+    assert!(
+        regular.bpred_rate() > 0.8,
+        "tomcatv: {}",
+        regular.bpred_rate()
+    );
     assert!(
         irregular.bpred_rate() < regular.bpred_rate(),
         "gcc ({}) should predict worse than tomcatv ({})",

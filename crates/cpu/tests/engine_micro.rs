@@ -29,7 +29,10 @@ fn add(d: u8, a: u8, imm: i32) -> Inst {
 fn dependent_chain_runs_at_one_per_cycle() {
     // 200 dependent adds: the chain bounds execution at 1 IPC regardless
     // of machine width.
-    let mut insts = vec![Inst::Li { d: Reg::int(1), imm: 0 }];
+    let mut insts = vec![Inst::Li {
+        d: Reg::int(1),
+        imm: 0,
+    }];
     for _ in 0..200 {
         insts.push(add(1, 1, 1));
     }
@@ -46,8 +49,16 @@ fn dependent_chain_runs_at_one_per_cycle() {
 fn independent_work_uses_the_full_width() {
     // 8 independent add streams in a warm loop: straight-line cold code
     // would be I-cache-fetch bound, so loop over a small body instead.
-    let mut insts: Vec<Inst> = (1..10).map(|r| Inst::Li { d: Reg::int(r), imm: 0 }).collect();
-    insts.push(Inst::Li { d: Reg::int(10), imm: 200 });
+    let mut insts: Vec<Inst> = (1..10)
+        .map(|r| Inst::Li {
+            d: Reg::int(r),
+            imm: 0,
+        })
+        .collect();
+    insts.push(Inst::Li {
+        d: Reg::int(10),
+        imm: 200,
+    });
     let top = insts.len() as u32;
     for r in 1..9u8 {
         insts.push(add(r, r, 1));
@@ -80,18 +91,30 @@ fn store_to_load_forwarding_skips_the_cache() {
     // data cache, so cache accesses ≈ stores only (plus the commit
     // writes).
     let mut insts = vec![
-        Inst::Li { d: Reg::int(1), imm: 0x4000 },
-        Inst::Li { d: Reg::int(2), imm: 42 },
+        Inst::Li {
+            d: Reg::int(1),
+            imm: 0x4000,
+        },
+        Inst::Li {
+            d: Reg::int(2),
+            imm: 42,
+        },
     ];
     for _ in 0..50 {
         insts.push(Inst::Store {
             s: Reg::int(2),
-            addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 0 },
+            addr: AddrMode::BaseOffset {
+                base: Reg::int(1),
+                offset: 0,
+            },
             width: Width::B8,
         });
         insts.push(Inst::Load {
             d: Reg::int(3),
-            addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 0 },
+            addr: AddrMode::BaseOffset {
+                base: Reg::int(1),
+                offset: 0,
+            },
             width: Width::B8,
         });
     }
@@ -114,14 +137,23 @@ fn mispredicted_branches_cost_cycles() {
     // always-taken one with identical instruction counts.
     let build = |chaotic: bool| {
         let mut insts = vec![
-            Inst::Li { d: Reg::int(1), imm: 2000 }, // counter
-            Inst::Li { d: Reg::int(2), imm: 0 },    // phase
+            Inst::Li {
+                d: Reg::int(1),
+                imm: 2000,
+            }, // counter
+            Inst::Li {
+                d: Reg::int(2),
+                imm: 0,
+            }, // phase
         ];
         let top = insts.len() as u32;
         // phase = (phase + 1) % 97 via subtract-on-overflow
         insts.push(add(2, 2, 1));
         let modulus = if chaotic { 97 } else { 1 };
-        insts.push(Inst::Li { d: Reg::int(3), imm: modulus });
+        insts.push(Inst::Li {
+            d: Reg::int(3),
+            imm: modulus,
+        });
         insts.push(Inst::Alu {
             op: AluOp::Slt,
             d: Reg::int(4),
@@ -135,7 +167,10 @@ fn mispredicted_branches_cost_cycles() {
             b: Reg::ZERO,
             target: skip,
         });
-        insts.push(Inst::Li { d: Reg::int(2), imm: 0 });
+        insts.push(Inst::Li {
+            d: Reg::int(2),
+            imm: 0,
+        });
         // loop control
         insts.push(Inst::Alu {
             op: AluOp::Sub,
@@ -167,11 +202,17 @@ fn mispredicted_branches_cost_cycles() {
 fn tlb_misses_stall_dispatch_for_the_walk() {
     // Touch 64 pages through a 4-entry-TLB-sized working set... use T4
     // (128 entries) on 300 pages so every access is a compulsory miss.
-    let mut insts = vec![Inst::Li { d: Reg::int(1), imm: 0x10_0000 }];
+    let mut insts = vec![Inst::Li {
+        d: Reg::int(1),
+        imm: 0x10_0000,
+    }];
     for _ in 0..300 {
         insts.push(Inst::Load {
             d: Reg::int(2),
-            addr: AddrMode::PostInc { base: Reg::int(1), step: 4096 },
+            addr: AddrMode::PostInc {
+                base: Reg::int(1),
+                step: 4096,
+            },
             width: Width::B8,
         });
     }
@@ -195,12 +236,25 @@ fn in_order_stalls_on_waw_out_of_order_renames() {
     // r2 = slow multiply chain; then an independent r2 redefinition.
     // In-order must wait (WAW); out-of-order renames past it.
     let mut insts = vec![
-        Inst::Li { d: Reg::int(1), imm: 3 },
-        Inst::Li { d: Reg::int(4), imm: 0 },
+        Inst::Li {
+            d: Reg::int(1),
+            imm: 3,
+        },
+        Inst::Li {
+            d: Reg::int(4),
+            imm: 0,
+        },
     ];
     for _ in 0..60 {
-        insts.push(Inst::Mul { d: Reg::int(2), a: Reg::int(1), b: Reg::int(1) });
-        insts.push(Inst::Li { d: Reg::int(2), imm: 7 }); // WAW on r2
+        insts.push(Inst::Mul {
+            d: Reg::int(2),
+            a: Reg::int(1),
+            b: Reg::int(1),
+        });
+        insts.push(Inst::Li {
+            d: Reg::int(2),
+            imm: 7,
+        }); // WAW on r2
         insts.push(add(4, 4, 1));
     }
     insts.push(Inst::Halt);
@@ -220,7 +274,10 @@ fn icache_misses_stall_fetch() {
     // once (no reuse): every block fetch misses.
     let mut insts = Vec::new();
     for r in [1u8, 2, 3] {
-        insts.push(Inst::Li { d: Reg::int(r), imm: 1 });
+        insts.push(Inst::Li {
+            d: Reg::int(r),
+            imm: 1,
+        });
     }
     for _ in 0..20_000 {
         insts.push(add(1, 1, 1));
@@ -240,8 +297,16 @@ fn icache_misses_stall_fetch() {
 fn commit_width_bounds_throughput() {
     // However much independent work is in flight, committed IPC cannot
     // exceed the 8-wide machine.
-    let mut insts: Vec<Inst> = (1..17).map(|r| Inst::Li { d: Reg::int(r), imm: 0 }).collect();
-    insts.push(Inst::Li { d: Reg::int(20), imm: 300 });
+    let mut insts: Vec<Inst> = (1..17)
+        .map(|r| Inst::Li {
+            d: Reg::int(r),
+            imm: 0,
+        })
+        .collect();
+    insts.push(Inst::Li {
+        d: Reg::int(20),
+        imm: 300,
+    });
     let top = insts.len() as u32;
     for r in 1..17u8 {
         insts.push(add(r, r, 1));
@@ -261,5 +326,9 @@ fn commit_width_bounds_throughput() {
     insts.push(Inst::Halt);
     let m = run_insts(insts, &SimConfig::baseline());
     assert!(m.ipc() <= 8.0 + 1e-9);
-    assert!(m.ipc() > 3.0, "warm independent loop should run fast: {}", m.ipc());
+    assert!(
+        m.ipc() > 3.0,
+        "warm independent loop should run fast: {}",
+        m.ipc()
+    );
 }

@@ -29,12 +29,18 @@ fn looping_program() -> impl Strategy<Value = Vec<Inst>> {
         }),
         (reg.clone(), 0i32..512).prop_map(|(d, off)| Inst::Load {
             d,
-            addr: AddrMode::BaseOffset { base: Reg::int(1), offset: off & !7 },
+            addr: AddrMode::BaseOffset {
+                base: Reg::int(1),
+                offset: off & !7
+            },
             width: Width::B8,
         }),
         (reg.clone(), 0i32..512).prop_map(|(s, off)| Inst::Store {
             s,
-            addr: AddrMode::BaseOffset { base: Reg::int(1), offset: off & !7 },
+            addr: AddrMode::BaseOffset {
+                base: Reg::int(1),
+                offset: off & !7
+            },
             width: Width::B8,
         }),
         (reg.clone(), reg.clone()).prop_map(|(d, a)| Inst::Mul { d, a, b: a }),
@@ -42,8 +48,14 @@ fn looping_program() -> impl Strategy<Value = Vec<Inst>> {
     (prop::collection::vec(body_inst, 1..25), 1i64..30).prop_map(|(body, iters)| {
         // for r2 in iters..0 { body }
         let mut prog = vec![
-            Inst::Li { d: Reg::int(1), imm: 0x20_0000 },
-            Inst::Li { d: Reg::int(2), imm: iters },
+            Inst::Li {
+                d: Reg::int(1),
+                imm: 0x20_0000,
+            },
+            Inst::Li {
+                d: Reg::int(2),
+                imm: iters,
+            },
         ];
         let top = prog.len() as u32;
         prog.extend(body);

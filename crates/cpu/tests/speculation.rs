@@ -11,14 +11,30 @@ use hbat_isa::reg::Reg;
 /// A loop with an unpredictable inner branch and steady memory traffic.
 fn chaotic_mem_loop(iters: i64) -> Vec<Inst> {
     let mut insts = vec![
-        Inst::Li { d: Reg::int(1), imm: 0x40_0000 }, // data pointer
-        Inst::Li { d: Reg::int(2), imm: iters },     // counter
-        Inst::Li { d: Reg::int(3), imm: 0x9E37 },    // mix constant
-        Inst::Li { d: Reg::int(4), imm: 12345 },     // lcg state
+        Inst::Li {
+            d: Reg::int(1),
+            imm: 0x40_0000,
+        }, // data pointer
+        Inst::Li {
+            d: Reg::int(2),
+            imm: iters,
+        }, // counter
+        Inst::Li {
+            d: Reg::int(3),
+            imm: 0x9E37,
+        }, // mix constant
+        Inst::Li {
+            d: Reg::int(4),
+            imm: 12345,
+        }, // lcg state
     ];
     let top = insts.len() as u32;
     // Advance a little RNG in registers.
-    insts.push(Inst::Mul { d: Reg::int(4), a: Reg::int(4), b: Reg::int(3) });
+    insts.push(Inst::Mul {
+        d: Reg::int(4),
+        a: Reg::int(4),
+        b: Reg::int(3),
+    });
     insts.push(Inst::Alu {
         op: AluOp::Add,
         d: Reg::int(4),
@@ -47,7 +63,10 @@ fn chaotic_mem_loop(iters: i64) -> Vec<Inst> {
     });
     insts.push(Inst::Load {
         d: Reg::int(6),
-        addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 0 },
+        addr: AddrMode::BaseOffset {
+            base: Reg::int(1),
+            offset: 0,
+        },
         width: Width::B8,
     });
     insts.push(Inst::Alu {
@@ -59,12 +78,18 @@ fn chaotic_mem_loop(iters: i64) -> Vec<Inst> {
     // Shared tail: more memory traffic.
     insts.push(Inst::Load {
         d: Reg::int(8),
-        addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 64 },
+        addr: AddrMode::BaseOffset {
+            base: Reg::int(1),
+            offset: 64,
+        },
         width: Width::B8,
     });
     insts.push(Inst::Store {
         s: Reg::int(8),
-        addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 128 },
+        addr: AddrMode::BaseOffset {
+            base: Reg::int(1),
+            offset: 128,
+        },
         width: Width::B8,
     });
     insts.push(Inst::Alu {
@@ -136,13 +161,22 @@ fn perfectly_predicted_code_has_no_phantoms() {
     // A plain counted loop: after warmup the predictor is near-perfect,
     // so speculation volume is tiny.
     let mut insts = vec![
-        Inst::Li { d: Reg::int(1), imm: 0x40_0000 },
-        Inst::Li { d: Reg::int(2), imm: 2_000 },
+        Inst::Li {
+            d: Reg::int(1),
+            imm: 0x40_0000,
+        },
+        Inst::Li {
+            d: Reg::int(2),
+            imm: 2_000,
+        },
     ];
     let top = insts.len() as u32;
     insts.push(Inst::Load {
         d: Reg::int(3),
-        addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 0 },
+        addr: AddrMode::BaseOffset {
+            base: Reg::int(1),
+            offset: 0,
+        },
         width: Width::B8,
     });
     insts.push(Inst::Alu {

@@ -92,9 +92,9 @@ impl Machine {
             AddrMode::BaseOffset { base, offset } => {
                 VirtAddr((self.read_reg(base) as u64).wrapping_add(offset as i64 as u64))
             }
-            AddrMode::BaseIndex { base, index } => VirtAddr(
-                (self.read_reg(base) as u64).wrapping_add(self.read_reg(index) as u64),
-            ),
+            AddrMode::BaseIndex { base, index } => {
+                VirtAddr((self.read_reg(base) as u64).wrapping_add(self.read_reg(index) as u64))
+            }
             AddrMode::PostInc { base, .. } => VirtAddr(self.read_reg(base) as u64),
         }
     }
@@ -331,7 +331,10 @@ mod tests {
     #[test]
     fn li_and_alu() {
         let (m, trace) = run_program(vec![
-            Inst::Li { d: Reg::int(1), imm: 40 },
+            Inst::Li {
+                d: Reg::int(1),
+                imm: 40,
+            },
             Inst::Alu {
                 op: AluOp::Add,
                 d: Reg::int(2),
@@ -350,16 +353,28 @@ mod tests {
     #[test]
     fn loads_and_stores_round_trip_through_memory() {
         let (m, trace) = run_program(vec![
-            Inst::Li { d: Reg::int(1), imm: 0x1000 },
-            Inst::Li { d: Reg::int(2), imm: 77 },
+            Inst::Li {
+                d: Reg::int(1),
+                imm: 0x1000,
+            },
+            Inst::Li {
+                d: Reg::int(2),
+                imm: 77,
+            },
             Inst::Store {
                 s: Reg::int(2),
-                addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 8 },
+                addr: AddrMode::BaseOffset {
+                    base: Reg::int(1),
+                    offset: 8,
+                },
                 width: Width::B8,
             },
             Inst::Load {
                 d: Reg::int(3),
-                addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 8 },
+                addr: AddrMode::BaseOffset {
+                    base: Reg::int(1),
+                    offset: 8,
+                },
                 width: Width::B8,
             },
             Inst::Halt,
@@ -378,15 +393,24 @@ mod tests {
     #[test]
     fn post_increment_walks_and_writes_back() {
         let (m, trace) = run_program(vec![
-            Inst::Li { d: Reg::int(1), imm: 0x2000 },
+            Inst::Li {
+                d: Reg::int(1),
+                imm: 0x2000,
+            },
             Inst::Load {
                 d: Reg::int(2),
-                addr: AddrMode::PostInc { base: Reg::int(1), step: 8 },
+                addr: AddrMode::PostInc {
+                    base: Reg::int(1),
+                    step: 8,
+                },
                 width: Width::B8,
             },
             Inst::Load {
                 d: Reg::int(3),
-                addr: AddrMode::PostInc { base: Reg::int(1), step: 8 },
+                addr: AddrMode::PostInc {
+                    base: Reg::int(1),
+                    step: 8,
+                },
                 width: Width::B8,
             },
             Inst::Halt,
@@ -400,11 +424,20 @@ mod tests {
     #[test]
     fn base_index_addressing() {
         let (_, trace) = run_program(vec![
-            Inst::Li { d: Reg::int(1), imm: 0x3000 },
-            Inst::Li { d: Reg::int(2), imm: 0x40 },
+            Inst::Li {
+                d: Reg::int(1),
+                imm: 0x3000,
+            },
+            Inst::Li {
+                d: Reg::int(2),
+                imm: 0x40,
+            },
             Inst::Load {
                 d: Reg::int(3),
-                addr: AddrMode::BaseIndex { base: Reg::int(1), index: Reg::int(2) },
+                addr: AddrMode::BaseIndex {
+                    base: Reg::int(1),
+                    index: Reg::int(2),
+                },
                 width: Width::B4,
             },
             Inst::Halt,
@@ -419,7 +452,10 @@ mod tests {
     fn branch_loop_executes_expected_iterations() {
         // r1 = 5; loop { r2 += r1; r1 -= 1 } while r1 > 0
         let (m, trace) = run_program(vec![
-            Inst::Li { d: Reg::int(1), imm: 5 },
+            Inst::Li {
+                d: Reg::int(1),
+                imm: 5,
+            },
             Inst::Alu {
                 op: AluOp::Add,
                 d: Reg::int(2),
@@ -450,16 +486,28 @@ mod tests {
     #[test]
     fn fp_pipeline() {
         let (m, trace) = run_program(vec![
-            Inst::Li { d: Reg::int(1), imm: 0x1000 },
-            Inst::Li { d: Reg::int(2), imm: (2.5f64).to_bits() as i64 },
+            Inst::Li {
+                d: Reg::int(1),
+                imm: 0x1000,
+            },
+            Inst::Li {
+                d: Reg::int(2),
+                imm: (2.5f64).to_bits() as i64,
+            },
             Inst::Store {
                 s: Reg::int(2),
-                addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 0 },
+                addr: AddrMode::BaseOffset {
+                    base: Reg::int(1),
+                    offset: 0,
+                },
                 width: Width::B8,
             },
             Inst::Load {
                 d: Reg::fp(0),
-                addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 0 },
+                addr: AddrMode::BaseOffset {
+                    base: Reg::int(1),
+                    offset: 0,
+                },
                 width: Width::B8,
             },
             Inst::Fpu {
@@ -477,7 +525,10 @@ mod tests {
     #[test]
     fn zero_register_is_immutable_and_invisible_in_deps() {
         let (m, trace) = run_program(vec![
-            Inst::Li { d: Reg::ZERO, imm: 99 },
+            Inst::Li {
+                d: Reg::ZERO,
+                imm: 99,
+            },
             Inst::Alu {
                 op: AluOp::Add,
                 d: Reg::int(1),
@@ -495,10 +546,24 @@ mod tests {
     #[test]
     fn division_semantics() {
         let (m, _) = run_program(vec![
-            Inst::Li { d: Reg::int(1), imm: 42 },
-            Inst::Li { d: Reg::int(2), imm: 5 },
-            Inst::Div { d: Reg::int(3), a: Reg::int(1), b: Reg::int(2) },
-            Inst::Div { d: Reg::int(4), a: Reg::int(1), b: Reg::ZERO },
+            Inst::Li {
+                d: Reg::int(1),
+                imm: 42,
+            },
+            Inst::Li {
+                d: Reg::int(2),
+                imm: 5,
+            },
+            Inst::Div {
+                d: Reg::int(3),
+                a: Reg::int(1),
+                b: Reg::int(2),
+            },
+            Inst::Div {
+                d: Reg::int(4),
+                a: Reg::int(1),
+                b: Reg::ZERO,
+            },
             Inst::Halt,
         ]);
         assert_eq!(m.read_reg(Reg::int(3)), 8);
@@ -508,7 +573,10 @@ mod tests {
     #[test]
     fn determinism_same_program_same_trace() {
         let prog = vec![
-            Inst::Li { d: Reg::int(1), imm: 3 },
+            Inst::Li {
+                d: Reg::int(1),
+                imm: 3,
+            },
             Inst::Alu {
                 op: AluOp::Sub,
                 d: Reg::int(1),
@@ -530,12 +598,7 @@ mod tests {
 
     #[test]
     fn serials_are_consecutive() {
-        let (_, trace) = run_program(vec![
-            Inst::Nop,
-            Inst::Nop,
-            Inst::Nop,
-            Inst::Halt,
-        ]);
+        let (_, trace) = run_program(vec![Inst::Nop, Inst::Nop, Inst::Nop, Inst::Halt]);
         for (i, t) in trace.iter().enumerate() {
             assert_eq!(t.serial, i as u64);
         }
@@ -543,9 +606,7 @@ mod tests {
 
     #[test]
     fn run_respects_step_limit() {
-        let mut m = Machine::new(
-            Program::new(vec![Inst::Jump { target: 0 }, Inst::Halt]).unwrap(),
-        );
+        let mut m = Machine::new(Program::new(vec![Inst::Jump { target: 0 }, Inst::Halt]).unwrap());
         let n = m.run(1000, |_| {});
         assert_eq!(n, 1000);
         assert!(!m.is_halted());

@@ -333,7 +333,15 @@ mod tests {
     fn pointer_arith_classification() {
         assert!(AluOp::Add.is_pointer_arith());
         assert!(AluOp::Sub.is_pointer_arith());
-        for op in [AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Sll, AluOp::Srl, AluOp::Sra, AluOp::Slt] {
+        for op in [
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Slt,
+        ] {
             assert!(!op.is_pointer_arith(), "{op:?} must not carry pointers");
         }
     }
@@ -361,7 +369,10 @@ mod tests {
         let r = Reg::int(3);
         let i = Reg::int(4);
         assert_eq!(AddrMode::BaseOffset { base: r, offset: 8 }.base(), r);
-        assert_eq!(AddrMode::BaseOffset { base: r, offset: 8 }.displacement(), 8);
+        assert_eq!(
+            AddrMode::BaseOffset { base: r, offset: 8 }.displacement(),
+            8
+        );
         assert_eq!(AddrMode::BaseIndex { base: r, index: i }.displacement(), 0);
         assert_eq!(AddrMode::PostInc { base: r, step: -8 }.base(), r);
     }
@@ -383,7 +394,10 @@ mod tests {
                 a: Reg::int(2),
                 b: Operand::Imm(4),
             },
-            Inst::Li { d: Reg::int(1), imm: 9 },
+            Inst::Li {
+                d: Reg::int(1),
+                imm: 9,
+            },
             Inst::Halt,
             Inst::Nop,
         ];

@@ -118,7 +118,11 @@ impl Program {
             .collect();
         let mut out = String::new();
         for (pc, inst) in self.insts.iter().enumerate() {
-            let marker = if targets.contains(&(pc as u32)) { "L" } else { " " };
+            let marker = if targets.contains(&(pc as u32)) {
+                "L"
+            } else {
+                " "
+            };
             let _ = writeln!(out, "{marker}{pc:>6}:  {inst}");
         }
         out

@@ -153,7 +153,10 @@ mod tests {
         t.srcs = [Some(Reg::int(1)), None, Some(Reg::int(2))];
         t.dest = Some(Reg::int(3));
         t.aux_dest = Some(Reg::int(1));
-        assert_eq!(t.src_regs().collect::<Vec<_>>(), vec![Reg::int(1), Reg::int(2)]);
+        assert_eq!(
+            t.src_regs().collect::<Vec<_>>(),
+            vec![Reg::int(1), Reg::int(2)]
+        );
         assert_eq!(
             t.dest_regs().collect::<Vec<_>>(),
             vec![Reg::int(3), Reg::int(1)]

@@ -25,24 +25,40 @@ fn straightline() -> impl Strategy<Value = Vec<Inst>> {
     ];
     let inst = prop_oneof![
         (reg.clone(), -1000i64..1000).prop_map(|(d, imm)| Inst::Li { d, imm }),
-        (op, reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(op, d, a, b)| Inst::Alu { op, d, a, b: Operand::Reg(b) }),
+        (op, reg.clone(), reg.clone(), reg.clone()).prop_map(|(op, d, a, b)| Inst::Alu {
+            op,
+            d,
+            a,
+            b: Operand::Reg(b)
+        }),
         (reg.clone(), reg.clone(), 0i32..256).prop_map(|(d, base, off)| Inst::Load {
             d,
-            addr: AddrMode::BaseOffset { base, offset: off & !7 },
+            addr: AddrMode::BaseOffset {
+                base,
+                offset: off & !7
+            },
             width: Width::B8,
         }),
         (reg.clone(), reg.clone(), 0i32..256).prop_map(|(s, base, off)| Inst::Store {
             s,
-            addr: AddrMode::BaseOffset { base, offset: off & !7 },
+            addr: AddrMode::BaseOffset {
+                base,
+                offset: off & !7
+            },
             width: Width::B8,
         }),
     ];
     prop::collection::vec(inst, 1..60).prop_map(|mut v| {
         // Anchor the base registers in a sane address region first.
         let mut prog = vec![
-            Inst::Li { d: Reg::int(1), imm: 0x10_0000 },
-            Inst::Li { d: Reg::int(2), imm: 0x10_1000 },
+            Inst::Li {
+                d: Reg::int(1),
+                imm: 0x10_0000,
+            },
+            Inst::Li {
+                d: Reg::int(2),
+                imm: 0x10_1000,
+            },
         ];
         prog.append(&mut v);
         prog.push(Inst::Halt);

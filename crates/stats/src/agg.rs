@@ -19,12 +19,7 @@ pub fn weighted_average(values: &[f64], weights: &[f64]) -> f64 {
     if mass == 0.0 {
         return 0.0;
     }
-    values
-        .iter()
-        .zip(weights)
-        .map(|(v, w)| v * w)
-        .sum::<f64>()
-        / mass
+    values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / mass
 }
 
 /// The paper's aggregate: per-benchmark IPCs combined into one number by

@@ -79,12 +79,7 @@ impl BarChart {
     pub fn render(&self) -> String {
         let max = self
             .scale_max
-            .unwrap_or_else(|| {
-                self.bars
-                    .iter()
-                    .map(|(_, v)| *v)
-                    .fold(0.0_f64, f64::max)
-            })
+            .unwrap_or_else(|| self.bars.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max))
             .max(f64::MIN_POSITIVE);
         let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
         let mut out = String::new();
@@ -126,7 +121,13 @@ mod tests {
         c.bar("x", 0.941);
         let s = c.render();
         assert!(s.contains("94.1%"), "{s}");
-        let filled = s.lines().nth(1).unwrap().chars().filter(|&ch| ch == '█').count();
+        let filled = s
+            .lines()
+            .nth(1)
+            .unwrap()
+            .chars()
+            .filter(|&ch| ch == '█')
+            .count();
         assert_eq!(filled, 19); // 0.941 * 20 rounded
     }
 
@@ -148,11 +149,7 @@ mod tests {
         c.bar("ab", 1.0);
         c.bar("abcdef", 1.0);
         let s = c.render();
-        let pipes: Vec<usize> = s
-            .lines()
-            .skip(1)
-            .map(|l| l.find('|').unwrap())
-            .collect();
+        let pipes: Vec<usize> = s.lines().skip(1).map(|l| l.find('|').unwrap()).collect();
         assert_eq!(pipes[0], pipes[1]);
     }
 }

@@ -90,7 +90,10 @@ impl Builder {
             budget.int >= 6 && budget.fp >= 3,
             "budget too small: need ≥6 int and ≥3 fp registers"
         );
-        assert!(budget.int <= 32 && budget.fp <= 32, "budget exceeds the architecture");
+        assert!(
+            budget.int <= 32 && budget.fp <= 32,
+            "budget exceeds the architecture"
+        );
         let sp = Reg::int(1);
         let iscratch = [Reg::int(2), Reg::int(3), Reg::int(4)];
         let fscratch = [Reg::fp(0), Reg::fp(1)];
@@ -217,7 +220,11 @@ impl Builder {
         match self.storage(v) {
             Storage::Reg(r) => (r, None),
             Storage::Stack(off) => {
-                let s = if fp { self.fscratch[0] } else { self.iscratch[0] };
+                let s = if fp {
+                    self.fscratch[0]
+                } else {
+                    self.iscratch[0]
+                };
                 (s, Some(off))
             }
         }
@@ -290,7 +297,12 @@ impl Builder {
         let ra = self.read_int(a, 1);
         let rb = self.rhs_operand(b.into(), 2);
         let (t, slot) = self.def_target(d);
-        self.insts.push(Inst::Alu { op, d: t, a: ra, b: rb });
+        self.insts.push(Inst::Alu {
+            op,
+            d: t,
+            a: ra,
+            b: rb,
+        });
         self.finish_def(t, slot);
     }
 
@@ -341,12 +353,18 @@ impl Builder {
             let off = self.transfer_slot;
             self.insts.push(Inst::Store {
                 s: ra,
-                addr: AddrMode::BaseOffset { base: self.sp, offset: off },
+                addr: AddrMode::BaseOffset {
+                    base: self.sp,
+                    offset: off,
+                },
                 width: Width::B8,
             });
             self.insts.push(Inst::Load {
                 d: t,
-                addr: AddrMode::BaseOffset { base: self.sp, offset: off },
+                addr: AddrMode::BaseOffset {
+                    base: self.sp,
+                    offset: off,
+                },
                 width: Width::B8,
             });
             self.finish_def(t, slot);
@@ -378,7 +396,12 @@ impl Builder {
         let ra = self.read_fp(a, 0);
         let rb = if b == a { ra } else { self.read_fp(b, 1) };
         let (t, slot) = self.def_target(d);
-        self.insts.push(Inst::Fpu { op, d: t, a: ra, b: rb });
+        self.insts.push(Inst::Fpu {
+            op,
+            d: t,
+            a: ra,
+            b: rb,
+        });
         self.finish_def(t, slot);
     }
 
@@ -438,7 +461,10 @@ impl Builder {
         let (t, slot) = self.def_target(d);
         self.insts.push(Inst::Load {
             d: t,
-            addr: AddrMode::BaseIndex { base: rb, index: ri },
+            addr: AddrMode::BaseIndex {
+                base: rb,
+                index: ri,
+            },
             width,
         });
         self.finish_def(t, slot);
@@ -455,7 +481,10 @@ impl Builder {
         let ri = self.read_int(index, 2);
         self.insts.push(Inst::Store {
             s: rs,
-            addr: AddrMode::BaseIndex { base: rb, index: ri },
+            addr: AddrMode::BaseIndex {
+                base: rb,
+                index: ri,
+            },
             width,
         });
     }
@@ -558,7 +587,10 @@ impl Builder {
             Rhs::Imm(0) => Reg::ZERO,
             Rhs::Imm(i) => {
                 let s = self.iscratch[2];
-                self.insts.push(Inst::Li { d: s, imm: i as i64 });
+                self.insts.push(Inst::Li {
+                    d: s,
+                    imm: i as i64,
+                });
                 s
             }
         };
@@ -608,9 +640,8 @@ impl Builder {
             self.insts.push(Inst::Halt);
         }
         for &at in &self.patches {
-            let resolve = |id: u32| -> u32 {
-                self.labels[id as usize].expect("branch to an unbound label")
-            };
+            let resolve =
+                |id: u32| -> u32 { self.labels[id as usize].expect("branch to an unbound label") };
             match &mut self.insts[at] {
                 Inst::Branch { target, .. } | Inst::Jump { target } => {
                     *target = resolve(*target);

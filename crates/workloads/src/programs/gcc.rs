@@ -223,8 +223,7 @@ mod tests {
             .collect();
         let mut windows_with_spread = 0;
         for win in loads.windows(8).take(2000) {
-            let pages: std::collections::HashSet<u64> =
-                win.iter().map(|a| a >> 8).collect();
+            let pages: std::collections::HashSet<u64> = win.iter().map(|a| a >> 8).collect();
             if pages.len() >= 3 {
                 windows_with_spread += 1;
             }

@@ -69,7 +69,7 @@ pub fn build(cfg: &WorkloadConfig) -> Workload {
     b.add(ptr, ptr, t);
     b.and(len, rnd, 124);
     b.add(len, len, 96); // multiple of four, 96..220 pixels
-    // Fetch the fill pattern once per span (the "paint" being applied).
+                         // Fetch the fill pattern once per span (the "paint" being applied).
     b.and(idx, rnd, 63);
     b.sll(idx, idx, 3);
     b.load_idx(px, pbase, idx, Width::B8);

@@ -15,7 +15,6 @@ use crate::config::WorkloadConfig;
 use crate::layout::HeapLayout;
 use crate::suite::Workload;
 
-
 /// Builds the workload.
 pub fn build(cfg: &WorkloadConfig) -> Workload {
     // N×N grid; the paper runs N=129.
@@ -165,7 +164,9 @@ mod tests {
         let get = |addr: u64| m.memory().read_f64(VirtAddr(addr));
         let at = |base: u64, j: i64, i: i64| base + ((j * n + i) * 8) as u64;
         let (j, i) = (5i64, 7i64);
-        let expect = get(at(x, j, i + 1)) + get(at(x, j, i - 1)) + get(at(x, j + 1, i))
+        let expect = get(at(x, j, i + 1))
+            + get(at(x, j, i - 1))
+            + get(at(x, j + 1, i))
             + get(at(x, j - 1, i))
             - 4.0 * get(at(x, j, i));
         let got = get(at(rx, j, i));

@@ -159,9 +159,7 @@ mod tests {
             .iter()
             .filter(|t| {
                 t.mem
-                    .map(|m| {
-                        m.kind == hbat_core::request::AccessKind::Load && m.offset == 8
-                    })
+                    .map(|m| m.kind == hbat_core::request::AccessKind::Load && m.offset == 8)
                     .unwrap_or(false)
             })
             .count();

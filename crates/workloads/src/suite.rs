@@ -154,8 +154,7 @@ mod tests {
 
     #[test]
     fn ten_distinct_names() {
-        let names: std::collections::HashSet<_> =
-            Benchmark::ALL.iter().map(|b| b.name()).collect();
+        let names: std::collections::HashSet<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
         assert_eq!(names.len(), 10);
         assert_eq!(Benchmark::Compress.to_string(), "Compress");
     }

@@ -18,12 +18,7 @@ pub fn emit_xorshift(b: &mut Builder, x: Var, tmp: Var) {
 
 /// Emits a counted loop: `body` runs `count` times with `i` descending
 /// `count..0`. `i` must be a dedicated counter variable.
-pub fn emit_counted_loop<F: FnOnce(&mut Builder)>(
-    b: &mut Builder,
-    i: Var,
-    count: i64,
-    body: F,
-) {
+pub fn emit_counted_loop<F: FnOnce(&mut Builder)>(b: &mut Builder, i: Var, count: i64, body: F) {
     b.li(i, count);
     let top = b.new_label();
     b.bind(top);
@@ -52,14 +47,7 @@ pub const GOLDEN: i64 = 0x9E37_79B9_7F4A_7C15_u64 as i64;
 ///
 /// Taken with probability `1/(mask+1)`; the taken path bumps `sink`.
 /// `golden` must already hold [`GOLDEN`].
-pub fn emit_decision(
-    b: &mut Builder,
-    golden: Var,
-    ctr: Var,
-    tmp: Var,
-    sink: Var,
-    mask: i32,
-) {
+pub fn emit_decision(b: &mut Builder, golden: Var, ctr: Var, tmp: Var, sink: Var, mask: i32) {
     b.mul(tmp, ctr, golden);
     b.srl(tmp, tmp, 13);
     b.and(tmp, tmp, mask);

@@ -118,9 +118,7 @@ fn all_benchmarks_run_under_both_budgets() {
         let small = bench.build(&WorkloadConfig::new(Scale::Test).with_small_regs());
         let tf = full.trace();
         let ts = small.trace();
-        let mem = |t: &[hbat_isa::trace::TraceInst]| {
-            t.iter().filter(|i| i.is_mem()).count()
-        };
+        let mem = |t: &[hbat_isa::trace::TraceInst]| t.iter().filter(|i| i.is_mem()).count();
         assert!(
             mem(&ts) >= mem(&tf),
             "{bench}: small budget should not reduce memory traffic ({} vs {})",
@@ -140,9 +138,7 @@ fn small_budget_inflates_memory_traffic_substantially() {
         let ts = bench
             .build(&WorkloadConfig::new(Scale::Test).with_small_regs())
             .trace();
-        let mem = |t: &[hbat_isa::trace::TraceInst]| {
-            t.iter().filter(|i| i.is_mem()).count() as f64
-        };
+        let mem = |t: &[hbat_isa::trace::TraceInst]| t.iter().filter(|i| i.is_mem()).count() as f64;
         if mem(&ts) > mem(&tf) * 1.3 {
             inflated += 1;
         }

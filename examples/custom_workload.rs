@@ -26,14 +26,22 @@ fn build_pingpong() -> (hbat_isa::Program, Vec<(u64, Vec<u8>)>) {
     // Lay the list out host-side: node i lives in arena (i % 2), its cdr
     // points at node i+1, the last node's cdr is 0.
     let addr_of = |i: u64| {
-        let arena = if i.is_multiple_of(2) { arena_a } else { arena_b };
+        let arena = if i.is_multiple_of(2) {
+            arena_a
+        } else {
+            arena_b
+        };
         arena + (i / 2) * node_bytes
     };
     let mut image_a = Vec::new();
     let mut image_b = Vec::new();
     for i in 0..nodes {
         let next = if i + 1 < nodes { addr_of(i + 1) } else { 0 };
-        let target = if i % 2 == 0 { &mut image_a } else { &mut image_b };
+        let target = if i % 2 == 0 {
+            &mut image_a
+        } else {
+            &mut image_b
+        };
         target.extend_from_slice(&(i * 3).to_le_bytes()); // car: a value
         target.extend_from_slice(&next.to_le_bytes()); // cdr: next node
     }

@@ -24,7 +24,11 @@ fn main() {
     //    machine, translating every data access through the design.
     let metrics = simulate(&SimConfig::baseline(), &trace, tlb.as_mut());
 
-    println!("design            : {} ({})", design.mnemonic(), design.description());
+    println!(
+        "design            : {} ({})",
+        design.mnemonic(),
+        design.description()
+    );
     println!("cycles            : {}", metrics.cycles);
     println!("IPC               : {:.3}", metrics.ipc());
     println!("loads / stores    : {} / {}", metrics.loads, metrics.stores);
@@ -34,6 +38,9 @@ fn main() {
         "shielded by L1    : {:.1}% (never reached the L2 TLB)",
         metrics.tlb.shield_rate() * 100.0
     );
-    println!("TLB miss rate     : {:.3}%", metrics.tlb.miss_rate() * 100.0);
+    println!(
+        "TLB miss rate     : {:.3}%",
+        metrics.tlb.miss_rate() * 100.0
+    );
     println!("port retries      : {}", metrics.tlb.retries);
 }

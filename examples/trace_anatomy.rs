@@ -21,10 +21,23 @@ fn main() {
     let reuse = ReuseProfile::of_trace(&trace, geom);
     let adj = AdjacencyProfile::of_trace(&trace, geom, 4);
     let ptr = PointerProfile::of_trace(&trace, geom);
-    println!("{bench}: {} instructions, {} pages touched", trace.len(), reuse.distinct_pages());
-    println!("ideal  8-entry LRU shield miss rate : {:.2}%", reuse.lru_miss_rate(8) * 100.0);
-    println!("ideal combiner absorbs (window 4)   : {:.1}%", adj.combinable_fraction() * 100.0);
-    println!("ideal pretranslation reuse          : {:.1}%", ptr.reuse_fraction() * 100.0);
+    println!(
+        "{bench}: {} instructions, {} pages touched",
+        trace.len(),
+        reuse.distinct_pages()
+    );
+    println!(
+        "ideal  8-entry LRU shield miss rate : {:.2}%",
+        reuse.lru_miss_rate(8) * 100.0
+    );
+    println!(
+        "ideal combiner absorbs (window 4)   : {:.1}%",
+        adj.combinable_fraction() * 100.0
+    );
+    println!(
+        "ideal pretranslation reuse          : {:.1}%",
+        ptr.reuse_fraction() * 100.0
+    );
 
     // What the real mechanisms achieve.
     let cfg = SimConfig::baseline();

@@ -1,0 +1,234 @@
+//! Offline drop-in replacement for the subset of `criterion` this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `criterion` to this shim (see `shims/README.md`). It keeps
+//! criterion's API shape (`criterion_group!`, benchmark groups,
+//! `iter`/`iter_batched`, throughput annotation) over a simple wall-clock
+//! harness:
+//!
+//! * under `cargo bench` (cargo passes `--bench`), each benchmark is
+//!   warmed up and then timed over an adaptive iteration count, and the
+//!   median per-iteration time plus derived throughput is printed;
+//! * under `cargo test` (no `--bench` argument), each benchmark body runs
+//!   exactly once as a smoke test, so the tier-1 suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup; the shim accepts every variant and
+/// runs one setup per measured batch regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small routine input: many iterations per batch in real criterion.
+    SmallInput,
+    /// Large routine input: few iterations per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// Explicit batch count.
+    NumBatches(u64),
+    /// Explicit iteration count.
+    NumIterations(u64),
+}
+
+/// Work-per-iteration annotation, used to derive a rate column.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Bytes, reported in decimal multiples.
+    BytesDecimal(u64),
+}
+
+/// True when invoked by `cargo bench` (which passes `--bench`); false
+/// under `cargo test`, where benches run once as smoke tests.
+fn measuring() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Runs `routine` repeatedly and reports the median per-iteration time.
+struct Sampler {
+    /// Target wall time per benchmark when measuring.
+    budget: Duration,
+    samples: usize,
+}
+
+impl Sampler {
+    fn new(samples: usize) -> Self {
+        Sampler {
+            budget: Duration::from_millis(300),
+            samples: samples.max(5),
+        }
+    }
+
+    /// Times `f` (which runs the routine once) and returns the median
+    /// iteration time, or `None` in smoke mode.
+    fn run(&self, mut f: impl FnMut()) -> Option<Duration> {
+        if !measuring() {
+            f();
+            return None;
+        }
+        // Warm up and estimate a per-iteration cost.
+        let start = Instant::now();
+        f();
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (self.budget / self.samples as u32).max(Duration::from_micros(50));
+        let iters_per_sample = (per_sample.as_nanos() / estimate.as_nanos()).clamp(1, 100_000);
+        let mut medians: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                f();
+            }
+            medians.push(t0.elapsed() / iters_per_sample as u32);
+        }
+        medians.sort_unstable();
+        Some(medians[medians.len() / 2])
+    }
+}
+
+/// The per-benchmark timing callback target.
+pub struct Bencher<'a> {
+    sampler: &'a Sampler,
+    result: Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times the routine as-is.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.result = self.sampler.run(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Times the routine with a fresh setup value per call; setup time is
+    /// excluded in real criterion but simply kept small here by the
+    /// caller's convention.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.result = self.sampler.run(|| {
+            let input = setup();
+            black_box(routine(input));
+        });
+    }
+}
+
+fn report(group: &str, id: &str, result: Option<Duration>, throughput: Option<Throughput>) {
+    let Some(t) = result else {
+        println!("{group}/{id}: ok (smoke)");
+        return;
+    };
+    let nanos = t.as_nanos().max(1);
+    let rate = throughput.map(|tp| match tp {
+        Throughput::Elements(n) => format!(" ({:.3} Melem/s)", n as f64 * 1e3 / nanos as f64),
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+            format!(" ({:.3} MB/s)", n as f64 * 1e3 / nanos as f64)
+        }
+    });
+    println!(
+        "{group}/{id}: {:.3} µs/iter{}",
+        nanos as f64 / 1e3,
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration annotation.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the sample count (measurement granularity in the shim).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let sampler = Sampler::new(self.sample_size);
+        let mut bencher = Bencher {
+            sampler: &sampler,
+            result: None,
+        };
+        let mut f = f;
+        f(&mut bencher);
+        report(&self.name, &id, bencher.result, self.throughput);
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = id.to_owned();
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Declares a group-runner function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

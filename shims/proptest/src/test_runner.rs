@@ -1,0 +1,72 @@
+//! Test execution support: configuration, the per-case RNG, and the error
+//! type `prop_assert!` produces.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// How many cases `proptest!` runs per property.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases (mirrors
+    /// `ProptestConfig::with_cases`).
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps offline CI fast while still
+        // exercising the generators broadly.
+        Config { cases: 64 }
+    }
+}
+
+/// The generator handed to strategies. Deterministic: case `n` of every
+/// test function draws from the same stream on every run, so failures
+/// reproduce without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for one numbered case.
+    pub fn for_case(case: u32) -> Self {
+        TestRng(SmallRng::seed_from_u64(
+            0x5eed_cafe_0000_0000 ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A failed property case (no shrinking in the shim: the message carries
+/// the assertion text).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

@@ -1,0 +1,213 @@
+//! Distributions: `Standard`, `Bernoulli`, and uniform range sampling.
+//!
+//! Each algorithm reproduces rand 0.8.5 bit-for-bit (see the crate docs
+//! for why that matters).
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for
+/// integers, uniform over `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($ty:ty => $method:ident),* $(,)?) => {$(
+        impl Distribution<$ty> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.$method() as $ty
+            }
+        }
+    )*};
+}
+
+// 8/16/32-bit values come from `next_u32`, wider ones from `next_u64`,
+// exactly as rand's `impl_int_from_uint!` does.
+standard_int! {
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // The most significant bit, to sidestep weak low bits.
+        rng.next_u32() & 0x8000_0000 != 0
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 effective mantissa bits, uniform over [0, 1).
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 effective mantissa bits, uniform over [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Error from [`Bernoulli::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BernoulliError {
+    /// Probability outside `[0, 1]`.
+    InvalidProbability,
+}
+
+/// A yes/no distribution with fixed-point probability, as in rand 0.8:
+/// `p` is scaled to a 64-bit integer once, then each sample is a single
+/// comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Bernoulli {
+    p_int: u64,
+}
+
+const ALWAYS_TRUE: u64 = u64::MAX;
+const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+impl Bernoulli {
+    /// Creates the distribution; `p` must be within `[0, 1]`.
+    pub fn new(p: f64) -> Result<Bernoulli, BernoulliError> {
+        if !(0.0..1.0).contains(&p) {
+            if p == 1.0 {
+                return Ok(Bernoulli { p_int: ALWAYS_TRUE });
+            }
+            return Err(BernoulliError::InvalidProbability);
+        }
+        Ok(Bernoulli {
+            p_int: (p * SCALE) as u64,
+        })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p_int == ALWAYS_TRUE {
+            return true;
+        }
+        rng.next_u64() < self.p_int
+    }
+}
+
+/// Uniform range sampling (`Rng::gen_range`).
+pub mod uniform {
+    use crate::RngCore;
+
+    /// A range that `Rng::gen_range` can sample from.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// A type with a uniform sampler over half-open ranges.
+    pub trait SampleUniform: Sized {
+        /// Uniform draw from `[low, high)`.
+        fn sample_uniform_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_uniform_single(self.start, self.end, rng)
+        }
+    }
+
+    macro_rules! wmul {
+        (u32, $a:expr, $b:expr) => {{
+            let w = ($a as u64).wrapping_mul($b as u64);
+            ((w >> 32) as u32, w as u32)
+        }};
+        (u64, $a:expr, $b:expr) => {{
+            let w = ($a as u128).wrapping_mul($b as u128);
+            ((w >> 64) as u64, w as u64)
+        }};
+    }
+
+    macro_rules! uniform_int {
+        ($ty:ty, $unsigned:ty, $u_large:tt, $gen:ident) => {
+            impl SampleUniform for $ty {
+                fn sample_uniform_single<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    // Lemire widening-multiply rejection, rand 0.8 layout:
+                    // exact rejection zone for sub-u16 types, the
+                    // leading-zeros approximation for wider ones.
+                    let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                    let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                        let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                        <$u_large>::MAX - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $u_large = rng.$gen() as $u_large;
+                        let (hi, lo) = wmul!($u_large, v, range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int!(u8, u8, u32, next_u32);
+    uniform_int!(u16, u16, u32, next_u32);
+    uniform_int!(u32, u32, u32, next_u32);
+    uniform_int!(u64, u64, u64, next_u64);
+    uniform_int!(usize, usize, u64, next_u64);
+    uniform_int!(i8, u8, u32, next_u32);
+    uniform_int!(i16, u16, u32, next_u32);
+    uniform_int!(i32, u32, u32, next_u32);
+    uniform_int!(i64, u64, u64, next_u64);
+    uniform_int!(isize, usize, u64, next_u64);
+
+    macro_rules! uniform_float {
+        ($ty:ty, $uty:ty, $gen:ident, $bits_to_discard:expr, $exponent_bias_bits:expr) => {
+            impl SampleUniform for $ty {
+                fn sample_uniform_single<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let mut scale = high - low;
+                    loop {
+                        // A uniform mantissa with exponent 0 is uniform in
+                        // [1, 2); shift into [low, high).
+                        let bits = rng.$gen() >> $bits_to_discard;
+                        let value1_2 = <$ty>::from_bits(bits | ($exponent_bias_bits));
+                        let value0_1 = value1_2 - 1.0;
+                        let res = value0_1 * scale + low;
+                        if res < high {
+                            return res;
+                        }
+                        // Rounding put us on the boundary (vanishingly
+                        // rare for finite ranges): shrink scale one ULP.
+                        scale = <$ty>::from_bits(scale.to_bits() - 1);
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_float!(f32, u32, next_u32, 32 - 23, 127u32 << 23);
+    uniform_float!(f64, u64, next_u64, 64 - 52, 1023u64 << 52);
+}

@@ -1,0 +1,36 @@
+//! The deserialization half: declared so `Deserialize` bounds compile,
+//! not implemented — nothing in this workspace deserializes yet. Derived
+//! impls return [`Error::custom`] when invoked.
+
+use std::fmt::Display;
+
+/// Deserializer-side error constraint.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+impl Error for std::fmt::Error {
+    fn custom<T: Display>(_msg: T) -> Self {
+        std::fmt::Error
+    }
+}
+
+/// A source of serde's data model. The shim defines no driving methods
+/// because no deserializer exists offline; the associated error type is
+/// what derived impls report through.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+}
+
+/// A deserializable value.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

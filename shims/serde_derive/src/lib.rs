@@ -1,0 +1,343 @@
+//! Offline replacement for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so `syn`/`quote` are
+//! unavailable and this macro parses the derive input token stream by hand.
+//! It supports exactly the shapes this workspace derives on:
+//!
+//! * tuple structs (any arity; arity 1 serializes as a newtype struct),
+//! * named-field structs,
+//! * enums whose variants are all unit variants.
+//!
+//! `Serialize` impls drive the real serde data model; `Deserialize` impls
+//! only satisfy trait bounds and error at runtime (see `shims/serde`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive target.
+enum Input {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let source = match parse(input) {
+        Ok(parsed) => gen(&parsed),
+        Err(msg) => format!("::std::compile_error!({msg:?});"),
+    };
+    source
+        .parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                     -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                     ::serde::Serializer::serialize_newtype_struct(serializer, {name:?}, &self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let mut body = format!(
+                "let mut state = ::serde::Serializer::serialize_tuple_struct(\
+                     serializer, {name:?}, {arity})?;\n"
+            );
+            for i in 0..*arity {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut state, &self.{i})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(state)");
+            wrap_serialize(name, &body)
+        }
+        Input::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let mut state = ::serde::Serializer::serialize_struct(\
+                     serializer, {name:?}, {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut state, {f:?}, &self.{f})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(state)");
+            wrap_serialize(name, &body)
+        }
+        Input::UnitEnum { name, variants } => {
+            let mut body = String::from("match self {\n");
+            for (i, v) in variants.iter().enumerate() {
+                body.push_str(&format!(
+                    "{name}::{v} => ::serde::Serializer::serialize_unit_variant(\
+                         serializer, {name:?}, {i}u32, {v:?}),\n"
+                ));
+            }
+            body.push('}');
+            wrap_serialize(name, &body)
+        }
+    }
+}
+
+fn wrap_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = match input {
+        Input::NamedStruct { name, .. }
+        | Input::TupleStruct { name, .. }
+        | Input::UnitEnum { name, .. } => name,
+    };
+    format!(
+        "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::de::Deserializer<'de>>(_deserializer: D)\n\
+                 -> ::std::result::Result<Self, D::Error> {{\n\
+                 ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+                     \"the offline serde shim does not implement deserialization\"))\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// A cursor over the top-level token trees of the derive input.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes any run of `#[...]` attributes (doc comments included).
+    fn skip_attributes(&mut self) {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.pos += 1; // '#'
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` etc. if present.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!(
+                "serde_derive shim: expected identifier, got {other:?}"
+            )),
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut cur = Cursor {
+        tokens: input.into_iter().collect(),
+        pos: 0,
+    };
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic type `{name}` is not supported"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => parse_struct(&mut cur, name),
+        "enum" => parse_enum(&mut cur, name),
+        other => Err(format!("serde_derive shim: cannot derive on `{other}`")),
+    }
+}
+
+fn parse_struct(cur: &mut Cursor, name: String) -> Result<Input, String> {
+    match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream())?;
+            Ok(Input::NamedStruct { name, fields })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_tuple_fields(g.stream());
+            Ok(Input::TupleStruct { name, arity })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            // Unit struct: serialize as a zero-arity tuple struct would be
+            // wrong; serde treats it as serialize_unit_struct, but nothing
+            // in this workspace derives on one, so reject loudly.
+            Err(format!(
+                "serde_derive shim: unit struct `{name}` is not supported"
+            ))
+        }
+        other => Err(format!("serde_derive shim: unexpected token {other:?}")),
+    }
+}
+
+/// Extracts field names from `{ pub a: T, b: U, ... }`, skipping the types
+/// (which may contain angle-bracketed or parenthesised commas).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut cur = Cursor {
+        tokens: stream.into_iter().collect(),
+        pos: 0,
+    };
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attributes();
+        if cur.peek().is_none() {
+            return Ok(fields);
+        }
+        cur.skip_visibility();
+        fields.push(cur.expect_ident()?);
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected `:` after field name, got {other:?}"
+                ))
+            }
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // Groups arrive as single trees, so only `<`/`>` need tracking.
+        let mut depth = 0i32;
+        loop {
+            match cur.peek() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) => {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 => {
+                            cur.pos += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    cur.pos += 1;
+                }
+                Some(_) => cur.pos += 1,
+            }
+        }
+    }
+}
+
+/// Counts fields in `(pub A, B, ...)` by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    saw_token = true;
+                }
+                '>' => {
+                    depth -= 1;
+                    saw_token = true;
+                }
+                ',' if depth == 0 => {
+                    fields += 1;
+                    saw_token = false;
+                }
+                _ => saw_token = true,
+            },
+            _ => saw_token = true,
+        }
+    }
+    if saw_token {
+        fields += 1; // no trailing comma after the last field
+    }
+    fields
+}
+
+fn parse_enum(cur: &mut Cursor, name: String) -> Result<Input, String> {
+    let body = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => Err(format!(
+            "serde_derive shim: expected enum body, got {other:?}"
+        ))?,
+    };
+    let mut cur = Cursor {
+        tokens: body.into_iter().collect(),
+        pos: 0,
+    };
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attributes();
+        if cur.peek().is_none() {
+            return Ok(Input::UnitEnum { name, variants });
+        }
+        let variant = cur.expect_ident()?;
+        match cur.next() {
+            // Unit variant followed by `,` or end of body.
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            None => {
+                variants.push(variant);
+                return Ok(Input::UnitEnum { name, variants });
+            }
+            // `= discriminant`: skip the expression up to the next comma.
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                loop {
+                    match cur.peek() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        Some(_) => cur.pos += 1,
+                    }
+                }
+                cur.next(); // the comma, if any
+                variants.push(variant);
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde_derive shim: enum `{name}` has a non-unit variant `{variant}`"
+                ))
+            }
+            other => {
+                return Err(format!(
+                    "serde_derive shim: unexpected token in enum `{name}`: {other:?}"
+                ))
+            }
+        }
+    }
+}

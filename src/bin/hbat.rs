@@ -105,7 +105,11 @@ impl Options {
 }
 
 fn print_metrics(design: DesignSpec, m: &RunMetrics) {
-    println!("design            : {} ({})", design.mnemonic(), design.description());
+    println!(
+        "design            : {} ({})",
+        design.mnemonic(),
+        design.description()
+    );
     println!("cycles            : {}", m.cycles);
     println!("IPC (commit)      : {:.3}", m.ipc());
     println!("IPC (issue)       : {:.3}", m.issue_ipc());
@@ -201,9 +205,8 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             let path = opts.positional.get(1).ok_or("missing output path")?;
             let cfg = opts.experiment();
             let trace = bench.build(&cfg.workload).trace();
-            let mut f = std::io::BufWriter::new(
-                std::fs::File::create(path).map_err(|e| e.to_string())?,
-            );
+            let mut f =
+                std::io::BufWriter::new(std::fs::File::create(path).map_err(|e| e.to_string())?);
             tracefile::write_trace(&mut f, &trace).map_err(|e| e.to_string())?;
             println!("wrote {} records to {path}", trace.len());
             Ok(())
@@ -211,9 +214,8 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
         "replay" => {
             let path = opts.positional.first().ok_or("missing trace path")?;
             let design = opts.design(1)?;
-            let mut f = std::io::BufReader::new(
-                std::fs::File::open(path).map_err(|e| e.to_string())?,
-            );
+            let mut f =
+                std::io::BufReader::new(std::fs::File::open(path).map_err(|e| e.to_string())?);
             let trace = tracefile::read_trace(&mut f).map_err(|e| e.to_string())?;
             let cfg = opts.experiment();
             let mut tlb = design.build(cfg.geometry, cfg.design_seed);

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-66fc6bbe77255a4f.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-66fc6bbe77255a4f: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

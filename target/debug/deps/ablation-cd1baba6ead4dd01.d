@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-cd1baba6ead4dd01.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-cd1baba6ead4dd01: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-df1bd2a0d9d04b37.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-df1bd2a0d9d04b37: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anatomy-9a8c65fe30106959.d: crates/bench/src/bin/anatomy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanatomy-9a8c65fe30106959.rmeta: crates/bench/src/bin/anatomy.rs Cargo.toml
+
+crates/bench/src/bin/anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anatomy-b4afa3f9540c3a44.d: crates/bench/src/bin/anatomy.rs
+
+/root/repo/target/debug/deps/anatomy-b4afa3f9540c3a44: crates/bench/src/bin/anatomy.rs
+
+crates/bench/src/bin/anatomy.rs:

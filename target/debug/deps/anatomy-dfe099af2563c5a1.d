@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anatomy-dfe099af2563c5a1.d: crates/bench/src/bin/anatomy.rs
+
+/root/repo/target/debug/deps/anatomy-dfe099af2563c5a1: crates/bench/src/bin/anatomy.rs
+
+crates/bench/src/bin/anatomy.rs:

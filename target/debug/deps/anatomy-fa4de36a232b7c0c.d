@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anatomy-fa4de36a232b7c0c.d: crates/bench/src/bin/anatomy.rs
+
+/root/repo/target/debug/deps/anatomy-fa4de36a232b7c0c: crates/bench/src/bin/anatomy.rs
+
+crates/bench/src/bin/anatomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anatomy_validation-4bfb5dfe5517328f.d: tests/anatomy_validation.rs
+
+/root/repo/target/debug/deps/anatomy_validation-4bfb5dfe5517328f: tests/anatomy_validation.rs
+
+tests/anatomy_validation.rs:

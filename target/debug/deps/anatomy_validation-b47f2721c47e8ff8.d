@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anatomy_validation-b47f2721c47e8ff8.d: tests/anatomy_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanatomy_validation-b47f2721c47e8ff8.rmeta: tests/anatomy_validation.rs Cargo.toml
+
+tests/anatomy_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-46053bca2e87a56c.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-46053bca2e87a56c: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_hbat=/root/repo/target/debug/hbat

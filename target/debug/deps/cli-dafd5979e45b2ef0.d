@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-dafd5979e45b2ef0.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-dafd5979e45b2ef0.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_hbat=placeholder:hbat
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-747aafd087c8bde0.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-747aafd087c8bde0.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-747aafd087c8bde0.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

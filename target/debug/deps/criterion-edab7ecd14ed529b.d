@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-edab7ecd14ed529b.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-edab7ecd14ed529b: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

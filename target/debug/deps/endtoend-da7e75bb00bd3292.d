@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/endtoend-da7e75bb00bd3292.d: crates/bench/benches/endtoend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libendtoend-da7e75bb00bd3292.rmeta: crates/bench/benches/endtoend.rs Cargo.toml
+
+crates/bench/benches/endtoend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_hotloop-ae8c1af335232a0d.d: crates/bench/benches/engine_hotloop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_hotloop-ae8c1af335232a0d.rmeta: crates/bench/benches/engine_hotloop.rs Cargo.toml
+
+crates/bench/benches/engine_hotloop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

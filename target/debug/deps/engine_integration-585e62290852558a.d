@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_integration-585e62290852558a.d: crates/cpu/tests/engine_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_integration-585e62290852558a.rmeta: crates/cpu/tests/engine_integration.rs Cargo.toml
+
+crates/cpu/tests/engine_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_integration-ac29d0c8bb68d770.d: crates/cpu/tests/engine_integration.rs
+
+/root/repo/target/debug/deps/engine_integration-ac29d0c8bb68d770: crates/cpu/tests/engine_integration.rs
+
+crates/cpu/tests/engine_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_micro-16ef72763f3725e2.d: crates/cpu/tests/engine_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_micro-16ef72763f3725e2.rmeta: crates/cpu/tests/engine_micro.rs Cargo.toml
+
+crates/cpu/tests/engine_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_micro-90eed32d1bc28b01.d: crates/cpu/tests/engine_micro.rs
+
+/root/repo/target/debug/deps/engine_micro-90eed32d1bc28b01: crates/cpu/tests/engine_micro.rs
+
+crates/cpu/tests/engine_micro.rs:

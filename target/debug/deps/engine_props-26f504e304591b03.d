@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_props-26f504e304591b03.d: crates/cpu/tests/engine_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_props-26f504e304591b03.rmeta: crates/cpu/tests/engine_props.rs Cargo.toml
+
+crates/cpu/tests/engine_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_props-a1984ece2cba2ba4.d: crates/cpu/tests/engine_props.rs
+
+/root/repo/target/debug/deps/engine_props-a1984ece2cba2ba4: crates/cpu/tests/engine_props.rs
+
+crates/cpu/tests/engine_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor-00f1f58e69db259e.d: crates/bench/tests/executor.rs
+
+/root/repo/target/debug/deps/executor-00f1f58e69db259e: crates/bench/tests/executor.rs
+
+crates/bench/tests/executor.rs:

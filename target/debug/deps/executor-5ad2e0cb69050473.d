@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor-5ad2e0cb69050473.d: crates/bench/tests/executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor-5ad2e0cb69050473.rmeta: crates/bench/tests/executor.rs Cargo.toml
+
+crates/bench/tests/executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

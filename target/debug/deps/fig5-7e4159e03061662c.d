@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-7e4159e03061662c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-7e4159e03061662c: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

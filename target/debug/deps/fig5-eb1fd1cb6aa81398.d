@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-eb1fd1cb6aa81398.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-eb1fd1cb6aa81398: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

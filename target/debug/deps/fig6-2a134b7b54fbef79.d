@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-2a134b7b54fbef79.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-2a134b7b54fbef79: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-901524f1f72eadfe.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-901524f1f72eadfe: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

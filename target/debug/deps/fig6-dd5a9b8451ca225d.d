@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-dd5a9b8451ca225d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-dd5a9b8451ca225d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

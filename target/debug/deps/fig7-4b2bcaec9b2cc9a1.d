@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-4b2bcaec9b2cc9a1.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-4b2bcaec9b2cc9a1: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-815a2de27e94cbb3.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-815a2de27e94cbb3: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

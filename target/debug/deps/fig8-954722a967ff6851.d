@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-954722a967ff6851.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-954722a967ff6851: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

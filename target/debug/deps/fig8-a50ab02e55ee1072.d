@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-a50ab02e55ee1072.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-a50ab02e55ee1072: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-d5a9b4f516fb22a3.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-d5a9b4f516fb22a3: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

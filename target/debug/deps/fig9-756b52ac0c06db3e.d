@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-756b52ac0c06db3e.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-756b52ac0c06db3e: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-b6467d21dd5ba02d.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-b6467d21dd5ba02d: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-f5faef6a3b9e889d.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-f5faef6a3b9e889d: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figs-12711c92c70ff970.d: crates/bench/src/bin/figs.rs
+
+/root/repo/target/debug/deps/figs-12711c92c70ff970: crates/bench/src/bin/figs.rs
+
+crates/bench/src/bin/figs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figs-38097c2c6523359a.d: crates/bench/src/bin/figs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigs-38097c2c6523359a.rmeta: crates/bench/src/bin/figs.rs Cargo.toml
+
+crates/bench/src/bin/figs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

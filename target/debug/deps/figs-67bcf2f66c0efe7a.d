@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figs-67bcf2f66c0efe7a.d: crates/bench/src/bin/figs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigs-67bcf2f66c0efe7a.rmeta: crates/bench/src/bin/figs.rs Cargo.toml
+
+crates/bench/src/bin/figs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

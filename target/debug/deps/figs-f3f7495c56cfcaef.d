@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figs-f3f7495c56cfcaef.d: crates/bench/src/bin/figs.rs
+
+/root/repo/target/debug/deps/figs-f3f7495c56cfcaef: crates/bench/src/bin/figs.rs
+
+crates/bench/src/bin/figs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-c9e0c373e629041e.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-c9e0c373e629041e: tests/full_stack.rs
+
+tests/full_stack.rs:

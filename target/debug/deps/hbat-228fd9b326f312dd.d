@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hbat-228fd9b326f312dd.d: src/bin/hbat.rs
+
+/root/repo/target/debug/deps/hbat-228fd9b326f312dd: src/bin/hbat.rs
+
+src/bin/hbat.rs:

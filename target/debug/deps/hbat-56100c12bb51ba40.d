@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbat-56100c12bb51ba40.d: src/bin/hbat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbat-56100c12bb51ba40.rmeta: src/bin/hbat.rs Cargo.toml
+
+src/bin/hbat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbat-b2c15af80368847d.d: src/bin/hbat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbat-b2c15af80368847d.rmeta: src/bin/hbat.rs Cargo.toml
+
+src/bin/hbat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hbat-d9e2019e363f24e2.d: src/bin/hbat.rs
+
+/root/repo/target/debug/deps/hbat-d9e2019e363f24e2: src/bin/hbat.rs
+
+src/bin/hbat.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hbat_analysis-01d95c182aa2cca4.d: crates/analysis/src/lib.rs crates/analysis/src/adjacency.rs crates/analysis/src/banks.rs crates/analysis/src/footprint.rs crates/analysis/src/pointer.rs crates/analysis/src/reuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbat_analysis-01d95c182aa2cca4.rmeta: crates/analysis/src/lib.rs crates/analysis/src/adjacency.rs crates/analysis/src/banks.rs crates/analysis/src/footprint.rs crates/analysis/src/pointer.rs crates/analysis/src/reuse.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/adjacency.rs:
+crates/analysis/src/banks.rs:
+crates/analysis/src/footprint.rs:
+crates/analysis/src/pointer.rs:
+crates/analysis/src/reuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hbat_analysis-a4499f8d86065724.d: crates/analysis/src/lib.rs crates/analysis/src/adjacency.rs crates/analysis/src/banks.rs crates/analysis/src/footprint.rs crates/analysis/src/pointer.rs crates/analysis/src/reuse.rs
+
+/root/repo/target/debug/deps/libhbat_analysis-a4499f8d86065724.rlib: crates/analysis/src/lib.rs crates/analysis/src/adjacency.rs crates/analysis/src/banks.rs crates/analysis/src/footprint.rs crates/analysis/src/pointer.rs crates/analysis/src/reuse.rs
+
+/root/repo/target/debug/deps/libhbat_analysis-a4499f8d86065724.rmeta: crates/analysis/src/lib.rs crates/analysis/src/adjacency.rs crates/analysis/src/banks.rs crates/analysis/src/footprint.rs crates/analysis/src/pointer.rs crates/analysis/src/reuse.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/adjacency.rs:
+crates/analysis/src/banks.rs:
+crates/analysis/src/footprint.rs:
+crates/analysis/src/pointer.rs:
+crates/analysis/src/reuse.rs:

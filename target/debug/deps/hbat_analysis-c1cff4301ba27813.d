@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hbat_analysis-c1cff4301ba27813.d: crates/analysis/src/lib.rs crates/analysis/src/adjacency.rs crates/analysis/src/banks.rs crates/analysis/src/footprint.rs crates/analysis/src/pointer.rs crates/analysis/src/reuse.rs
+
+/root/repo/target/debug/deps/hbat_analysis-c1cff4301ba27813: crates/analysis/src/lib.rs crates/analysis/src/adjacency.rs crates/analysis/src/banks.rs crates/analysis/src/footprint.rs crates/analysis/src/pointer.rs crates/analysis/src/reuse.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/adjacency.rs:
+crates/analysis/src/banks.rs:
+crates/analysis/src/footprint.rs:
+crates/analysis/src/pointer.rs:
+crates/analysis/src/reuse.rs:

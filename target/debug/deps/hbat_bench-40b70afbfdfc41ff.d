@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hbat_bench-40b70afbfdfc41ff.d: crates/bench/src/lib.rs crates/bench/src/executor.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbat_bench-40b70afbfdfc41ff.rmeta: crates/bench/src/lib.rs crates/bench/src/executor.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/executor.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/missrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

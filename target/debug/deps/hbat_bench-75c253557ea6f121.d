@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hbat_bench-75c253557ea6f121.d: crates/bench/src/lib.rs crates/bench/src/executor.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs
+
+/root/repo/target/debug/deps/hbat_bench-75c253557ea6f121: crates/bench/src/lib.rs crates/bench/src/executor.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/executor.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/missrate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hbat_bench-9999dfd05eb93415.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs
+
+/root/repo/target/debug/deps/hbat_bench-9999dfd05eb93415: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/missrate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hbat_bench-aa13a8d6a4e2e61f.d: crates/bench/src/lib.rs crates/bench/src/executor.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs
+
+/root/repo/target/debug/deps/libhbat_bench-aa13a8d6a4e2e61f.rlib: crates/bench/src/lib.rs crates/bench/src/executor.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs
+
+/root/repo/target/debug/deps/libhbat_bench-aa13a8d6a4e2e61f.rmeta: crates/bench/src/lib.rs crates/bench/src/executor.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/executor.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/missrate.rs:

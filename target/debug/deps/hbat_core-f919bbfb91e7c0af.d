@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/hbat_core-f919bbfb91e7c0af.d: crates/core/src/lib.rs crates/core/src/addr.rs crates/core/src/bank.rs crates/core/src/cycle.rs crates/core/src/designs/mod.rs crates/core/src/designs/interleaved.rs crates/core/src/designs/multilevel.rs crates/core/src/designs/multiported.rs crates/core/src/designs/piggyback.rs crates/core/src/designs/pretranslation.rs crates/core/src/designs/spec.rs crates/core/src/designs/unlimited.rs crates/core/src/designs/victim.rs crates/core/src/entry.rs crates/core/src/pagetable.rs crates/core/src/replacement.rs crates/core/src/request.rs crates/core/src/stats.rs crates/core/src/translator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbat_core-f919bbfb91e7c0af.rmeta: crates/core/src/lib.rs crates/core/src/addr.rs crates/core/src/bank.rs crates/core/src/cycle.rs crates/core/src/designs/mod.rs crates/core/src/designs/interleaved.rs crates/core/src/designs/multilevel.rs crates/core/src/designs/multiported.rs crates/core/src/designs/piggyback.rs crates/core/src/designs/pretranslation.rs crates/core/src/designs/spec.rs crates/core/src/designs/unlimited.rs crates/core/src/designs/victim.rs crates/core/src/entry.rs crates/core/src/pagetable.rs crates/core/src/replacement.rs crates/core/src/request.rs crates/core/src/stats.rs crates/core/src/translator.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/addr.rs:
+crates/core/src/bank.rs:
+crates/core/src/cycle.rs:
+crates/core/src/designs/mod.rs:
+crates/core/src/designs/interleaved.rs:
+crates/core/src/designs/multilevel.rs:
+crates/core/src/designs/multiported.rs:
+crates/core/src/designs/piggyback.rs:
+crates/core/src/designs/pretranslation.rs:
+crates/core/src/designs/spec.rs:
+crates/core/src/designs/unlimited.rs:
+crates/core/src/designs/victim.rs:
+crates/core/src/entry.rs:
+crates/core/src/pagetable.rs:
+crates/core/src/replacement.rs:
+crates/core/src/request.rs:
+crates/core/src/stats.rs:
+crates/core/src/translator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hbat_cpu-43fbb5b8d82f2d0b.d: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/engine.rs crates/cpu/src/fu.rs crates/cpu/src/metrics.rs
+
+/root/repo/target/debug/deps/hbat_cpu-43fbb5b8d82f2d0b: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/engine.rs crates/cpu/src/fu.rs crates/cpu/src/metrics.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/bpred.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/engine.rs:
+crates/cpu/src/fu.rs:
+crates/cpu/src/metrics.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hbat_cpu-8bf49166dee46470.d: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/engine.rs crates/cpu/src/fu.rs crates/cpu/src/metrics.rs
+
+/root/repo/target/debug/deps/libhbat_cpu-8bf49166dee46470.rlib: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/engine.rs crates/cpu/src/fu.rs crates/cpu/src/metrics.rs
+
+/root/repo/target/debug/deps/libhbat_cpu-8bf49166dee46470.rmeta: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/engine.rs crates/cpu/src/fu.rs crates/cpu/src/metrics.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/bpred.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/engine.rs:
+crates/cpu/src/fu.rs:
+crates/cpu/src/metrics.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hbat_cpu-a262579c404631d6.d: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/engine.rs crates/cpu/src/fu.rs crates/cpu/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbat_cpu-a262579c404631d6.rmeta: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/engine.rs crates/cpu/src/fu.rs crates/cpu/src/metrics.rs Cargo.toml
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/bpred.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/engine.rs:
+crates/cpu/src/fu.rs:
+crates/cpu/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

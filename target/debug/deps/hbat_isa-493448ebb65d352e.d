@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hbat_isa-493448ebb65d352e.d: crates/isa/src/lib.rs crates/isa/src/executor.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/trace.rs crates/isa/src/tracefile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbat_isa-493448ebb65d352e.rmeta: crates/isa/src/lib.rs crates/isa/src/executor.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/trace.rs crates/isa/src/tracefile.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/executor.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/trace.rs:
+crates/isa/src/tracefile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hbat_isa-82d7904e29d92413.d: crates/isa/src/lib.rs crates/isa/src/executor.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/trace.rs crates/isa/src/tracefile.rs
+
+/root/repo/target/debug/deps/libhbat_isa-82d7904e29d92413.rlib: crates/isa/src/lib.rs crates/isa/src/executor.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/trace.rs crates/isa/src/tracefile.rs
+
+/root/repo/target/debug/deps/libhbat_isa-82d7904e29d92413.rmeta: crates/isa/src/lib.rs crates/isa/src/executor.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/trace.rs crates/isa/src/tracefile.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/executor.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/trace.rs:
+crates/isa/src/tracefile.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hbat_isa-c8525b54b880aa79.d: crates/isa/src/lib.rs crates/isa/src/executor.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/trace.rs crates/isa/src/tracefile.rs
+
+/root/repo/target/debug/deps/hbat_isa-c8525b54b880aa79: crates/isa/src/lib.rs crates/isa/src/executor.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/trace.rs crates/isa/src/tracefile.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/executor.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/trace.rs:
+crates/isa/src/tracefile.rs:

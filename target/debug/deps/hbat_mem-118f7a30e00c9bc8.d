@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hbat_mem-118f7a30e00c9bc8.d: crates/mem/src/lib.rs crates/mem/src/cache.rs
+
+/root/repo/target/debug/deps/hbat_mem-118f7a30e00c9bc8: crates/mem/src/lib.rs crates/mem/src/cache.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:

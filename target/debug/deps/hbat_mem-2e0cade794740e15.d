@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hbat_mem-2e0cade794740e15.d: crates/mem/src/lib.rs crates/mem/src/cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbat_mem-2e0cade794740e15.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hbat_mem-45e59b34d4a11c50.d: crates/mem/src/lib.rs crates/mem/src/cache.rs
+
+/root/repo/target/debug/deps/libhbat_mem-45e59b34d4a11c50.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs
+
+/root/repo/target/debug/deps/libhbat_mem-45e59b34d4a11c50.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:

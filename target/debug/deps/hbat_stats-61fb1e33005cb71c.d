@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hbat_stats-61fb1e33005cb71c.d: crates/stats/src/lib.rs crates/stats/src/agg.rs crates/stats/src/chart.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/hbat_stats-61fb1e33005cb71c: crates/stats/src/lib.rs crates/stats/src/agg.rs crates/stats/src/chart.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/agg.rs:
+crates/stats/src/chart.rs:
+crates/stats/src/table.rs:

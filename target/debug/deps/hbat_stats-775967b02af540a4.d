@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hbat_stats-775967b02af540a4.d: crates/stats/src/lib.rs crates/stats/src/agg.rs crates/stats/src/chart.rs crates/stats/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbat_stats-775967b02af540a4.rmeta: crates/stats/src/lib.rs crates/stats/src/agg.rs crates/stats/src/chart.rs crates/stats/src/table.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/agg.rs:
+crates/stats/src/chart.rs:
+crates/stats/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

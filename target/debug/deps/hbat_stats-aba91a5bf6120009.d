@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hbat_stats-aba91a5bf6120009.d: crates/stats/src/lib.rs crates/stats/src/agg.rs crates/stats/src/chart.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libhbat_stats-aba91a5bf6120009.rlib: crates/stats/src/lib.rs crates/stats/src/agg.rs crates/stats/src/chart.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libhbat_stats-aba91a5bf6120009.rmeta: crates/stats/src/lib.rs crates/stats/src/agg.rs crates/stats/src/chart.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/agg.rs:
+crates/stats/src/chart.rs:
+crates/stats/src/table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hbat_suite-17475dc79d5e3424.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhbat_suite-17475dc79d5e3424.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhbat_suite-17475dc79d5e3424.rmeta: src/lib.rs
+
+src/lib.rs:

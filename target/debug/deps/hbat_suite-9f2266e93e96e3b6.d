@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbat_suite-9f2266e93e96e3b6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbat_suite-9f2266e93e96e3b6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hbat_suite-a7df23c80a12419e.d: src/lib.rs
+
+/root/repo/target/debug/deps/hbat_suite-a7df23c80a12419e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/hbat_workloads-0d426966b9cbc0ba.d: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/config.rs crates/workloads/src/layout.rs crates/workloads/src/programs/mod.rs crates/workloads/src/programs/compress.rs crates/workloads/src/programs/doduc.rs crates/workloads/src/programs/espresso.rs crates/workloads/src/programs/gcc.rs crates/workloads/src/programs/ghostscript.rs crates/workloads/src/programs/mpeg.rs crates/workloads/src/programs/perl.rs crates/workloads/src/programs/tfft.rs crates/workloads/src/programs/tomcatv.rs crates/workloads/src/programs/xlisp.rs crates/workloads/src/suite.rs crates/workloads/src/util.rs
+
+/root/repo/target/debug/deps/hbat_workloads-0d426966b9cbc0ba: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/config.rs crates/workloads/src/layout.rs crates/workloads/src/programs/mod.rs crates/workloads/src/programs/compress.rs crates/workloads/src/programs/doduc.rs crates/workloads/src/programs/espresso.rs crates/workloads/src/programs/gcc.rs crates/workloads/src/programs/ghostscript.rs crates/workloads/src/programs/mpeg.rs crates/workloads/src/programs/perl.rs crates/workloads/src/programs/tfft.rs crates/workloads/src/programs/tomcatv.rs crates/workloads/src/programs/xlisp.rs crates/workloads/src/suite.rs crates/workloads/src/util.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/config.rs:
+crates/workloads/src/layout.rs:
+crates/workloads/src/programs/mod.rs:
+crates/workloads/src/programs/compress.rs:
+crates/workloads/src/programs/doduc.rs:
+crates/workloads/src/programs/espresso.rs:
+crates/workloads/src/programs/gcc.rs:
+crates/workloads/src/programs/ghostscript.rs:
+crates/workloads/src/programs/mpeg.rs:
+crates/workloads/src/programs/perl.rs:
+crates/workloads/src/programs/tfft.rs:
+crates/workloads/src/programs/tomcatv.rs:
+crates/workloads/src/programs/xlisp.rs:
+crates/workloads/src/suite.rs:
+crates/workloads/src/util.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/hbat_workloads-acf3834d323d1079.d: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/config.rs crates/workloads/src/layout.rs crates/workloads/src/programs/mod.rs crates/workloads/src/programs/compress.rs crates/workloads/src/programs/doduc.rs crates/workloads/src/programs/espresso.rs crates/workloads/src/programs/gcc.rs crates/workloads/src/programs/ghostscript.rs crates/workloads/src/programs/mpeg.rs crates/workloads/src/programs/perl.rs crates/workloads/src/programs/tfft.rs crates/workloads/src/programs/tomcatv.rs crates/workloads/src/programs/xlisp.rs crates/workloads/src/suite.rs crates/workloads/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbat_workloads-acf3834d323d1079.rmeta: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/config.rs crates/workloads/src/layout.rs crates/workloads/src/programs/mod.rs crates/workloads/src/programs/compress.rs crates/workloads/src/programs/doduc.rs crates/workloads/src/programs/espresso.rs crates/workloads/src/programs/gcc.rs crates/workloads/src/programs/ghostscript.rs crates/workloads/src/programs/mpeg.rs crates/workloads/src/programs/perl.rs crates/workloads/src/programs/tfft.rs crates/workloads/src/programs/tomcatv.rs crates/workloads/src/programs/xlisp.rs crates/workloads/src/suite.rs crates/workloads/src/util.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/config.rs:
+crates/workloads/src/layout.rs:
+crates/workloads/src/programs/mod.rs:
+crates/workloads/src/programs/compress.rs:
+crates/workloads/src/programs/doduc.rs:
+crates/workloads/src/programs/espresso.rs:
+crates/workloads/src/programs/gcc.rs:
+crates/workloads/src/programs/ghostscript.rs:
+crates/workloads/src/programs/mpeg.rs:
+crates/workloads/src/programs/perl.rs:
+crates/workloads/src/programs/tfft.rs:
+crates/workloads/src/programs/tomcatv.rs:
+crates/workloads/src/programs/xlisp.rs:
+crates/workloads/src/suite.rs:
+crates/workloads/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/missrate-167eb0e4d562305e.d: crates/bench/benches/missrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmissrate-167eb0e4d562305e.rmeta: crates/bench/benches/missrate.rs Cargo.toml
+
+crates/bench/benches/missrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-18fc4359f84cf3b0.d: crates/mem/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-18fc4359f84cf3b0: crates/mem/tests/properties.rs
+
+crates/mem/tests/properties.rs:

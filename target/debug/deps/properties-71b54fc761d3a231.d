@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-71b54fc761d3a231.d: crates/mem/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-71b54fc761d3a231.rmeta: crates/mem/tests/properties.rs Cargo.toml
+
+crates/mem/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8b1fea951f2eebdb.d: crates/analysis/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8b1fea951f2eebdb: crates/analysis/tests/properties.rs
+
+crates/analysis/tests/properties.rs:

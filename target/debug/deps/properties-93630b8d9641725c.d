@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-93630b8d9641725c.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-93630b8d9641725c: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-969ffcfe5f2ce346.d: crates/isa/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-969ffcfe5f2ce346: crates/isa/tests/properties.rs
+
+crates/isa/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-9f8f437357bbeade.d: crates/analysis/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-9f8f437357bbeade.rmeta: crates/analysis/tests/properties.rs Cargo.toml
+
+crates/analysis/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c45eaf73d318e58b.d: crates/workloads/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c45eaf73d318e58b: crates/workloads/tests/properties.rs
+
+crates/workloads/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-cc1b3d7d03c98223.d: crates/isa/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-cc1b3d7d03c98223.rmeta: crates/isa/tests/properties.rs Cargo.toml
+
+crates/isa/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

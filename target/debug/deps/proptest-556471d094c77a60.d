@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-556471d094c77a60.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-556471d094c77a60.rlib: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-556471d094c77a60.rmeta: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/test_runner.rs:

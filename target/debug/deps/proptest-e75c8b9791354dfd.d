@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-e75c8b9791354dfd.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-e75c8b9791354dfd: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/test_runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-2eebb058fcb08b2e.d: shims/rand/src/lib.rs shims/rand/src/distributions.rs shims/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/rand-2eebb058fcb08b2e: shims/rand/src/lib.rs shims/rand/src/distributions.rs shims/rand/src/rngs.rs
+
+shims/rand/src/lib.rs:
+shims/rand/src/distributions.rs:
+shims/rand/src/rngs.rs:

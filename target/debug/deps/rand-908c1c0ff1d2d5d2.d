@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rand-908c1c0ff1d2d5d2.d: shims/rand/src/lib.rs shims/rand/src/distributions.rs shims/rand/src/rngs.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-908c1c0ff1d2d5d2.rmeta: shims/rand/src/lib.rs shims/rand/src/distributions.rs shims/rand/src/rngs.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+shims/rand/src/distributions.rs:
+shims/rand/src/rngs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-7b1a525100b8302f.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-7b1a525100b8302f: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

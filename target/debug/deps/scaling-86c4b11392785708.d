@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-86c4b11392785708.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-86c4b11392785708: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

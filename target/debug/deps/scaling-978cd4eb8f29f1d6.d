@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-978cd4eb8f29f1d6.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-978cd4eb8f29f1d6: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-f210f45bcf7ae518.d: shims/serde/src/lib.rs shims/serde/src/de.rs shims/serde/src/ser.rs
+
+/root/repo/target/debug/deps/serde-f210f45bcf7ae518: shims/serde/src/lib.rs shims/serde/src/de.rs shims/serde/src/ser.rs
+
+shims/serde/src/lib.rs:
+shims/serde/src/de.rs:
+shims/serde/src/ser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-f35236a5356552d3.d: shims/serde/src/lib.rs shims/serde/src/de.rs shims/serde/src/ser.rs
+
+/root/repo/target/debug/deps/libserde-f35236a5356552d3.rlib: shims/serde/src/lib.rs shims/serde/src/de.rs shims/serde/src/ser.rs
+
+/root/repo/target/debug/deps/libserde-f35236a5356552d3.rmeta: shims/serde/src/lib.rs shims/serde/src/de.rs shims/serde/src/ser.rs
+
+shims/serde/src/lib.rs:
+shims/serde/src/de.rs:
+shims/serde/src/ser.rs:

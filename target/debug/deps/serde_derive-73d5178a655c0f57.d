@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-73d5178a655c0f57.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-73d5178a655c0f57: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-c33bb627fb7d418b.d: crates/core/tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-c33bb627fb7d418b: crates/core/tests/serde_roundtrip.rs
+
+crates/core/tests/serde_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shootdown-0ca7d1eb2822b3d1.d: crates/core/tests/shootdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshootdown-0ca7d1eb2822b3d1.rmeta: crates/core/tests/shootdown.rs Cargo.toml
+
+crates/core/tests/shootdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

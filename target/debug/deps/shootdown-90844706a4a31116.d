@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shootdown-90844706a4a31116.d: crates/core/tests/shootdown.rs
+
+/root/repo/target/debug/deps/shootdown-90844706a4a31116: crates/core/tests/shootdown.rs
+
+crates/core/tests/shootdown.rs:

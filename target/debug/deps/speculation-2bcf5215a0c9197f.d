@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speculation-2bcf5215a0c9197f.d: crates/cpu/tests/speculation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeculation-2bcf5215a0c9197f.rmeta: crates/cpu/tests/speculation.rs Cargo.toml
+
+crates/cpu/tests/speculation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speculation-7c03de2ab0a0b742.d: crates/cpu/tests/speculation.rs
+
+/root/repo/target/debug/deps/speculation-7c03de2ab0a0b742: crates/cpu/tests/speculation.rs
+
+crates/cpu/tests/speculation.rs:

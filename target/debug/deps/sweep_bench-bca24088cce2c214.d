@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_bench-bca24088cce2c214.d: crates/bench/src/bin/sweep_bench.rs
+
+/root/repo/target/debug/deps/sweep_bench-bca24088cce2c214: crates/bench/src/bin/sweep_bench.rs
+
+crates/bench/src/bin/sweep_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_bench-cdcecb18672c9dbd.d: crates/bench/src/bin/sweep_bench.rs
+
+/root/repo/target/debug/deps/sweep_bench-cdcecb18672c9dbd: crates/bench/src/bin/sweep_bench.rs
+
+crates/bench/src/bin/sweep_bench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_bench-e8290697916752b5.d: crates/bench/src/bin/sweep_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_bench-e8290697916752b5.rmeta: crates/bench/src/bin/sweep_bench.rs Cargo.toml
+
+crates/bench/src/bin/sweep_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1fc0e258bddd4cd2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-1fc0e258bddd4cd2: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5801142829d8c498.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5801142829d8c498: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-8ae5efdd42b4b487.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-8ae5efdd42b4b487: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

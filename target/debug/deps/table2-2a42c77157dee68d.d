@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-2a42c77157dee68d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-2a42c77157dee68d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-cd5326ee3950208b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-cd5326ee3950208b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

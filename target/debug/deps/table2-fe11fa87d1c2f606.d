@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-fe11fa87d1c2f606.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-fe11fa87d1c2f606: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-7cad80c266dc00fc.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-7cad80c266dc00fc: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ac942b6421cdcf03.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-ac942b6421cdcf03: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

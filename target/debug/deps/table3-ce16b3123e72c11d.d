@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ce16b3123e72c11d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-ce16b3123e72c11d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

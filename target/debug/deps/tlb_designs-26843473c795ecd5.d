@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tlb_designs-26843473c795ecd5.d: crates/bench/benches/tlb_designs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtlb_designs-26843473c795ecd5.rmeta: crates/bench/benches/tlb_designs.rs Cargo.toml
+
+crates/bench/benches/tlb_designs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-540d67d410b05034.d: examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-540d67d410b05034: examples/custom_workload.rs
+
+examples/custom_workload.rs:

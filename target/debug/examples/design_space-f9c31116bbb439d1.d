@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-f9c31116bbb439d1.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-f9c31116bbb439d1: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/page_size_study-4afaa73a1a36aa83.d: examples/page_size_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpage_size_study-4afaa73a1a36aa83.rmeta: examples/page_size_study.rs Cargo.toml
+
+examples/page_size_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

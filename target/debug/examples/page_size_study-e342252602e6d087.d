@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/page_size_study-e342252602e6d087.d: examples/page_size_study.rs
+
+/root/repo/target/debug/examples/page_size_study-e342252602e6d087: examples/page_size_study.rs
+
+examples/page_size_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-430d1bc56eb4cb78.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-430d1bc56eb4cb78: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_anatomy-9b44016c41ed7d06.d: examples/trace_anatomy.rs
+
+/root/repo/target/debug/examples/trace_anatomy-9b44016c41ed7d06: examples/trace_anatomy.rs
+
+examples/trace_anatomy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_anatomy-decfc1616ffeca98.d: examples/trace_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_anatomy-decfc1616ffeca98.rmeta: examples/trace_anatomy.rs Cargo.toml
+
+examples/trace_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-a5f78b49579471f0.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-a5f78b49579471f0: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/anatomy-9225cfbc9d970a11.d: crates/bench/src/bin/anatomy.rs
+
+/root/repo/target/release/deps/anatomy-9225cfbc9d970a11: crates/bench/src/bin/anatomy.rs
+
+crates/bench/src/bin/anatomy.rs:

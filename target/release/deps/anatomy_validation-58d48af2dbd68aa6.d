@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/anatomy_validation-58d48af2dbd68aa6.d: tests/anatomy_validation.rs
+
+/root/repo/target/release/deps/anatomy_validation-58d48af2dbd68aa6: tests/anatomy_validation.rs
+
+tests/anatomy_validation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-c8b2f96bb4657539.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c8b2f96bb4657539.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c8b2f96bb4657539.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

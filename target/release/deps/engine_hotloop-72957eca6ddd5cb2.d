@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_hotloop-72957eca6ddd5cb2.d: crates/bench/benches/engine_hotloop.rs
+
+/root/repo/target/release/deps/engine_hotloop-72957eca6ddd5cb2: crates/bench/benches/engine_hotloop.rs
+
+crates/bench/benches/engine_hotloop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-36ca8fde7b126bf1.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-36ca8fde7b126bf1: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-db084917583dd6ab.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-db084917583dd6ab: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

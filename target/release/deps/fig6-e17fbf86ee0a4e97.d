@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-e17fbf86ee0a4e97.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-e17fbf86ee0a4e97: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-998ddeaabaa0ac56.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-998ddeaabaa0ac56: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

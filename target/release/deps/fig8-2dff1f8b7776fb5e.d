@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-2dff1f8b7776fb5e.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-2dff1f8b7776fb5e: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-d6f5320422b1ba6f.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-d6f5320422b1ba6f: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figs-a949afec5d62da14.d: crates/bench/src/bin/figs.rs
+
+/root/repo/target/release/deps/figs-a949afec5d62da14: crates/bench/src/bin/figs.rs
+
+crates/bench/src/bin/figs.rs:

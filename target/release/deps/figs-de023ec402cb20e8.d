@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figs-de023ec402cb20e8.d: crates/bench/src/bin/figs.rs
+
+/root/repo/target/release/deps/figs-de023ec402cb20e8: crates/bench/src/bin/figs.rs
+
+crates/bench/src/bin/figs.rs:

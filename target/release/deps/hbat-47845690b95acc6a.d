@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hbat-47845690b95acc6a.d: src/bin/hbat.rs
+
+/root/repo/target/release/deps/hbat-47845690b95acc6a: src/bin/hbat.rs
+
+src/bin/hbat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hbat-e2dc9eaab64e9306.d: src/bin/hbat.rs
+
+/root/repo/target/release/deps/hbat-e2dc9eaab64e9306: src/bin/hbat.rs
+
+src/bin/hbat.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hbat_analysis-cc9f929e205a3920.d: crates/analysis/src/lib.rs crates/analysis/src/adjacency.rs crates/analysis/src/banks.rs crates/analysis/src/footprint.rs crates/analysis/src/pointer.rs crates/analysis/src/reuse.rs
+
+/root/repo/target/release/deps/libhbat_analysis-cc9f929e205a3920.rlib: crates/analysis/src/lib.rs crates/analysis/src/adjacency.rs crates/analysis/src/banks.rs crates/analysis/src/footprint.rs crates/analysis/src/pointer.rs crates/analysis/src/reuse.rs
+
+/root/repo/target/release/deps/libhbat_analysis-cc9f929e205a3920.rmeta: crates/analysis/src/lib.rs crates/analysis/src/adjacency.rs crates/analysis/src/banks.rs crates/analysis/src/footprint.rs crates/analysis/src/pointer.rs crates/analysis/src/reuse.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/adjacency.rs:
+crates/analysis/src/banks.rs:
+crates/analysis/src/footprint.rs:
+crates/analysis/src/pointer.rs:
+crates/analysis/src/reuse.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hbat_analysis-f6b0949c9c9e0adf.d: crates/analysis/src/lib.rs crates/analysis/src/adjacency.rs crates/analysis/src/banks.rs crates/analysis/src/footprint.rs crates/analysis/src/pointer.rs crates/analysis/src/reuse.rs
+
+/root/repo/target/release/deps/libhbat_analysis-f6b0949c9c9e0adf.rlib: crates/analysis/src/lib.rs crates/analysis/src/adjacency.rs crates/analysis/src/banks.rs crates/analysis/src/footprint.rs crates/analysis/src/pointer.rs crates/analysis/src/reuse.rs
+
+/root/repo/target/release/deps/libhbat_analysis-f6b0949c9c9e0adf.rmeta: crates/analysis/src/lib.rs crates/analysis/src/adjacency.rs crates/analysis/src/banks.rs crates/analysis/src/footprint.rs crates/analysis/src/pointer.rs crates/analysis/src/reuse.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/adjacency.rs:
+crates/analysis/src/banks.rs:
+crates/analysis/src/footprint.rs:
+crates/analysis/src/pointer.rs:
+crates/analysis/src/reuse.rs:

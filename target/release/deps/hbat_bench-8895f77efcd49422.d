@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hbat_bench-8895f77efcd49422.d: crates/bench/src/lib.rs crates/bench/src/executor.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs
+
+/root/repo/target/release/deps/libhbat_bench-8895f77efcd49422.rlib: crates/bench/src/lib.rs crates/bench/src/executor.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs
+
+/root/repo/target/release/deps/libhbat_bench-8895f77efcd49422.rmeta: crates/bench/src/lib.rs crates/bench/src/executor.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/executor.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/missrate.rs:

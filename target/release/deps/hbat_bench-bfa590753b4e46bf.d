@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hbat_bench-bfa590753b4e46bf.d: crates/bench/src/lib.rs crates/bench/src/executor.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs
+
+/root/repo/target/release/deps/libhbat_bench-bfa590753b4e46bf.rlib: crates/bench/src/lib.rs crates/bench/src/executor.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs
+
+/root/repo/target/release/deps/libhbat_bench-bfa590753b4e46bf.rmeta: crates/bench/src/lib.rs crates/bench/src/executor.rs crates/bench/src/experiment.rs crates/bench/src/missrate.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/executor.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/missrate.rs:

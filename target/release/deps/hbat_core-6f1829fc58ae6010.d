@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/hbat_core-6f1829fc58ae6010.d: crates/core/src/lib.rs crates/core/src/addr.rs crates/core/src/bank.rs crates/core/src/cycle.rs crates/core/src/designs/mod.rs crates/core/src/designs/interleaved.rs crates/core/src/designs/multilevel.rs crates/core/src/designs/multiported.rs crates/core/src/designs/piggyback.rs crates/core/src/designs/pretranslation.rs crates/core/src/designs/spec.rs crates/core/src/designs/unlimited.rs crates/core/src/designs/victim.rs crates/core/src/entry.rs crates/core/src/pagetable.rs crates/core/src/replacement.rs crates/core/src/request.rs crates/core/src/stats.rs crates/core/src/translator.rs
+
+/root/repo/target/release/deps/libhbat_core-6f1829fc58ae6010.rlib: crates/core/src/lib.rs crates/core/src/addr.rs crates/core/src/bank.rs crates/core/src/cycle.rs crates/core/src/designs/mod.rs crates/core/src/designs/interleaved.rs crates/core/src/designs/multilevel.rs crates/core/src/designs/multiported.rs crates/core/src/designs/piggyback.rs crates/core/src/designs/pretranslation.rs crates/core/src/designs/spec.rs crates/core/src/designs/unlimited.rs crates/core/src/designs/victim.rs crates/core/src/entry.rs crates/core/src/pagetable.rs crates/core/src/replacement.rs crates/core/src/request.rs crates/core/src/stats.rs crates/core/src/translator.rs
+
+/root/repo/target/release/deps/libhbat_core-6f1829fc58ae6010.rmeta: crates/core/src/lib.rs crates/core/src/addr.rs crates/core/src/bank.rs crates/core/src/cycle.rs crates/core/src/designs/mod.rs crates/core/src/designs/interleaved.rs crates/core/src/designs/multilevel.rs crates/core/src/designs/multiported.rs crates/core/src/designs/piggyback.rs crates/core/src/designs/pretranslation.rs crates/core/src/designs/spec.rs crates/core/src/designs/unlimited.rs crates/core/src/designs/victim.rs crates/core/src/entry.rs crates/core/src/pagetable.rs crates/core/src/replacement.rs crates/core/src/request.rs crates/core/src/stats.rs crates/core/src/translator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/addr.rs:
+crates/core/src/bank.rs:
+crates/core/src/cycle.rs:
+crates/core/src/designs/mod.rs:
+crates/core/src/designs/interleaved.rs:
+crates/core/src/designs/multilevel.rs:
+crates/core/src/designs/multiported.rs:
+crates/core/src/designs/piggyback.rs:
+crates/core/src/designs/pretranslation.rs:
+crates/core/src/designs/spec.rs:
+crates/core/src/designs/unlimited.rs:
+crates/core/src/designs/victim.rs:
+crates/core/src/entry.rs:
+crates/core/src/pagetable.rs:
+crates/core/src/replacement.rs:
+crates/core/src/request.rs:
+crates/core/src/stats.rs:
+crates/core/src/translator.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hbat_cpu-b59e8c27960c5bf2.d: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/engine.rs crates/cpu/src/fu.rs crates/cpu/src/metrics.rs
+
+/root/repo/target/release/deps/libhbat_cpu-b59e8c27960c5bf2.rlib: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/engine.rs crates/cpu/src/fu.rs crates/cpu/src/metrics.rs
+
+/root/repo/target/release/deps/libhbat_cpu-b59e8c27960c5bf2.rmeta: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/engine.rs crates/cpu/src/fu.rs crates/cpu/src/metrics.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/bpred.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/engine.rs:
+crates/cpu/src/fu.rs:
+crates/cpu/src/metrics.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hbat_isa-11475ad92c9f5ac9.d: crates/isa/src/lib.rs crates/isa/src/executor.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/trace.rs crates/isa/src/tracefile.rs
+
+/root/repo/target/release/deps/libhbat_isa-11475ad92c9f5ac9.rlib: crates/isa/src/lib.rs crates/isa/src/executor.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/trace.rs crates/isa/src/tracefile.rs
+
+/root/repo/target/release/deps/libhbat_isa-11475ad92c9f5ac9.rmeta: crates/isa/src/lib.rs crates/isa/src/executor.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/trace.rs crates/isa/src/tracefile.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/executor.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/trace.rs:
+crates/isa/src/tracefile.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hbat_mem-8b1c3a872b31effa.d: crates/mem/src/lib.rs crates/mem/src/cache.rs
+
+/root/repo/target/release/deps/libhbat_mem-8b1c3a872b31effa.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs
+
+/root/repo/target/release/deps/libhbat_mem-8b1c3a872b31effa.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hbat_mem-f34d531f2b1c4c00.d: crates/mem/src/lib.rs crates/mem/src/cache.rs
+
+/root/repo/target/release/deps/libhbat_mem-f34d531f2b1c4c00.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs
+
+/root/repo/target/release/deps/libhbat_mem-f34d531f2b1c4c00.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hbat_stats-c5ed0a555ab38422.d: crates/stats/src/lib.rs crates/stats/src/agg.rs crates/stats/src/chart.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libhbat_stats-c5ed0a555ab38422.rlib: crates/stats/src/lib.rs crates/stats/src/agg.rs crates/stats/src/chart.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libhbat_stats-c5ed0a555ab38422.rmeta: crates/stats/src/lib.rs crates/stats/src/agg.rs crates/stats/src/chart.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/agg.rs:
+crates/stats/src/chart.rs:
+crates/stats/src/table.rs:

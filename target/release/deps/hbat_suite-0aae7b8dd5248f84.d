@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hbat_suite-0aae7b8dd5248f84.d: src/lib.rs
+
+/root/repo/target/release/deps/libhbat_suite-0aae7b8dd5248f84.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhbat_suite-0aae7b8dd5248f84.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hbat_suite-2071db07287af07c.d: src/lib.rs
+
+/root/repo/target/release/deps/libhbat_suite-2071db07287af07c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhbat_suite-2071db07287af07c.rmeta: src/lib.rs
+
+src/lib.rs:

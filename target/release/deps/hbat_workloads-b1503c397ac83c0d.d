@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/hbat_workloads-b1503c397ac83c0d.d: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/config.rs crates/workloads/src/layout.rs crates/workloads/src/programs/mod.rs crates/workloads/src/programs/compress.rs crates/workloads/src/programs/doduc.rs crates/workloads/src/programs/espresso.rs crates/workloads/src/programs/gcc.rs crates/workloads/src/programs/ghostscript.rs crates/workloads/src/programs/mpeg.rs crates/workloads/src/programs/perl.rs crates/workloads/src/programs/tfft.rs crates/workloads/src/programs/tomcatv.rs crates/workloads/src/programs/xlisp.rs crates/workloads/src/suite.rs crates/workloads/src/util.rs
+
+/root/repo/target/release/deps/libhbat_workloads-b1503c397ac83c0d.rlib: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/config.rs crates/workloads/src/layout.rs crates/workloads/src/programs/mod.rs crates/workloads/src/programs/compress.rs crates/workloads/src/programs/doduc.rs crates/workloads/src/programs/espresso.rs crates/workloads/src/programs/gcc.rs crates/workloads/src/programs/ghostscript.rs crates/workloads/src/programs/mpeg.rs crates/workloads/src/programs/perl.rs crates/workloads/src/programs/tfft.rs crates/workloads/src/programs/tomcatv.rs crates/workloads/src/programs/xlisp.rs crates/workloads/src/suite.rs crates/workloads/src/util.rs
+
+/root/repo/target/release/deps/libhbat_workloads-b1503c397ac83c0d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/builder.rs crates/workloads/src/config.rs crates/workloads/src/layout.rs crates/workloads/src/programs/mod.rs crates/workloads/src/programs/compress.rs crates/workloads/src/programs/doduc.rs crates/workloads/src/programs/espresso.rs crates/workloads/src/programs/gcc.rs crates/workloads/src/programs/ghostscript.rs crates/workloads/src/programs/mpeg.rs crates/workloads/src/programs/perl.rs crates/workloads/src/programs/tfft.rs crates/workloads/src/programs/tomcatv.rs crates/workloads/src/programs/xlisp.rs crates/workloads/src/suite.rs crates/workloads/src/util.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/config.rs:
+crates/workloads/src/layout.rs:
+crates/workloads/src/programs/mod.rs:
+crates/workloads/src/programs/compress.rs:
+crates/workloads/src/programs/doduc.rs:
+crates/workloads/src/programs/espresso.rs:
+crates/workloads/src/programs/gcc.rs:
+crates/workloads/src/programs/ghostscript.rs:
+crates/workloads/src/programs/mpeg.rs:
+crates/workloads/src/programs/perl.rs:
+crates/workloads/src/programs/tfft.rs:
+crates/workloads/src/programs/tomcatv.rs:
+crates/workloads/src/programs/xlisp.rs:
+crates/workloads/src/suite.rs:
+crates/workloads/src/util.rs:

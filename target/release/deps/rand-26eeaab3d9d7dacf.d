@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-26eeaab3d9d7dacf.d: shims/rand/src/lib.rs shims/rand/src/distributions.rs shims/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-26eeaab3d9d7dacf.rlib: shims/rand/src/lib.rs shims/rand/src/distributions.rs shims/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-26eeaab3d9d7dacf.rmeta: shims/rand/src/lib.rs shims/rand/src/distributions.rs shims/rand/src/rngs.rs
+
+shims/rand/src/lib.rs:
+shims/rand/src/distributions.rs:
+shims/rand/src/rngs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-925a1199f924ebcb.d: shims/rand/src/lib.rs shims/rand/src/distributions.rs shims/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-925a1199f924ebcb.rlib: shims/rand/src/lib.rs shims/rand/src/distributions.rs shims/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-925a1199f924ebcb.rmeta: shims/rand/src/lib.rs shims/rand/src/distributions.rs shims/rand/src/rngs.rs
+
+shims/rand/src/lib.rs:
+shims/rand/src/distributions.rs:
+shims/rand/src/rngs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-c6671830dbaeb24a.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-c6671830dbaeb24a: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

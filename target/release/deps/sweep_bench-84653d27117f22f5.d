@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_bench-84653d27117f22f5.d: crates/bench/src/bin/sweep_bench.rs
+
+/root/repo/target/release/deps/sweep_bench-84653d27117f22f5: crates/bench/src/bin/sweep_bench.rs
+
+crates/bench/src/bin/sweep_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_bench-a91d81a44223fe9b.d: crates/bench/src/bin/sweep_bench.rs
+
+/root/repo/target/release/deps/sweep_bench-a91d81a44223fe9b: crates/bench/src/bin/sweep_bench.rs
+
+crates/bench/src/bin/sweep_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-14c050b9c9ea530c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-14c050b9c9ea530c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-c5a55a6f0329100b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-c5a55a6f0329100b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-939913d912197365.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-939913d912197365: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-428f7a1faf51050f.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-428f7a1faf51050f: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

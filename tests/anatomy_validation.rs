@@ -48,13 +48,22 @@ fn reuse_profile_predicts_the_multilevel_shield() {
 #[test]
 fn adjacency_bounds_piggyback_combining() {
     // PB1's measured shielded fraction can approach but not exceed the
-    // perfect-combiner ceiling from the adjacency profile.
+    // perfect-combiner ceiling from the adjacency profile. The ceiling
+    // must allow dynamic regrouping: PB1's single real port retries the
+    // uncombined requests, which then re-present alongside *younger*
+    // neighbours, so the aligned-window fraction is not an upper bound.
     let cfg = WorkloadConfig::new(Scale::Test);
-    for bench in [Benchmark::Ghostscript, Benchmark::Espresso, Benchmark::Xlisp] {
+    for bench in [
+        Benchmark::Ghostscript,
+        Benchmark::Espresso,
+        Benchmark::Xlisp,
+    ] {
         let trace = bench.build(&cfg).trace();
-        let ceiling =
-            AdjacencyProfile::of_trace(&trace, PageGeometry::KB4, 4).combinable_fraction();
-        let mut tlb = DesignSpec::parse("PB1").unwrap().build(PageGeometry::KB4, 7);
+        let profile = AdjacencyProfile::of_trace(&trace, PageGeometry::KB4, 4);
+        let ceiling = profile.regrouped_combinable_fraction();
+        let mut tlb = DesignSpec::parse("PB1")
+            .unwrap()
+            .build(PageGeometry::KB4, 7);
         let m = simulate(&SimConfig::baseline(), &trace, tlb.as_mut());
         assert!(
             m.tlb.shield_rate() <= ceiling + 0.12,

@@ -27,9 +27,18 @@ fn figure5_shape_holds_at_test_scale() {
 
     // T4 dominates the multi-ported family.
     assert!(rel("T2") <= 1.0 + 1e-9);
-    assert!(rel("T1") < rel("T2") + 1e-9, "T1 {} vs T2 {}", rel("T1"), rel("T2"));
+    assert!(
+        rel("T1") < rel("T2") + 1e-9,
+        "T1 {} vs T2 {}",
+        rel("T1"),
+        rel("T2")
+    );
     // T1 visibly hurts.
-    assert!(rel("T1") < 0.97, "single-ported TLB must cost: {}", rel("T1"));
+    assert!(
+        rel("T1") < 0.97,
+        "single-ported TLB must cost: {}",
+        rel("T1")
+    );
     // Multi-level TLBs get close to T4 (within 2%).
     for m in ["M16", "M8", "M4"] {
         assert!(rel(m) > 0.97, "{m} at {}", rel(m));
@@ -38,7 +47,12 @@ fn figure5_shape_holds_at_test_scale() {
     // paper's summary sentence).
     assert!(rel("PB2") > 0.985, "PB2 at {}", rel("PB2"));
     // Interleaving alone trails the multi-level designs.
-    assert!(rel("I4") < rel("M8"), "I4 {} vs M8 {}", rel("I4"), rel("M8"));
+    assert!(
+        rel("I4") < rel("M8"),
+        "I4 {} vs M8 {}",
+        rel("I4"),
+        rel("M8")
+    );
     // Adding piggyback ports rescues the interleaved design.
     assert!(
         rel("I4/PB") > rel("I4"),
@@ -48,7 +62,12 @@ fn figure5_shape_holds_at_test_scale() {
     );
     // Pretranslation performs well but below a same-sized L1 TLB.
     assert!(rel("P8") > 0.90, "P8 at {}", rel("P8"));
-    assert!(rel("P8") <= rel("M8") + 1e-9, "P8 {} vs M8 {}", rel("P8"), rel("M8"));
+    assert!(
+        rel("P8") <= rel("M8") + 1e-9,
+        "P8 {} vs M8 {}",
+        rel("P8"),
+        rel("M8")
+    );
 }
 
 #[test]
