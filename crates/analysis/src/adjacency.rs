@@ -8,7 +8,7 @@
 //! for what an issue window presents together — `w = 4` matches the four
 //! load/store units.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use hbat_core::addr::PageGeometry;
 use hbat_isa::trace::TraceInst;
@@ -59,7 +59,7 @@ impl AdjacencyProfile {
                 p.same_page_pairs += 1;
             }
         }
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for chunk in pages.chunks(window) {
             if chunk.len() < window {
                 break; // ignore the ragged tail

@@ -6,7 +6,7 @@
 //! * The **working set** (Denning): distinct pages inside a sliding window
 //!   of references — what a TLB of a given reach actually has to hold.
 
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 
 use hbat_core::addr::PageGeometry;
 use hbat_isa::trace::TraceInst;
@@ -23,7 +23,7 @@ pub fn page_stream(trace: &[TraceInst], geometry: PageGeometry) -> Vec<u64> {
 /// in the stream; the last point is the total footprint.
 pub fn footprint_curve(pages: &[u64], points: usize) -> Vec<(usize, usize)> {
     assert!(points > 0, "need at least one sample point");
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = BTreeSet::new();
     let mut curve = Vec::with_capacity(points);
     if pages.is_empty() {
         return vec![(0, 0); points];
@@ -42,17 +42,15 @@ pub fn footprint_curve(pages: &[u64], points: usize) -> Vec<(usize, usize)> {
 /// references (stride = window, i.e. disjoint windows for tractability).
 pub fn working_set(pages: &[u64], window: usize) -> (f64, usize) {
     assert!(window > 0, "window must be positive");
-    let mut counts: HashMap<u64, u32> = HashMap::new();
+    let mut distinct: BTreeSet<u64> = BTreeSet::new();
     let mut total = 0usize;
     let mut max = 0usize;
     let mut n = 0usize;
     for chunk in pages.chunks(window) {
-        counts.clear();
-        for &p in chunk {
-            *counts.entry(p).or_insert(0) += 1;
-        }
-        total += counts.len();
-        max = max.max(counts.len());
+        distinct.clear();
+        distinct.extend(chunk.iter().copied());
+        total += distinct.len();
+        max = max.max(distinct.len());
         n += 1;
     }
     if n == 0 {

@@ -7,7 +7,7 @@
 //! lifetimes are (dereferences between redefinitions), and how often
 //! pointer arithmetic carries an attachment to a new register.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hbat_core::addr::PageGeometry;
 use hbat_core::request::WritebackKind;
@@ -43,7 +43,7 @@ impl PointerProfile {
     pub fn of_trace(trace: &[TraceInst], geometry: PageGeometry) -> Self {
         let mut p = PointerProfile::default();
         // Per register: (attached page, dereferences in current lifetime).
-        let mut attached: HashMap<Reg, (Option<u64>, u64)> = HashMap::new();
+        let mut attached: BTreeMap<Reg, (Option<u64>, u64)> = BTreeMap::new();
         let end_lifetime = |p: &mut PointerProfile, e: Option<(Option<u64>, u64)>| {
             if let Some((Some(_), derefs)) = e {
                 p.lifetimes += 1;

@@ -4,7 +4,7 @@
 //! LRU TLB size simultaneously (Mattson et al.'s inclusion property) — the
 //! generalisation of the paper's Figure 6 for the LRU sizes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hbat_core::addr::{PageGeometry, Vpn};
 use hbat_isa::trace::TraceInst;
@@ -37,7 +37,7 @@ impl ReuseProfile {
     /// Computes the profile of a raw page-number stream.
     pub fn of_pages<I: IntoIterator<Item = Vpn>>(pages: I) -> Self {
         let mut stack: Vec<Vpn> = Vec::new();
-        let mut index: HashMap<Vpn, usize> = HashMap::new(); // vpn → slot
+        let mut index: BTreeMap<Vpn, usize> = BTreeMap::new(); // vpn → slot
         let mut profile = ReuseProfile::default();
         for vpn in pages {
             profile.total += 1;

@@ -61,6 +61,7 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // hbat-lint: hot — the worker claim/drain loop: one atomic per cell, no allocation
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -73,6 +74,7 @@ where
             });
         }
     });
+    // hbat-lint: cold
     slots
         .into_iter()
         .map(|slot| {

@@ -78,14 +78,20 @@ impl TlbBank {
     pub fn lookup(&mut self, vpn: Vpn) -> Option<&mut TlbEntry> {
         let way = *self.index.get(&vpn)?;
         self.replacer.touch(way);
-        self.ways[way].as_mut()
+        self.ways.get_mut(way)?.as_mut()
     }
 
     /// Probes for `vpn` without disturbing replacement state (used by
     /// consistency probes and tests).
     pub fn peek(&self, vpn: Vpn) -> Option<&TlbEntry> {
         let way = *self.index.get(&vpn)?;
-        self.ways[way].as_ref()
+        self.ways.get(way)?.as_ref()
+    }
+
+    /// Way-slot accessor: every `way` handed in comes from `index` or the
+    /// replacer, both bounded by `ways.len()` by construction.
+    fn slot_mut(&mut self, way: usize) -> &mut Option<TlbEntry> {
+        &mut self.ways[way]
     }
 
     /// Installs `entry`, evicting a victim if the bank is full.
@@ -95,7 +101,7 @@ impl TlbBank {
     pub fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
         if let Some(&way) = self.index.get(&entry.vpn) {
             self.replacer.touch(way);
-            self.ways[way] = Some(entry);
+            *self.slot_mut(way) = Some(entry);
             return None;
         }
         // Prefer an invalid way; otherwise ask the policy for a victim.
@@ -103,7 +109,7 @@ impl TlbBank {
             Some(w) => (w, None),
             None => {
                 let w = self.replacer.victim();
-                let old = self.ways[w].take();
+                let old = self.slot_mut(w).take();
                 if let Some(ref e) = old {
                     self.index.remove(&e.vpn);
                 }
@@ -111,7 +117,7 @@ impl TlbBank {
             }
         };
         self.index.insert(entry.vpn, way);
-        self.ways[way] = Some(entry);
+        *self.slot_mut(way) = Some(entry);
         self.replacer.insert(way);
         evicted
     }
@@ -119,7 +125,7 @@ impl TlbBank {
     /// Removes the entry for `vpn` if resident, returning it.
     pub fn invalidate(&mut self, vpn: Vpn) -> Option<TlbEntry> {
         let way = self.index.remove(&vpn)?;
-        self.ways[way].take()
+        self.ways.get_mut(way)?.take()
     }
 
     /// Removes every entry.
@@ -134,9 +140,11 @@ impl TlbBank {
         self.ways.iter().filter_map(Option::as_ref)
     }
 
-    /// Collects the resident VPNs (order unspecified); handy in tests.
+    /// Collects the resident VPNs in ascending order; handy in tests.
     pub fn resident_vpns(&self) -> Vec<Vpn> {
-        self.index.keys().copied().collect()
+        let mut vpns: Vec<Vpn> = self.index.keys().copied().collect(); // hbat-lint: allow(determinism) sorted below
+        vpns.sort_unstable();
+        vpns
     }
 }
 

@@ -108,15 +108,16 @@ impl PortTimeline {
     /// occupies the chosen port for `busy` cycles. Returns the cycle at
     /// which service begins.
     pub fn allocate(&mut self, earliest: Cycle, busy: u64) -> Cycle {
-        let (idx, &free_at) = self
-            .next_free
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &c)| c)
-            .expect("port timeline is never empty");
-        let start = free_at.max(earliest);
-        self.next_free[idx] = start + busy;
-        start
+        // `new` rejects zero ports, so a minimum always exists; the
+        // `None` arm keeps the degenerate case well-defined regardless.
+        match self.next_free.iter_mut().min_by_key(|c| **c) {
+            Some(slot) => {
+                let start = (*slot).max(earliest);
+                *slot = start + busy;
+                start
+            }
+            None => earliest,
+        }
     }
 
     /// True if some port could begin service exactly at `now`.

@@ -104,8 +104,7 @@ impl PretransCache {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, s)| s.map(|e| e.stamp).unwrap_or(0))
-                .map(|(i, _)| i)
-                .expect("cache is non-empty"),
+                .map_or(0, |(i, _)| i),
         };
         self.slots[slot] = Some(entry);
     }

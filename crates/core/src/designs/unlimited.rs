@@ -5,7 +5,7 @@
 //! even those. It is the golden model the property tests compare real
 //! designs against, and an upper bound for the harness.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addr::Vpn;
 use crate::cycle::Cycle;
@@ -19,7 +19,7 @@ use crate::translator::AddressTranslator;
 #[derive(Debug)]
 pub struct UnlimitedTlb {
     name: String,
-    entries: HashMap<Vpn, TlbEntry>,
+    entries: BTreeMap<Vpn, TlbEntry>,
     /// If true, even compulsory misses complete with zero latency
     /// (pure translation oracle for correctness tests).
     free_misses: bool,
@@ -34,7 +34,7 @@ impl UnlimitedTlb {
     pub fn new(pt: PageTable) -> Self {
         UnlimitedTlb {
             name: "UNLIMITED".to_owned(),
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             free_misses: false,
             pt,
             now: Cycle::ZERO,

@@ -6,7 +6,7 @@
 //! functionally here and the latency is surfaced through
 //! [`PageTable::miss_latency`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addr::{PageGeometry, Ppn, Vpn};
 use crate::entry::{Protection, TlbEntry};
@@ -36,7 +36,7 @@ pub const DEFAULT_MISS_LATENCY: u64 = 30;
 #[derive(Debug, Clone)]
 pub struct PageTable {
     geometry: PageGeometry,
-    map: HashMap<Vpn, TlbEntry>,
+    map: BTreeMap<Vpn, TlbEntry>,
     next_frame: u64,
     miss_latency: u64,
     walks: u64,
@@ -51,7 +51,7 @@ impl PageTable {
     pub fn new(geometry: PageGeometry) -> Self {
         PageTable {
             geometry,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             next_frame: 0x100, // leave low frames to the (unmodelled) kernel
             miss_latency: DEFAULT_MISS_LATENCY,
             walks: 0,

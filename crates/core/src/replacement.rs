@@ -72,20 +72,27 @@ impl Replacer {
         self.stamps.len()
     }
 
-    /// Records a hit on `way`.
+    /// Records a hit on `way`; out-of-range ways are ignored.
     pub fn touch(&mut self, way: usize) {
         self.counter += 1;
         match self.policy {
-            ReplacementPolicy::Lru => self.stamps[way] = self.counter,
+            ReplacementPolicy::Lru => {
+                if let Some(stamp) = self.stamps.get_mut(way) {
+                    *stamp = self.counter;
+                }
+            }
             // FIFO and random ignore re-references.
             ReplacementPolicy::Fifo | ReplacementPolicy::Random => {}
         }
     }
 
-    /// Records that a new entry was installed in `way`.
+    /// Records that a new entry was installed in `way`; out-of-range ways
+    /// are ignored.
     pub fn insert(&mut self, way: usize) {
         self.counter += 1;
-        self.stamps[way] = self.counter;
+        if let Some(stamp) = self.stamps.get_mut(way) {
+            *stamp = self.counter;
+        }
     }
 
     /// Chooses the way to evict, assuming all ways hold valid entries.
@@ -96,8 +103,7 @@ impl Replacer {
                 .iter()
                 .enumerate()
                 .min_by_key(|&(_, &s)| s)
-                .map(|(i, _)| i)
-                .expect("bank has at least one way"),
+                .map_or(0, |(i, _)| i),
             ReplacementPolicy::Random => self.rng.gen_range(0..self.stamps.len()),
         }
     }

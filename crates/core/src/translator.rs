@@ -82,20 +82,20 @@ pub fn drive_batch(
     loop {
         t.begin_cycle(now);
         let mut progressed = false;
-        for (i, req) in reqs.iter().enumerate() {
-            if out[i].is_some() {
+        for (req, slot) in reqs.iter().zip(&mut out) {
+            if slot.is_some() {
                 continue;
             }
             match t.translate(req) {
                 Outcome::Retry => {}
                 done => {
-                    out[i] = Some((done, now));
+                    *slot = Some((done, now));
                     progressed = true;
                 }
             }
         }
         if out.iter().all(Option::is_some) {
-            return out.into_iter().map(Option::unwrap).collect();
+            return out.into_iter().flatten().collect();
         }
         assert!(
             progressed || now - start < 10_000,

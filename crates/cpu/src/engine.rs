@@ -223,6 +223,7 @@ impl<'a> Engine<'a> {
         }
     }
 
+    // hbat-lint: hot — the per-cycle engine loop: run/commit/issue/dispatch must stay allocation-free
     /// Runs to completion and returns the metrics.
     ///
     /// # Panics
@@ -844,4 +845,5 @@ impl<'a> Engine<'a> {
             translated_at: Cycle::ZERO,
         });
     }
+    // hbat-lint: cold
 }

@@ -52,6 +52,7 @@ impl Machine {
     }
 
     /// Reads an architected register (integer or FP, FP as raw bits).
+    // hbat-lint: allow(panic) register-file indices come from Reg::index(), masked to 0..32
     pub fn read_reg(&self, r: Reg) -> i64 {
         if r.is_fp() {
             self.fregs[r.index()].to_bits() as i64
@@ -64,6 +65,7 @@ impl Machine {
 
     /// Writes an architected register (writes to the zero register are
     /// discarded).
+    // hbat-lint: allow(panic) register-file indices come from Reg::index(), masked to 0..32
     pub fn write_reg(&mut self, r: Reg, v: i64) {
         if r.is_fp() {
             self.fregs[r.index()] = f64::from_bits(v as u64);
@@ -123,6 +125,7 @@ impl Machine {
 
     /// Executes one instruction, returning its trace record, or `None` if
     /// the machine has halted.
+    // hbat-lint: allow(panic) register-file indices come from Reg::index(), masked to 0..32
     #[allow(clippy::too_many_lines)]
     pub fn step(&mut self) -> Option<TraceInst> {
         if self.halted {

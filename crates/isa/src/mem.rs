@@ -49,16 +49,20 @@ impl Memory {
 
     /// Reads one byte.
     pub fn read_u8(&self, addr: VirtAddr) -> u8 {
-        match self.chunks.get(&(addr.0 >> CHUNK_BITS)) {
-            Some(c) => c[(addr.0 & (CHUNK_SIZE as u64 - 1)) as usize],
-            None => 0,
-        }
+        let off = (addr.0 & (CHUNK_SIZE as u64 - 1)) as usize;
+        self.chunks
+            .get(&(addr.0 >> CHUNK_BITS))
+            .and_then(|c| c.get(off))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: VirtAddr, val: u8) {
         let off = (addr.0 & (CHUNK_SIZE as u64 - 1)) as usize;
-        self.chunk_mut(addr.0)[off] = val;
+        if let Some(b) = self.chunk_mut(addr.0).get_mut(off) {
+            *b = val;
+        }
     }
 
     /// Reads `n` bytes little-endian into a u64 (`n <= 8`); accesses may

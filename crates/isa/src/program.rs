@@ -18,6 +18,11 @@ pub enum ProgramError {
     },
     /// The program cannot terminate: no `Halt` instruction anywhere.
     NoHalt,
+    /// A control transfer references a label that was never bound.
+    UnboundLabel {
+        /// The label id that has no bound position.
+        label: u32,
+    },
 }
 
 impl fmt::Display for ProgramError {
@@ -26,6 +31,9 @@ impl fmt::Display for ProgramError {
             ProgramError::Empty => write!(f, "program has no instructions"),
             ProgramError::BadTarget { at, target } => {
                 write!(f, "instruction {at} targets out-of-range index {target}")
+            }
+            ProgramError::UnboundLabel { label } => {
+                write!(f, "branch references label {label}, which was never bound")
             }
             ProgramError::NoHalt => write!(f, "program has no halt instruction"),
         }

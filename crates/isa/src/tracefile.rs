@@ -216,10 +216,10 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Vec<TraceInst>> {
                 "too many sources",
             ));
         }
-        for i in 0..nsrc[0] as usize {
+        for slot in t.srcs.iter_mut().take(nsrc[0] as usize) {
             let mut b = [0u8];
             r.read_exact(&mut b)?;
-            t.srcs[i] = Some(Reg::from_code(b[0]));
+            *slot = Some(Reg::from_code(b[0]));
         }
         if flags & F_DEST != 0 {
             let mut b = [0u8];

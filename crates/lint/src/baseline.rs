@@ -1,0 +1,102 @@
+//! The suppression baseline: a checked-in list of known findings.
+//!
+//! Each non-comment line is one finding key (`code|file|message`); a key
+//! repeated N times tolerates N occurrences. Keys deliberately omit line
+//! numbers so unrelated edits that shift code do not invalidate the
+//! baseline. A finding not covered by the baseline is *new* and fails
+//! the run.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+
+const HEADER: &str = "\
+# hbat-lint baseline — known findings tolerated by CI.
+# One `code|file|message` key per line; duplicates tolerate multiplicity.
+# Regenerate with: cargo lint -- --write-baseline
+";
+
+/// Parses baseline text into key → tolerated count.
+pub fn parse(text: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        *out.entry(line.to_string()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Renders findings as baseline text (sorted, with header).
+pub fn render(findings: &[Diagnostic]) -> String {
+    let mut keys: Vec<String> = findings.iter().map(Diagnostic::baseline_key).collect();
+    keys.sort();
+    let mut out = String::from(HEADER);
+    for k in keys {
+        out.push_str(&k);
+        out.push('\n');
+    }
+    out
+}
+
+/// Marks each finding as new (`true`) or baselined (`false`), consuming
+/// baseline counts so N tolerated occurrences cover only N findings.
+pub fn mark_new(
+    findings: Vec<Diagnostic>,
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<(Diagnostic, bool)> {
+    let mut remaining = baseline.clone();
+    findings
+        .into_iter()
+        .map(|d| {
+            let key = d.baseline_key();
+            let is_new = match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    false
+                }
+                _ => true,
+            };
+            (d, is_new)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Rule;
+
+    fn diag(file: &str, msg: &str) -> Diagnostic {
+        Diagnostic {
+            rule: Rule::PanicPolicy,
+            file: file.into(),
+            line: 1,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_marks_everything_baselined() {
+        let findings = vec![diag("a.rs", "m1"), diag("a.rs", "m1"), diag("b.rs", "m2")];
+        let text = render(&findings);
+        let base = parse(&text);
+        let marked = mark_new(findings, &base);
+        assert!(marked.iter().all(|(_, n)| !n));
+    }
+
+    #[test]
+    fn multiplicity_is_counted() {
+        let base = parse(&render(&[diag("a.rs", "m")]));
+        let marked = mark_new(vec![diag("a.rs", "m"), diag("a.rs", "m")], &base);
+        assert_eq!(marked.iter().filter(|(_, n)| *n).count(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let base = parse("# header\n\nR3|a.rs|m\n");
+        assert_eq!(base.len(), 1);
+    }
+}

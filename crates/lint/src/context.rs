@@ -1,0 +1,323 @@
+//! Region analysis: which tokens are test code, which are inside a
+//! documented-panic function, which lines are hot, and which findings
+//! are suppressed.
+//!
+//! The pass walks the token stream once, maintaining a stack of brace
+//! regions. Attributes (`#[cfg(test)]`, `#[test]`, `#[bench]`), doc
+//! comments containing `# Panics`, and `// hbat-lint: allow(...)`
+//! comments arm *pending* flags that attach to the next `{` region and
+//! are cancelled by a `;` (a statement that never opened a block).
+//!
+//! Directive syntax (plain `//` or `/* */` comments only — doc comments
+//! merely *describing* the syntax are never parsed as directives; the
+//! marker must open the comment):
+//!
+//! * `// hbat-lint: hot` — start of a hot region (R2 applies) until
+//!   `// hbat-lint: cold` or end of file;
+//! * `// hbat-lint: allow(rule, …) reason` — suppresses the named rules
+//!   on this line (trailing comment), on the next line (own-line
+//!   comment), or for the whole following block (own-line comment
+//!   immediately before an `fn`/`mod`/`impl`). A missing reason is
+//!   itself reported.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Rule;
+use crate::lexer::{Token, TokenKind};
+
+/// Per-token context flags, parallel to the token stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokFlags {
+    /// Inside `#[cfg(test)]` / `#[test]` / `#[bench]` code.
+    pub test: bool,
+    /// Inside a function whose doc comment has a `# Panics` section.
+    pub panic_doc: bool,
+    /// Inside a `pub fn` body (closures included).
+    pub pub_fn: bool,
+    /// Region-level suppression mask (see [`Rule::bit`]).
+    pub allow_mask: u8,
+}
+
+/// The computed context of one file.
+#[derive(Debug, Default)]
+pub struct FileContext {
+    /// Flags for each token, same indices as the lexed stream.
+    pub flags: Vec<TokFlags>,
+    /// Inclusive hot line ranges.
+    hot: Vec<(u32, u32)>,
+    /// Line → suppression mask from `allow(...)` comments.
+    line_allows: BTreeMap<u32, u8>,
+    /// Malformed directives: (line, problem).
+    pub directive_problems: Vec<(u32, String)>,
+}
+
+impl FileContext {
+    /// Is `line` inside a `// hbat-lint: hot` region?
+    pub fn hot_line(&self, line: u32) -> bool {
+        self.hot.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Is `rule` suppressed for the token at `idx` (line or region)?
+    pub fn allowed(&self, idx: usize, line: u32, rule: Rule) -> bool {
+        let region = self.flags.get(idx).map(|f| f.allow_mask).unwrap_or(0);
+        let by_line = self.line_allows.get(&line).copied().unwrap_or(0);
+        (region | by_line) & rule.bit() != 0
+    }
+
+    /// Computes the context of a lexed file.
+    pub fn of(tokens: &[Token]) -> FileContext {
+        let mut ctx = FileContext::default();
+        let mut stack: Vec<TokFlags> = vec![TokFlags::default()];
+        // Pending flags armed by attributes/docs/comments, attached to
+        // the next `{` and cancelled by `;`.
+        let mut pend_test = false;
+        let mut pend_panic_doc = false;
+        let mut pend_allow: u8 = 0;
+        let mut pend_pub = false;
+        let mut pend_fn = false;
+        let mut hot_open: Option<u32> = None;
+        // Tokens consumed by attribute lookahead (so `;`/`{` inside an
+        // attribute body never interact with the pendings).
+        let mut skip_until = 0usize;
+
+        for (i, t) in tokens.iter().enumerate() {
+            ctx.flags
+                .push(*stack.last().unwrap_or(&TokFlags::default()));
+
+            if t.is_comment() {
+                let text = &t.text;
+                let is_doc = text.starts_with("///")
+                    || text.starts_with("//!")
+                    || text.starts_with("/**")
+                    || text.starts_with("/*!");
+                if is_doc && text.contains("# Panics") {
+                    pend_panic_doc = true;
+                }
+                let body = text
+                    .trim_start_matches(['/', '*'])
+                    .trim_start()
+                    .trim_end_matches(['/', '*'])
+                    .trim_end();
+                if let Some(rest) = (!is_doc).then(|| body.strip_prefix("hbat-lint:")).flatten() {
+                    let rest = rest.trim();
+                    if rest == "hot" || rest.starts_with("hot ") {
+                        hot_open = Some(t.line);
+                    } else if rest.starts_with("cold") || rest.starts_with("end-hot") {
+                        if let Some(start) = hot_open.take() {
+                            ctx.hot.push((start, t.line));
+                        }
+                    } else if let Some(args) = rest.strip_prefix("allow(") {
+                        match args.split_once(')') {
+                            Some((list, reason)) => {
+                                let mut mask = 0u8;
+                                for name in list.split(',') {
+                                    match Rule::parse_mask(name) {
+                                        Some(bit) => mask |= bit,
+                                        None => ctx.directive_problems.push((
+                                            t.line,
+                                            format!("unknown rule {:?} in allow()", name.trim()),
+                                        )),
+                                    }
+                                }
+                                if reason.trim().is_empty() {
+                                    ctx.directive_problems.push((
+                                        t.line,
+                                        "allow() without a reason — every suppression must say why"
+                                            .to_string(),
+                                    ));
+                                }
+                                *ctx.line_allows.entry(t.line).or_default() |= mask;
+                                if t.first_on_line {
+                                    *ctx.line_allows.entry(t.line + 1).or_default() |= mask;
+                                    pend_allow |= mask;
+                                }
+                            }
+                            None => ctx
+                                .directive_problems
+                                .push((t.line, "malformed allow() directive".to_string())),
+                        }
+                    } else {
+                        ctx.directive_problems
+                            .push((t.line, format!("unknown hbat-lint directive {rest:?}")));
+                    }
+                }
+                continue;
+            }
+
+            if i < skip_until {
+                continue;
+            }
+
+            match t.kind {
+                TokenKind::Punct if t.is_punct('#') => {
+                    // Attribute: scan the bracketed group.
+                    let mut j = i + 1;
+                    // Inner attribute `#![...]`.
+                    if tokens.get(j).is_some_and(|n| n.is_punct('!')) {
+                        j += 1;
+                    }
+                    if tokens.get(j).is_some_and(|n| n.is_punct('[')) {
+                        let mut depth = 0i32;
+                        let mut idents: Vec<&str> = Vec::new();
+                        let mut end = j;
+                        for (k, a) in tokens.iter().enumerate().skip(j) {
+                            match a.kind {
+                                TokenKind::Punct if a.is_punct('[') => depth += 1,
+                                TokenKind::Punct if a.is_punct(']') => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        end = k;
+                                        break;
+                                    }
+                                }
+                                TokenKind::Ident => idents.push(&a.text),
+                                _ => {}
+                            }
+                        }
+                        let is_test_attr = match idents.first().copied() {
+                            Some("test") | Some("bench") => true,
+                            Some("cfg") | Some("cfg_attr") => idents.contains(&"test"),
+                            _ => false,
+                        };
+                        if is_test_attr {
+                            pend_test = true;
+                        }
+                        skip_until = end + 1;
+                    }
+                }
+                TokenKind::Ident if t.text == "pub" => pend_pub = true,
+                TokenKind::Ident if t.text == "fn" => pend_fn = true,
+                TokenKind::Punct if t.is_punct('{') => {
+                    let parent = *stack.last().unwrap_or(&TokFlags::default());
+                    let region = TokFlags {
+                        test: parent.test || pend_test,
+                        panic_doc: parent.panic_doc || (pend_fn && pend_panic_doc),
+                        pub_fn: if pend_fn { pend_pub } else { parent.pub_fn },
+                        allow_mask: parent.allow_mask | pend_allow,
+                    };
+                    stack.push(region);
+                    // The `{` itself belongs to the region it opens.
+                    if let Some(f) = ctx.flags.last_mut() {
+                        *f = region;
+                    }
+                    (pend_test, pend_panic_doc, pend_allow) = (false, false, 0);
+                    (pend_pub, pend_fn) = (false, false);
+                }
+                TokenKind::Punct if t.is_punct('}') && stack.len() > 1 => {
+                    stack.pop();
+                }
+                TokenKind::Punct if t.is_punct(';') => {
+                    (pend_test, pend_panic_doc, pend_allow) = (false, false, 0);
+                    (pend_pub, pend_fn) = (false, false);
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = hot_open {
+            ctx.hot.push((start, u32::MAX));
+        }
+        ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn flags_at(src: &str, ident: &str) -> TokFlags {
+        let toks = lex(src);
+        let ctx = FileContext::of(&toks);
+        let idx = toks
+            .iter()
+            .position(|t| t.is_ident(ident))
+            .unwrap_or_else(|| panic!("no token {ident}"));
+        ctx.flags[idx]
+    }
+
+    #[test]
+    fn cfg_test_mod_is_test_code() {
+        let src = "fn lib() { body(); }\n#[cfg(test)]\nmod tests { fn t() { inner(); } }";
+        assert!(!flags_at(src, "body").test);
+        assert!(flags_at(src, "inner").test);
+    }
+
+    #[test]
+    fn test_attr_fn_is_test_code() {
+        let src = "#[test]\nfn check() { probe(); }\nfn lib() { other(); }";
+        assert!(flags_at(src, "probe").test);
+        assert!(!flags_at(src, "other").test);
+    }
+
+    #[test]
+    fn cfg_test_use_does_not_leak() {
+        // The `;` cancels the pending attribute before any block opens.
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { body(); }";
+        assert!(!flags_at(src, "body").test);
+    }
+
+    #[test]
+    fn panics_doc_marks_fn_region() {
+        let src = "/// Does things.\n///\n/// # Panics\n/// When x.\npub fn f() { danger(); }\nfn g() { safe(); }";
+        assert!(flags_at(src, "danger").panic_doc);
+        assert!(!flags_at(src, "safe").panic_doc);
+    }
+
+    #[test]
+    fn pub_fn_and_private_fn() {
+        let src = "pub fn api() { a(); let c = |x| { b(x) }; }\nfn helper() { h(); }";
+        assert!(flags_at(src, "a").pub_fn);
+        assert!(flags_at(src, "b").pub_fn, "closures inherit the fn");
+        assert!(!flags_at(src, "h").pub_fn);
+    }
+
+    #[test]
+    fn hot_regions_by_line() {
+        let src = "fn a() {}\n// hbat-lint: hot\nfn b() {}\n// hbat-lint: cold\nfn c() {}";
+        let ctx = FileContext::of(&lex(src));
+        assert!(!ctx.hot_line(1));
+        assert!(ctx.hot_line(3));
+        assert!(!ctx.hot_line(5));
+    }
+
+    #[test]
+    fn hot_region_extends_to_eof_when_unclosed() {
+        let src = "// hbat-lint: hot\nfn b() {}";
+        let ctx = FileContext::of(&lex(src));
+        assert!(ctx.hot_line(2));
+        assert!(ctx.hot_line(9999));
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_its_line() {
+        let src = "fn f() { x.unwrap(); } // hbat-lint: allow(panic) checked above";
+        let toks = lex(src);
+        let ctx = FileContext::of(&toks);
+        assert!(ctx.allowed(0, 1, Rule::PanicPolicy));
+        assert!(!ctx.allowed(0, 2, Rule::PanicPolicy));
+    }
+
+    #[test]
+    fn own_line_allow_covers_next_line_and_following_block() {
+        let src = "// hbat-lint: allow(panic) indices masked by construction\npub fn f() {\n    deep();\n}";
+        let toks = lex(src);
+        let ctx = FileContext::of(&toks);
+        let idx = toks.iter().position(|t| t.is_ident("deep")).unwrap();
+        assert!(ctx.allowed(idx, toks[idx].line, Rule::PanicPolicy));
+    }
+
+    #[test]
+    fn allow_without_reason_is_reported() {
+        let src = "fn f() {} // hbat-lint: allow(panic)";
+        let ctx = FileContext::of(&lex(src));
+        assert_eq!(ctx.directive_problems.len(), 1);
+        assert!(ctx.directive_problems[0].1.contains("reason"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_reported() {
+        let src = "// hbat-lint: allow(bogus) whatever\nfn f() {}";
+        let ctx = FileContext::of(&lex(src));
+        assert!(ctx.directive_problems[0].1.contains("unknown rule"));
+    }
+}

@@ -1,0 +1,522 @@
+//! A minimal Rust lexer — exactly enough fidelity for the lint rules.
+//!
+//! Comments (line, nested block), strings (plain, raw, byte, byte-raw),
+//! char literals vs lifetimes, raw identifiers, and numbers are tokenized
+//! correctly so that rule matching never fires on text inside a string or
+//! comment. Everything else is single-character punctuation. No `syn`:
+//! the workspace builds without registry access, and the rules only need
+//! token streams, not syntax trees.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#type`).
+    Ident,
+    /// `'a`, `'static` — a quote not closed by another quote.
+    Lifetime,
+    /// `'x'`, `'\n'`, `b'0'`.
+    CharLit,
+    /// `"…"`, `r#"…"#`, `b"…"`.
+    StrLit,
+    /// `0x1F`, `1.5e-3`, `12_000u64`.
+    NumLit,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting respected (doc comments included).
+    BlockComment,
+    /// Any other single character.
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The lexeme for identifiers and comments; for `Punct` the single
+    /// character; empty for literals (rules never inspect literal text).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// True when this token is the first token on its source line.
+    pub first_on_line: bool,
+}
+
+impl Token {
+    /// Is this token the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Is this token the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Is this a comment token (line or block)?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a token stream. Unterminated constructs (string,
+/// block comment) consume to end of input rather than erroring: a lint
+/// tool must degrade gracefully on code that `rustc` will reject anyway.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        s: src.as_bytes(),
+        i: 0,
+        line: 1,
+        first: true,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    s: &'a [u8],
+    i: usize,
+    line: u32,
+    first: bool,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.s.len() {
+            let b = self.s[self.i];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.first = true;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.s.get(self.i + ahead).copied()
+    }
+
+    fn emit(&mut self, kind: TokenKind, start_line: u32, text: String) {
+        self.out.push(Token {
+            kind,
+            text,
+            line: start_line,
+            first_on_line: self.first,
+        });
+        self.first = false;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while self.i < self.s.len() && self.s[self.i] != b'\n' {
+            self.i += 1;
+        }
+        let text = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+        self.emit(TokenKind::LineComment, line, text);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.s.len() && depth > 0 {
+            if self.s[self.i] == b'\n' {
+                self.line += 1;
+                self.i += 1;
+            } else if self.s[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.s[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.i += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+        self.out.push(Token {
+            kind: TokenKind::BlockComment,
+            text,
+            line,
+            first_on_line: self.first,
+        });
+        // A block comment does not claim the "first on line" slot for
+        // what follows it on the same line only if it spans lines; keep
+        // it simple: anything after a comment is not first.
+        self.first = false;
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`, `b'c'`, and raw
+    /// identifiers `r#ident`. Returns false if the `r`/`b` starts a plain
+    /// identifier (caller falls through to other arms — but since this is
+    /// called from the dispatch loop, it lexes the identifier itself and
+    /// returns true in every consumed case).
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let b0 = self.s[self.i];
+        match (b0, self.peek(1), self.peek(2)) {
+            // b'c' byte char literal.
+            (b'b', Some(b'\''), _) => {
+                self.i += 1;
+                self.char_literal();
+                true
+            }
+            // b"…" byte string.
+            (b'b', Some(b'"'), _) => {
+                self.i += 1;
+                self.string();
+                true
+            }
+            // br"…" / br#"…"# raw byte string.
+            (b'b', Some(b'r'), Some(b'"' | b'#')) => {
+                self.i += 2;
+                self.raw_string();
+                true
+            }
+            // r"…" raw string.
+            (b'r', Some(b'"'), _) => {
+                self.i += 1;
+                self.raw_string();
+                true
+            }
+            (b'r', Some(b'#'), Some(n)) => {
+                // Disambiguate r#"…"# (raw string) from r#ident (raw
+                // identifier). Any number of hashes before the quote is a
+                // raw string; `r#` followed by an identifier start is a
+                // raw identifier.
+                let mut j = self.i + 1;
+                while self.s.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                if self.s.get(j) == Some(&b'"') {
+                    self.i += 1;
+                    self.raw_string();
+                    true
+                } else if is_ident_start(n) {
+                    // Raw identifier: emit without the r# prefix so rules
+                    // treat `r#type` as the identifier `type`.
+                    self.i += 2;
+                    self.ident();
+                    true
+                } else {
+                    self.ident();
+                    true
+                }
+            }
+            _ => {
+                self.ident();
+                true
+            }
+        }
+    }
+
+    /// At a `"`: plain (escaped) string literal.
+    fn string(&mut self) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        while self.i < self.s.len() {
+            match self.s[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.emit(TokenKind::StrLit, line, String::new());
+    }
+
+    /// At the first `#` or `"` of a raw string (the `r`/`br` prefix is
+    /// already consumed).
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // opening quote
+        'scan: while self.i < self.s.len() {
+            if self.s[self.i] == b'\n' {
+                self.line += 1;
+                self.i += 1;
+                continue;
+            }
+            if self.s[self.i] == b'"' {
+                // Need `hashes` hashes to close.
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some(b'#') {
+                        self.i += 1;
+                        continue 'scan;
+                    }
+                }
+                self.i += 1 + hashes;
+                break;
+            }
+            self.i += 1;
+        }
+        self.emit(TokenKind::StrLit, line, String::new());
+    }
+
+    /// At a `'`: either a lifetime (`'a`) or a char literal (`'a'`).
+    fn char_or_lifetime(&mut self) {
+        match self.peek(1) {
+            Some(b'\\') => self.char_literal(),
+            Some(n) if is_ident_start(n) => {
+                // `'a` … scan the identifier; a trailing quote makes it a
+                // char literal ('a'), otherwise it is a lifetime ('a).
+                let mut j = self.i + 1;
+                while self.s.get(j).copied().is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if self.s.get(j) == Some(&b'\'') {
+                    self.char_literal();
+                } else {
+                    let line = self.line;
+                    let text = String::from_utf8_lossy(&self.s[self.i + 1..j]).into_owned();
+                    self.i = j;
+                    self.emit(TokenKind::Lifetime, line, text);
+                }
+            }
+            _ => self.char_literal(),
+        }
+    }
+
+    /// At the opening `'` of a char literal; consumes through the closing
+    /// quote. Handles `'\''`, `'\\'`, `'\u{…}'`, and multi-byte chars.
+    fn char_literal(&mut self) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        if self.peek(0) == Some(b'\\') {
+            self.i += 2; // backslash + escape head (n, t, ', \, x, u, …)
+            if self.s.get(self.i - 1) == Some(&b'u') && self.peek(0) == Some(b'{') {
+                while self.i < self.s.len() && self.s[self.i] != b'}' {
+                    self.i += 1;
+                }
+                self.i += 1;
+            } else if self.s.get(self.i - 1) == Some(&b'x') {
+                self.i += 2; // two hex digits
+            }
+        } else {
+            // One (possibly multi-byte) character.
+            self.i += 1;
+            while self.i < self.s.len() && (self.s[self.i] & 0xC0) == 0x80 {
+                self.i += 1; // UTF-8 continuation bytes
+            }
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.i += 1;
+        }
+        self.emit(TokenKind::CharLit, line, String::new());
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while self.i < self.s.len() && is_ident_continue(self.s[self.i]) {
+            self.i += 1;
+        }
+        let text = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+        self.emit(TokenKind::Ident, line, text);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while self.i < self.s.len() {
+            let b = self.s[self.i];
+            if is_ident_continue(b) {
+                // Exponent sign: 1e-3 / 2.5E+7.
+                if (b == b'e' || b == b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.i += 2;
+                }
+                self.i += 1;
+            } else if b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // Decimal point — but never eat `..` ranges.
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        self.emit(TokenKind::NumLit, line, String::new());
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let b = self.s[self.i];
+        if b < 0x80 {
+            self.i += 1;
+            self.emit(TokenKind::Punct, line, (b as char).to_string());
+        } else {
+            // A stray non-ASCII char outside any literal: consume the
+            // whole UTF-8 sequence as one punct.
+            self.i += 1;
+            while self.i < self.s.len() && (self.s[self.i] & 0xC0) == 0x80 {
+                self.i += 1;
+            }
+            self.emit(TokenKind::Punct, line, "?".to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn main() {}");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "main".into()));
+        assert_eq!(toks[2], (TokenKind::Punct, "(".into()));
+    }
+
+    #[test]
+    fn line_comment_captures_text_and_line() {
+        let toks = lex("let x = 1; // trailing note\nlet y = 2;");
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::LineComment)
+            .unwrap();
+        assert_eq!(c.text, "// trailing note");
+        assert_eq!(c.line, 1);
+        assert!(!c.first_on_line);
+        let y = toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let toks = kinds(r#"let s = "contains unwrap() and // not a comment";"#);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::StrLit).count(), 1);
+        assert!(!toks.iter().any(|t| t.1 == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; let t = 1;"###);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::StrLit).count(), 1);
+        assert!(toks.iter().any(|t| t.1 == "t"));
+        // Double-hash raw string containing a single-hash close.
+        let toks = kinds("r##\"inner \"# still\"## after");
+        assert_eq!(toks[0].0, TokenKind::StrLit);
+        assert_eq!(toks[1].1, "after");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r#"b"bytes" br"raw" b'x' x"#);
+        assert_eq!(toks[0].0, TokenKind::StrLit);
+        assert_eq!(toks[1].0, TokenKind::StrLit);
+        assert_eq!(toks[2].0, TokenKind::CharLit);
+        assert_eq!(toks[3], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("let c = 'a'; fn f<'a>(x: &'a str) {} 'x'");
+        let chars = toks.iter().filter(|t| t.0 == TokenKind::CharLit).count();
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Lifetime).collect();
+        assert_eq!(chars, 2);
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.1 == "a"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"'\'' '\\' '\n' '\u{1F600}' '\x41' after");
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::CharLit).count(), 5);
+        assert_eq!(toks.last().unwrap().1, "after");
+    }
+
+    #[test]
+    fn static_lifetime_and_labels() {
+        let toks = kinds("&'static str; 'outer: loop { break 'outer; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Lifetime)
+            .map(|t| t.1.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["static", "outer", "outer"]);
+    }
+
+    #[test]
+    fn multibyte_char_literal() {
+        let toks = kinds("let bar = '█'; done");
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::CharLit).count(), 1);
+        assert_eq!(toks.last().unwrap().1, "done");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("for i in 1..5 { 2.5e-3; 1.max(2); 0x1F_u64 }");
+        assert!(toks.iter().any(|t| t.1 == "max"));
+        // `1..5` produces two numbers and two dots.
+        let dots = toks.iter().filter(|t| t.1 == ".").count();
+        assert!(dots >= 3, "range dots plus method dot: {dots}");
+    }
+
+    #[test]
+    fn raw_identifier_is_plain_ident() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "type"));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_rest() {
+        let toks = lex("let s = \"never closed");
+        assert_eq!(toks.last().unwrap().kind, TokenKind::StrLit);
+    }
+
+    #[test]
+    fn first_on_line_tracking() {
+        let toks = lex("a b\n  c d");
+        assert!(toks[0].first_on_line);
+        assert!(!toks[1].first_on_line);
+        assert!(toks[2].first_on_line);
+        assert!(!toks[3].first_on_line);
+    }
+}

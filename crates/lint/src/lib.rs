@@ -1,0 +1,97 @@
+//! `hbat-lint`: workspace-native static analysis for the HBAT simulator.
+//!
+//! Four rules, each toggleable (see `DESIGN.md` § "Static analysis"):
+//!
+//! * **R1 determinism** — no hash-ordered iteration feeding output, no
+//!   wall clocks in simulation crates;
+//! * **R2 hot-path hygiene** — no allocation APIs inside
+//!   `// hbat-lint: hot` regions;
+//! * **R3 panic policy** — no undocumented panics in library code of the
+//!   panic-policy crates;
+//! * **R4 shim drift** — every import from a shimmed crate must exist in
+//!   the shim's source.
+//!
+//! The tool is deliberately dependency-free: it lexes Rust with its own
+//! lightweight lexer ([`lexer`]) and matches token sequences, not an AST.
+//! That keeps it honest about what it can know (suppressions exist for
+//! the rest) and buildable in an offline environment.
+
+pub mod baseline;
+pub mod context;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::collections::BTreeMap;
+
+use diag::Diagnostic;
+use rules::{classify, collect_shim_imports, lint_file, shim_drift, shim_exports, LintOptions};
+
+/// Lints a whole workspace given `(relative path, contents)` pairs.
+/// Shim sources are the reference for R4 and exempt from R1–R3.
+pub fn lint_workspace(files: &[(String, String)], opts: &LintOptions) -> Vec<Diagnostic> {
+    // Group shim sources by crate directory name.
+    let mut shim_sources: BTreeMap<String, Vec<&str>> = BTreeMap::new();
+    for (rel, src) in files {
+        let class = classify(rel);
+        if class.shim {
+            if let Some(root) = class.crate_dir {
+                shim_sources.entry(root).or_default().push(src.as_str());
+            }
+        }
+    }
+    let exports: BTreeMap<String, std::collections::BTreeSet<String>> = shim_sources
+        .iter()
+        .map(|(root, sources)| (root.clone(), shim_exports(sources)))
+        .collect();
+
+    let run_r4 = opts.rule_mask & diag::Rule::ShimDrift.bit() != 0;
+    let mut out = Vec::new();
+    for (rel, src) in files {
+        if classify(rel).shim {
+            continue;
+        }
+        out.extend(lint_file(rel, src, opts));
+        if run_r4 {
+            let imports = collect_shim_imports(src);
+            out.extend(shim_drift(rel, &imports, &exports));
+        }
+    }
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag::Rule;
+
+    #[test]
+    fn workspace_run_combines_rules_and_skips_shims() {
+        let files = vec![
+            (
+                "shims/rand/src/lib.rs".to_string(),
+                // unwrap in a shim must not be flagged
+                "pub struct SmallRng;\npub fn seed() { None::<u32>.unwrap(); }\n".to_string(),
+            ),
+            (
+                "crates/core/src/x.rs".to_string(),
+                "use rand::SmallRng;\nuse rand::Missing;\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n"
+                    .to_string(),
+            ),
+        ];
+        let d = lint_workspace(&files, &LintOptions::default());
+        assert!(d
+            .iter()
+            .any(|d| d.rule == Rule::ShimDrift && d.message.contains("Missing")));
+        assert!(!d.iter().any(|d| d.message.contains("SmallRng")));
+        assert!(d
+            .iter()
+            .any(|d| d.rule == Rule::PanicPolicy && d.file.contains("core")));
+        assert!(!d.iter().any(|d| d.file.starts_with("shims/")));
+    }
+}

@@ -1,0 +1,183 @@
+//! CLI entry point. See `--help` for usage; `DESIGN.md` § "Static
+//! analysis" for the rules.
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hbat_lint::diag::{render_json, Rule, ALL_RULES};
+use hbat_lint::rules::LintOptions;
+use hbat_lint::{baseline, lint_workspace, walk};
+
+const USAGE: &str = "\
+hbat-lint: workspace static analysis (determinism, hot-path, panics, shims)
+
+USAGE: hbat-lint [OPTIONS]
+
+OPTIONS:
+  --root <DIR>        workspace root (default: nearest ancestor with a
+                      [workspace] Cargo.toml)
+  --baseline <FILE>   baseline path (default: <root>/lint.baseline)
+  --write-baseline    rewrite the baseline to the current findings, exit 0
+  --only <RULES>      run only these rules (comma-separated names/codes)
+  --skip <RULES>      run all but these rules
+  --json              machine-readable output
+  --list-rules        print the rule table and exit
+  -h, --help          this text
+
+Exits non-zero when any finding is not covered by the baseline.
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    json: bool,
+    list_rules: bool,
+    mask: u8,
+}
+
+fn parse_rules(list: &str) -> Result<u8, String> {
+    let mut mask = 0u8;
+    for part in list.split(',') {
+        mask |= Rule::parse_mask(part)
+            .ok_or_else(|| format!("unknown rule {:?} (try --list-rules)", part.trim()))?;
+    }
+    Ok(mask)
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: None,
+        baseline: None,
+        write_baseline: false,
+        json: false,
+        list_rules: false,
+        mask: ALL_RULES.iter().map(|r| r.bit()).fold(0, |a, b| a | b),
+    };
+    let mut it = env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--only" => {
+                args.mask = parse_rules(&it.next().ok_or("--only needs rule names")?)?;
+            }
+            "--skip" => {
+                args.mask &= !parse_rules(&it.next().ok_or("--skip needs rule names")?)?;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(Some(args))
+}
+
+/// Nearest ancestor of `start` whose Cargo.toml declares a workspace.
+fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn run() -> Result<ExitCode, String> {
+    let Some(args) = parse_args()? else {
+        return Ok(ExitCode::SUCCESS);
+    };
+
+    if args.list_rules {
+        for r in ALL_RULES {
+            println!("{}  {:<12} bit {}", r.code(), r.name(), r.bit());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            find_root(&cwd)
+                // Fall back to the workspace this binary was built from.
+                .or_else(|| {
+                    Path::new(env!("CARGO_MANIFEST_DIR"))
+                        .parent()
+                        .and_then(Path::parent)
+                        .map(Path::to_path_buf)
+                })
+                .ok_or("no [workspace] Cargo.toml found; pass --root")?
+        }
+    };
+
+    let files = walk::collect_files(&root).map_err(|e| format!("walking {root:?}: {e}"))?;
+    let opts = LintOptions {
+        rule_mask: args.mask,
+    };
+    let findings = lint_workspace(&files, &opts);
+
+    let baseline_path = args.baseline.unwrap_or_else(|| root.join("lint.baseline"));
+    if args.write_baseline {
+        fs::write(&baseline_path, baseline::render(&findings))
+            .map_err(|e| format!("writing {baseline_path:?}: {e}"))?;
+        eprintln!(
+            "wrote {} finding(s) to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let base = match fs::read_to_string(&baseline_path) {
+        Ok(text) => baseline::parse(&text),
+        Err(_) => Default::default(),
+    };
+    let marked = baseline::mark_new(findings, &base);
+    let new = marked.iter().filter(|(_, n)| *n).count();
+
+    if args.json {
+        println!("{}", render_json(&marked));
+    } else {
+        for (d, is_new) in &marked {
+            println!("{}{}", d, if *is_new { "  [new]" } else { "" });
+        }
+        eprintln!(
+            "hbat-lint: {} finding(s), {} new ({} baselined)",
+            marked.len(),
+            new,
+            marked.len() - new
+        );
+    }
+    Ok(if new == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("hbat-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Workspace file discovery: every `.rs` file under the root, skipping
+//! build output, hidden directories, and lint test fixtures.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == "fixtures" || name.starts_with('.')
+}
+
+/// Collects `(workspace-relative path, contents)` for every `.rs` file,
+/// sorted by path. Separators are normalised to `/`.
+pub fn collect_files(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !skip_dir(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let contents = fs::read_to_string(&path)?;
+                files.push((rel, contents));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_build_and_fixture_dirs() {
+        assert!(skip_dir("target"));
+        assert!(skip_dir("fixtures"));
+        assert!(skip_dir(".git"));
+        assert!(!skip_dir("crates"));
+        assert!(!skip_dir("shims"));
+    }
+}

@@ -1,0 +1,170 @@
+//! One clean/dirty fixture pair per rule: every rule must pass its clean
+//! fixture and demonstrably fail its dirty one.
+
+use hbat_lint::diag::{Diagnostic, Rule};
+use hbat_lint::lint_workspace;
+use hbat_lint::rules::LintOptions;
+
+fn lint_one(rel: &str, src: &str) -> Vec<Diagnostic> {
+    lint_workspace(
+        &[(rel.to_string(), src.to_string())],
+        &LintOptions::default(),
+    )
+}
+
+fn count(diags: &[Diagnostic], rule: Rule) -> usize {
+    diags.iter().filter(|d| d.rule == rule).count()
+}
+
+#[test]
+fn r1_clean_fixture_passes() {
+    let d = lint_one(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/r1_clean.rs"),
+    );
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
+fn r1_dirty_fixture_fails() {
+    let d = lint_one(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/r1_dirty.rs"),
+    );
+    assert!(count(&d, Rule::Determinism) >= 3, "{d:#?}");
+    assert!(
+        d.iter().any(|d| d.message.contains("Instant")),
+        "wall clock must be flagged: {d:#?}"
+    );
+    assert!(
+        d.iter().any(|d| d.message.contains("hash-ordered")),
+        "hash iteration must be flagged: {d:#?}"
+    );
+}
+
+#[test]
+fn r1_dirty_in_report_crate_flags_containers_wholesale() {
+    let d = lint_one(
+        "crates/analysis/src/fixture.rs",
+        include_str!("fixtures/r1_dirty.rs"),
+    );
+    assert!(
+        d.iter().any(|d| d.message.contains("report-producing")),
+        "{d:#?}"
+    );
+}
+
+#[test]
+fn r2_clean_fixture_passes() {
+    let d = lint_one(
+        "crates/cpu/src/fixture.rs",
+        include_str!("fixtures/r2_clean.rs"),
+    );
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
+fn r2_dirty_fixture_fails() {
+    let d = lint_one(
+        "crates/cpu/src/fixture.rs",
+        include_str!("fixtures/r2_dirty.rs"),
+    );
+    assert_eq!(
+        count(&d, Rule::HotPath),
+        3,
+        "Vec::new, format!, .to_vec(): {d:#?}"
+    );
+}
+
+#[test]
+fn r3_clean_fixture_passes() {
+    let d = lint_one(
+        "crates/isa/src/fixture.rs",
+        include_str!("fixtures/r3_clean.rs"),
+    );
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
+fn r3_dirty_fixture_fails() {
+    let d = lint_one(
+        "crates/isa/src/fixture.rs",
+        include_str!("fixtures/r3_dirty.rs"),
+    );
+    // unwrap, computed index, panic!, todo!, and one reasonless allow().
+    assert_eq!(count(&d, Rule::PanicPolicy), 5, "{d:#?}");
+    assert!(d.iter().any(|d| d.message.contains("reason")), "{d:#?}");
+}
+
+#[test]
+fn r3_dirty_fixture_passes_outside_panic_crates() {
+    let d = lint_one(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/r3_dirty.rs"),
+    );
+    assert_eq!(
+        count(&d, Rule::PanicPolicy),
+        1,
+        "only the reasonless allow() remains: {d:#?}"
+    );
+}
+
+fn r4_workspace(user: &str) -> Vec<Diagnostic> {
+    lint_workspace(
+        &[
+            (
+                "shims/rand/src/lib.rs".to_string(),
+                include_str!("fixtures/r4_shim.rs").to_string(),
+            ),
+            ("crates/cpu/src/fixture.rs".to_string(), user.to_string()),
+        ],
+        &LintOptions::default(),
+    )
+}
+
+#[test]
+fn r4_clean_fixture_passes() {
+    let d = r4_workspace(include_str!("fixtures/r4_clean.rs"));
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
+fn r4_dirty_fixture_fails() {
+    let d = r4_workspace(include_str!("fixtures/r4_dirty.rs"));
+    assert_eq!(count(&d, Rule::ShimDrift), 2, "{d:#?}");
+    assert!(d.iter().any(|d| d.message.contains("thread_rng")), "{d:#?}");
+    assert!(
+        d.iter().any(|d| d.message.contains("WeightedIndex")),
+        "{d:#?}"
+    );
+}
+
+#[test]
+fn dirty_fixtures_pass_with_their_rule_disabled() {
+    for (rel, src, rule) in [
+        (
+            "crates/core/src/fixture.rs",
+            include_str!("fixtures/r1_dirty.rs"),
+            Rule::Determinism,
+        ),
+        (
+            "crates/cpu/src/fixture.rs",
+            include_str!("fixtures/r2_dirty.rs"),
+            Rule::HotPath,
+        ),
+        (
+            "crates/isa/src/fixture.rs",
+            include_str!("fixtures/r3_dirty.rs"),
+            Rule::PanicPolicy,
+        ),
+    ] {
+        let opts = LintOptions {
+            rule_mask: 0b1111 & !rule.bit(),
+        };
+        let d = lint_workspace(&[(rel.to_string(), src.to_string())], &opts);
+        assert!(
+            d.iter().all(|d| d.rule != rule),
+            "{rule:?} still reported: {d:#?}"
+        );
+    }
+}

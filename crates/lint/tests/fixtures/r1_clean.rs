@@ -1,0 +1,39 @@
+//! R1 clean: ordered containers and sorted hash output, no wall clocks.
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+pub struct Counts {
+    by_page: BTreeMap<u64, u64>,
+    fast: HashMap<u64, u64>,
+}
+
+impl Counts {
+    pub fn bump(&mut self, page: u64) {
+        *self.by_page.entry(page).or_insert(0) += 1;
+        *self.fast.entry(page).or_insert(0) += 1;
+    }
+
+    pub fn report(&self) -> Vec<(u64, u64)> {
+        // Iterating the BTreeMap is deterministic.
+        self.by_page.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    pub fn pages(&self) -> BTreeSet<u64> {
+        let mut out: Vec<u64> =
+            self.fast.keys().copied().collect(); // hbat-lint: allow(determinism) sorted by the BTreeSet below
+        out.sort_unstable();
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Hash containers in test code are fine.
+    use std::collections::HashSet;
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_allowed() {
+        let _ = Instant::now();
+        let _ = HashSet::<u32>::new();
+    }
+}

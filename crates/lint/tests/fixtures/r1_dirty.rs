@@ -1,0 +1,23 @@
+//! R1 dirty: hash iteration feeding output and wall clocks in a sim crate.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Counts {
+    by_page: HashMap<u64, u64>,
+}
+
+impl Counts {
+    pub fn report(&self) -> Vec<(u64, u64)> {
+        // Hash iteration order leaks straight into the report.
+        self.by_page.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    pub fn timed_report(&self) -> Vec<(u64, u64)> {
+        let _t0 = Instant::now();
+        let mut out = Vec::new();
+        for kv in &self.by_page {
+            out.push((*kv.0, *kv.1));
+        }
+        out
+    }
+}

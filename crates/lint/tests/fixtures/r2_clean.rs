@@ -1,0 +1,32 @@
+//! R2 clean: allocation before the hot region, none inside it.
+pub struct Engine {
+    queue: Vec<u64>,
+    scratch: Vec<u64>,
+}
+
+impl Engine {
+    pub fn new(capacity: usize) -> Self {
+        // Allocation is fine outside the hot region.
+        Engine {
+            queue: Vec::with_capacity(capacity),
+            scratch: vec![0; capacity],
+        }
+    }
+
+    // hbat-lint: hot — the drain loop reuses preallocated buffers
+    pub fn drain(&mut self) -> u64 {
+        let mut sum = 0;
+        while let Some(v) = self.queue.pop() {
+            if let Some(slot) = self.scratch.get_mut(0) {
+                *slot = v;
+            }
+            sum += v;
+        }
+        sum
+    }
+    // hbat-lint: cold
+
+    pub fn refill(&mut self, items: &[u64]) {
+        self.queue.extend_from_slice(items);
+    }
+}

@@ -1,0 +1,18 @@
+//! R2 dirty: allocation APIs inside the hot region.
+pub struct Engine {
+    queue: Vec<u64>,
+}
+
+impl Engine {
+    // hbat-lint: hot — the drain loop
+    pub fn drain(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(v) = self.queue.pop() {
+            out.push(format!("drained {v}"));
+        }
+        let copy = self.queue.to_vec();
+        drop(copy);
+        out
+    }
+    // hbat-lint: cold
+}

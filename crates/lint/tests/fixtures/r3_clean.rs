@@ -1,0 +1,35 @@
+//! R3 clean: fallible APIs, documented panics, and reasoned suppressions.
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+/// Returns the element at `i`.
+///
+/// # Panics
+///
+/// Panics if `i` is out of bounds.
+pub fn pick(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+
+// hbat-lint: allow(panic) the mask keeps every index in bounds
+pub fn masked(xs: &[u32; 8], i: usize) -> u32 {
+    xs[i % 8]
+}
+
+fn private_helper(xs: &[u32], i: usize) -> u32 {
+    // Computed indexing in private fns is the caller's contract to keep.
+    xs[i % xs.len().max(1)]
+}
+
+pub fn sum(xs: &[u32]) -> u32 {
+    xs.iter().sum::<u32>() + private_helper(xs, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

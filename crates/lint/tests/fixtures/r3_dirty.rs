@@ -1,0 +1,23 @@
+//! R3 dirty: undocumented panics in library code.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn pick(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+
+pub fn config(name: &str) -> u32 {
+    match name {
+        "ports" => 4,
+        other => panic!("unknown config {other}"),
+    }
+}
+
+pub fn not_done() -> u32 {
+    todo!("implement me")
+}
+
+pub fn suppressed_without_reason(x: Option<u32>) -> u32 {
+    x.expect("present") // hbat-lint: allow(panic)
+}

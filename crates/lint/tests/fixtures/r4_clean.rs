@@ -1,0 +1,9 @@
+//! R4 clean: every shim import exists in the shim's source.
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng as Seed};
+
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let _ = Seed::seed_from_u64(seed);
+    rng.next_u64()
+}

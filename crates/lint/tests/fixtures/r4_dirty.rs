@@ -1,0 +1,9 @@
+//! R4 dirty: imports that drifted away from the shim's exports.
+use rand::rngs::SmallRng;
+use rand::thread_rng;
+use rand::{Rng, WeightedIndex};
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

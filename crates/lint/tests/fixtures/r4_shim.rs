@@ -1,0 +1,25 @@
+//! R4 fixture shim: a miniature offline stand-in crate.
+pub struct SmallRng {
+    state: u64,
+}
+
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs;
+
+pub use distributions::{Distribution, Standard};
+
+mod distributions {
+    pub struct Standard;
+    pub trait Distribution<T> {}
+}
+
+macro_rules! shim_only {
+    () => {};
+}

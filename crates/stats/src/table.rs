@@ -95,25 +95,24 @@ impl TextTable {
 
     /// Renders the table to a string (trailing newline included).
     pub fn render(&self) -> String {
-        let cols = self.headers.len();
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
             }
         }
         let mut out = String::new();
         let emit = |out: &mut String, cells: &[String], widths: &[usize], aligns: &[Align]| {
-            for i in 0..cols {
+            for (i, ((cell, w), align)) in cells.iter().zip(widths).zip(aligns).enumerate() {
                 if i > 0 {
                     out.push_str("  ");
                 }
-                match aligns[i] {
+                match align {
                     Align::Left => {
-                        let _ = write!(out, "{:<width$}", cells[i], width = widths[i]);
+                        let _ = write!(out, "{cell:<width$}", width = *w);
                     }
                     Align::Right => {
-                        let _ = write!(out, "{:>width$}", cells[i], width = widths[i]);
+                        let _ = write!(out, "{cell:>width$}", width = *w);
                     }
                 }
             }

@@ -159,6 +159,10 @@ impl Builder {
     }
 
     /// True if the variable got an architected register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not created by this builder.
     pub fn is_register_resident(&self, v: Var) -> bool {
         matches!(self.vars[v.0 as usize].0, Storage::Reg(_))
     }
@@ -630,22 +634,26 @@ impl Builder {
     ///
     /// # Errors
     ///
-    /// Returns a [`ProgramError`] if validation fails.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any referenced label was never bound.
+    /// Returns a [`ProgramError`] if validation fails or a referenced
+    /// label was never bound.
     pub fn finish(mut self) -> Result<Program, ProgramError> {
         if !self.emitted_halt {
             self.insts.push(Inst::Halt);
         }
         for &at in &self.patches {
-            let resolve =
-                |id: u32| -> u32 { self.labels[id as usize].expect("branch to an unbound label") };
-            match &mut self.insts[at] {
-                Inst::Branch { target, .. } | Inst::Jump { target } => {
-                    *target = resolve(*target);
+            let labels = &self.labels;
+            let resolve = |id: u32| -> Result<u32, ProgramError> {
+                labels
+                    .get(id as usize)
+                    .copied()
+                    .flatten()
+                    .ok_or(ProgramError::UnboundLabel { label: id })
+            };
+            match self.insts.get_mut(at) {
+                Some(Inst::Branch { target, .. }) | Some(Inst::Jump { target }) => {
+                    *target = resolve(*target)?;
                 }
+                // hbat-lint: allow(panic) patch sites are recorded only at branch/jump emission
                 other => unreachable!("patch site holds {other:?}"),
             }
         }
@@ -659,6 +667,19 @@ mod tests {
     use crate::config::RegBudget;
     use hbat_isa::executor::Machine;
     use hbat_isa::trace::OpClass;
+
+    #[test]
+    fn unbound_label_is_an_error_not_a_panic() {
+        let mut b = Builder::new(RegBudget::FULL);
+        let x = b.ivar("x");
+        b.li(x, 1);
+        let never_bound = b.new_label();
+        b.br(Cond::Eq, x, x, never_bound);
+        match b.finish() {
+            Err(ProgramError::UnboundLabel { label }) => assert_eq!(label, 0),
+            other => panic!("expected UnboundLabel, got {other:?}"),
+        }
+    }
 
     #[test]
     fn counting_loop_computes_correctly_under_both_budgets() {
@@ -819,12 +840,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unbound label")]
-    fn unbound_label_panics_at_finish() {
+    fn unbound_jump_label_is_an_error_at_finish() {
         let mut b = Builder::new(RegBudget::FULL);
         let l = b.new_label();
         b.jump(l);
-        let _ = b.finish();
+        assert!(matches!(
+            b.finish(),
+            Err(ProgramError::UnboundLabel { label: 0 })
+        ));
     }
 
     #[test]

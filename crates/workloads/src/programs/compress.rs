@@ -18,6 +18,11 @@ use crate::suite::Workload;
 use crate::util::{emit_hash, GOLDEN};
 
 /// Builds the workload.
+///
+/// # Panics
+///
+/// Panics if the generated program fails validation — a bug in this
+/// builder, never a consequence of the caller's configuration.
 pub fn build(cfg: &WorkloadConfig) -> Workload {
     // Dictionary: 2^table_bits 8-byte entries. The Small/Reference sizes
     // (256 KB / 512 KB) sit at the edge of a 128-entry 4 KB-page TLB's

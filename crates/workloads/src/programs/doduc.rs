@@ -21,6 +21,11 @@ use crate::util::emit_xorshift;
 const TABLE_DOUBLES: u64 = 4096; // 32 KB per table
 
 /// Builds the workload.
+///
+/// # Panics
+///
+/// Panics if the generated program fails validation — a bug in this
+/// builder, never a consequence of the caller's configuration.
 pub fn build(cfg: &WorkloadConfig) -> Workload {
     let samples = cfg.scale.pick(3_000, 26_000, 120_000) as i64;
 

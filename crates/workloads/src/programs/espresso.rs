@@ -18,6 +18,11 @@ use crate::suite::Workload;
 const WORDS_PER_ROW: u64 = 16; // 128-byte rows (cubes)
 
 /// Builds the workload.
+///
+/// # Panics
+///
+/// Panics if the generated program fails validation — a bug in this
+/// builder, never a consequence of the caller's configuration.
 pub fn build(cfg: &WorkloadConfig) -> Workload {
     let rows = cfg.scale.pick(8, 56, 110) as i64;
     let row_bytes = WORDS_PER_ROW * 8;

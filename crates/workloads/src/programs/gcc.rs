@@ -76,6 +76,11 @@ fn build_tree(pool: u64, nodes: usize, key_mask: u64, rng: &mut SmallRng) -> Vec
 }
 
 /// Builds the workload.
+///
+/// # Panics
+///
+/// Panics if the generated program fails validation — a bug in this
+/// builder, never a consequence of the caller's configuration.
 pub fn build(cfg: &WorkloadConfig) -> Workload {
     let nodes = cfg.scale.pick(300, 12_000, 20_000) as usize;
     let lookups = cfg.scale.pick(160, 2_400, 9_000) as i64;

@@ -20,6 +20,11 @@ use crate::util::{emit_decision, emit_xorshift, GOLDEN};
 const LINE_BYTES: u64 = 4096; // one page per scanline (1024 RGBA pixels)
 
 /// Builds the workload.
+///
+/// # Panics
+///
+/// Panics if the generated program fails validation — a bug in this
+/// builder, never a consequence of the caller's configuration.
 pub fn build(cfg: &WorkloadConfig) -> Workload {
     let lines = cfg.scale.pick(24, 256, 2048) as i64;
     let passes = cfg.scale.pick(1, 1, 2) as i64;

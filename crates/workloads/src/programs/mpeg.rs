@@ -20,6 +20,11 @@ use crate::util::emit_xorshift;
 const FRAME_W: u64 = 512; // bytes per pixel row
 
 /// Builds the workload.
+///
+/// # Panics
+///
+/// Panics if the generated program fails validation — a bug in this
+/// builder, never a consequence of the caller's configuration.
 pub fn build(cfg: &WorkloadConfig) -> Workload {
     let frame_h = cfg.scale.pick(32, 512, 1024);
     let blocks = cfg.scale.pick(80, 3_400, 14_000) as i64;

@@ -18,6 +18,11 @@ use crate::suite::Workload;
 use crate::util::{emit_hash, GOLDEN};
 
 /// Builds the workload.
+///
+/// # Panics
+///
+/// Panics if the generated program fails validation — a bug in this
+/// builder, never a consequence of the caller's configuration.
 pub fn build(cfg: &WorkloadConfig) -> Workload {
     let ops_len = cfg.scale.pick(600, 8_192, 16_384);
     let rounds = cfg.scale.pick(2, 4, 40) as i64;

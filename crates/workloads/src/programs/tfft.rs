@@ -17,6 +17,11 @@ use crate::layout::HeapLayout;
 use crate::suite::Workload;
 
 /// Builds the workload.
+///
+/// # Panics
+///
+/// Panics if the generated program fails validation — a bug in this
+/// builder, never a consequence of the caller's configuration.
 pub fn build(cfg: &WorkloadConfig) -> Workload {
     // log2 of the number of complex points.
     let n_bits = cfg.scale.pick(10, 16, 18) as u32;

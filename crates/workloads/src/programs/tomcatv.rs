@@ -16,6 +16,11 @@ use crate::layout::HeapLayout;
 use crate::suite::Workload;
 
 /// Builds the workload.
+///
+/// # Panics
+///
+/// Panics if the generated program fails validation — a bug in this
+/// builder, never a consequence of the caller's configuration.
 pub fn build(cfg: &WorkloadConfig) -> Workload {
     // N×N grid; the paper runs N=129.
     let n = cfg.scale.pick(17, 129, 129) as i64;

@@ -16,6 +16,11 @@ use crate::util::{emit_xorshift, GOLDEN};
 const CELL_BYTES: i64 = 16; // car, cdr
 
 /// Builds the workload.
+///
+/// # Panics
+///
+/// Panics if the generated program fails validation — a bug in this
+/// builder, never a consequence of the caller's configuration.
 pub fn build(cfg: &WorkloadConfig) -> Workload {
     let cells = cfg.scale.pick(2_048, 24_000, 90_000) as i64;
     let rounds = cfg.scale.pick(2, 3, 10) as i64;
