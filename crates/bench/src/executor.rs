@@ -1,5 +1,6 @@
 //! The cell-level sweep executor: a self-scheduling worker pool over
-//! (benchmark, design) cells, with a process-wide trace cache.
+//! (benchmark, design) cells, with a process-wide trace cache and
+//! fault-tolerant cell execution.
 //!
 //! The old sweep path parallelised per benchmark: one thread generated a
 //! trace and then ran every design against it serially, so the sweep's
@@ -15,6 +16,13 @@
 //!    until the queue drains, so a slow cell never idles the other
 //!    workers.
 //!
+//! Execution is *isolated per cell*: each attempt runs under
+//! `catch_unwind`, so one panicking cell becomes a
+//! [`CellOutcome::Panicked`] slot instead of unwinding the whole
+//! `thread::scope` and losing every completed cell. A [`RunPolicy`]
+//! adds bounded deterministic retries and a watchdog-enforced per-cell
+//! deadline (`HBAT_CELL_TIMEOUT`); see [`parallel_map_outcomes`].
+//!
 //! Scheduling is invisible in the results: every cell seeds its design's
 //! replacement RNG from the experiment's `design_seed` and replays an
 //! immutable shared trace, so the metrics are bit-identical to a serial
@@ -22,14 +30,17 @@
 //! `tests/executor.rs`).
 
 use std::collections::HashMap;
-use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use hbat_isa::trace::TraceInst;
 use hbat_workloads::{Benchmark, WorkloadConfig};
+
+use crate::journal::write_atomic;
+use crate::outcome::{panic_message, CellOutcome};
 
 /// How many workers a sweep uses: `HBAT_THREADS` when set to a positive
 /// integer (with a stderr warning otherwise), else the machine's
@@ -44,45 +55,237 @@ pub fn worker_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Runs `job(0..n)` across `threads` workers and returns the results in
-/// index order. Workers self-schedule: each claims the next unclaimed
-/// index with an atomic fetch-add, so imbalanced jobs spread naturally.
-pub fn parallel_map<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+/// Retry and deadline policy for cell execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunPolicy {
+    /// Re-attempts after a panicked attempt (0 = fail fast). Retries are
+    /// deterministic: a cell re-runs with identical inputs and seeds.
+    pub retries: u32,
+    /// Per-cell wall-clock deadline enforced by the watchdog thread;
+    /// `None` disables the watchdog.
+    pub timeout: Option<Duration>,
+}
+
+impl RunPolicy {
+    /// Policy from the environment: `HBAT_CELL_TIMEOUT` (seconds, may be
+    /// fractional) and `HBAT_CELL_RETRIES` (non-negative integer).
+    /// Malformed values warn to stderr and are ignored.
+    pub fn from_env() -> RunPolicy {
+        let mut policy = RunPolicy::default();
+        if let Ok(raw) = std::env::var("HBAT_CELL_TIMEOUT") {
+            match raw.parse::<f64>() {
+                Ok(secs) if secs > 0.0 && secs.is_finite() => {
+                    policy.timeout = Some(Duration::from_secs_f64(secs));
+                }
+                _ => eprintln!(
+                    "warning: ignoring HBAT_CELL_TIMEOUT={raw:?} (expected positive seconds)"
+                ),
+            }
+        }
+        if let Ok(raw) = std::env::var("HBAT_CELL_RETRIES") {
+            match raw.parse::<u32>() {
+                Ok(n) => policy.retries = n,
+                _ => eprintln!(
+                    "warning: ignoring HBAT_CELL_RETRIES={raw:?} (expected a non-negative integer)"
+                ),
+            }
+        }
+        policy
+    }
+
+    /// Sets the per-cell deadline.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the retry budget.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+}
+
+/// Per-attempt execution context handed to fault-tolerant jobs.
+pub struct CellCtx<'a> {
+    cancelled: &'a AtomicBool,
+    /// 1-based attempt number (first run is attempt 1).
+    pub attempt: u32,
+}
+
+impl CellCtx<'_> {
+    /// Has the watchdog cancelled this cell? Long-running cooperative
+    /// jobs (and the injected stall fault) poll this to stop early.
+    pub fn cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The raw cancellation flag, for jobs that hand it to helpers.
+    pub fn cancel_flag(&self) -> &AtomicBool {
+        self.cancelled
+    }
+}
+
+fn unpoisoned<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs every attempt of one cell and classifies the result.
+fn run_one_cell<T, F>(
+    i: usize,
+    policy: &RunPolicy,
+    job: &F,
+    cancelled: &AtomicBool,
+    started: &AtomicU64,
+    epoch: Instant,
+) -> CellOutcome<T>
+where
+    F: Fn(usize, &CellCtx) -> T + Sync,
+{
+    let max_attempts = policy.retries.saturating_add(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        // Publish the attempt's start time for the watchdog (+1 so a
+        // zero-millisecond offset is distinguishable from "idle").
+        started.store(epoch.elapsed().as_millis() as u64 + 1, Ordering::SeqCst);
+        let ctx = CellCtx { cancelled, attempt };
+        let result = catch_unwind(AssertUnwindSafe(|| job(i, &ctx)));
+        started.store(0, Ordering::SeqCst);
+        if policy.timeout.is_some() && cancelled.load(Ordering::SeqCst) {
+            // The watchdog cancelled this attempt; whatever the job
+            // returned after the deadline is discarded.
+            return CellOutcome::TimedOut { attempts: attempt };
+        }
+        match result {
+            Ok(value) => return CellOutcome::Ok(value),
+            Err(payload) if attempt >= max_attempts => {
+                return CellOutcome::Panicked {
+                    msg: panic_message(payload.as_ref()),
+                    attempts: attempt,
+                    payload,
+                }
+            }
+            Err(_) => {} // retry
+        }
+    }
+}
+
+/// Runs `job(0..n)` across `threads` workers with per-cell fault
+/// isolation, returning one [`CellOutcome`] per index, in index order.
+///
+/// Workers self-schedule (atomic fetch-add claim), every attempt runs
+/// under `catch_unwind`, panicked cells retry up to `policy.retries`
+/// times, and — when `policy.timeout` is set — a watchdog thread
+/// cancels cells whose attempt exceeds the deadline (the job observes
+/// this through [`CellCtx::cancelled`]; its late result is discarded
+/// and the slot reports [`CellOutcome::TimedOut`]). The watchdog can
+/// only *preempt* cooperative jobs; a job that never returns and never
+/// polls its flag still wedges its worker.
+pub fn parallel_map_outcomes<T, F>(
+    n: usize,
+    threads: usize,
+    policy: &RunPolicy,
+    job: F,
+) -> Vec<CellOutcome<T>>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize, &CellCtx) -> T + Sync,
 {
-    let threads = threads.clamp(1, n.max(1));
     if n == 0 {
         return Vec::new();
     }
-    if threads == 1 {
-        return (0..n).map(job).collect();
-    }
+    let threads = threads.clamp(1, n);
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    // hbat-lint: hot — the worker claim/drain loop: one atomic per cell, no allocation
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellOutcome<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cancelled: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let started: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let epoch = Instant::now();
     std::thread::scope(|scope| {
+        if let Some(deadline) = policy.timeout {
+            let deadline_ms = deadline.as_millis() as u64;
+            let poll = (deadline / 8).clamp(Duration::from_millis(1), Duration::from_millis(50));
+            let (done, cancelled, started) = (&done, &cancelled, &started);
+            scope.spawn(move || {
+                while done.load(Ordering::SeqCst) < n {
+                    std::thread::sleep(poll);
+                    let now = epoch.elapsed().as_millis() as u64;
+                    for (flag, start) in cancelled.iter().zip(started) {
+                        let s = start.load(Ordering::SeqCst);
+                        if s != 0 && now.saturating_sub(s - 1) >= deadline_ms {
+                            flag.store(true, Ordering::SeqCst);
+                        }
+                    }
+                }
+            });
+        }
+        // hbat-lint: hot — the worker claim loop: one atomic per cell, no allocation
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let value = job(i);
-                *slots[i].lock().expect("unpoisoned result slot") = Some(value);
+                // hbat-lint: allow(panic) cell index bounded by the claim guard above
+                let outcome = run_one_cell(i, policy, &job, &cancelled[i], &started[i], epoch);
+                // hbat-lint: allow(panic) cell index bounded by the claim guard above
+                *unpoisoned(slots[i].lock()) = Some(outcome);
+                done.fetch_add(1, Ordering::SeqCst);
             });
         }
+        // hbat-lint: cold
     });
-    // hbat-lint: cold
+    // Poison-tolerant drain: a slot mutex is only ever locked around the
+    // store above (jobs run outside the lock), but even a poisoned slot
+    // yields its value instead of a second opaque panic.
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .expect("unpoisoned result slot")
-                .expect("all cells completed")
+            unpoisoned(slot.into_inner()).unwrap_or(CellOutcome::Skipped {
+                reason: "cell was never scheduled".to_owned(),
+            })
         })
         .collect()
+}
+
+/// Runs `job(0..n)` across `threads` workers and returns the results in
+/// index order. Workers self-schedule: each claims the next unclaimed
+/// index with an atomic fetch-add, so imbalanced jobs spread naturally.
+///
+/// This is the all-or-nothing wrapper over [`parallel_map_outcomes`]
+/// for jobs that are not expected to fail; sweeps that need partial
+/// results use the outcome form directly.
+///
+/// # Panics
+///
+/// If a job panics, the *original* panic payload is re-raised on the
+/// calling thread once the pool has drained (other cells complete
+/// first; their results are discarded).
+pub fn parallel_map<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || n == 1 {
+        return (0..n).map(job).collect();
+    }
+    let outcomes = parallel_map_outcomes(n, threads, &RunPolicy::default(), |i, _ctx| job(i));
+    let mut out = Vec::with_capacity(n);
+    for outcome in outcomes {
+        match outcome {
+            CellOutcome::Ok(value) => out.push(value),
+            CellOutcome::Panicked { payload, .. } => std::panic::resume_unwind(payload),
+            // No timeout or skip is possible under the default policy.
+            other => panic!("unexpected outcome {} without a deadline", other.kind()),
+        }
+    }
+    out
 }
 
 /// A process-wide cache of generated benchmark traces, keyed by the
@@ -118,16 +321,41 @@ impl TraceCache {
     /// Returns the trace for `bench` under `cfg`, building and publishing
     /// it if no other caller has yet. Concurrent requests for the same
     /// trace build it once; the rest block and share the result.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the trace builder. The slot is *not*
+    /// wedged by that: the builder panic leaves the `OnceLock`
+    /// uninitialized, so the next requester retries the build (see the
+    /// builder-panic regression test).
     pub fn get_or_build(&self, bench: Benchmark, cfg: &WorkloadConfig) -> Arc<[TraceInst]> {
+        self.get_or_build_with(bench, cfg, || bench.build(cfg).trace().into())
+    }
+
+    /// [`TraceCache::get_or_build`] with an explicit builder — the form
+    /// the fault-injection tests drive to exercise builder panics.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `build` (the slot stays retryable).
+    pub fn get_or_build_with(
+        &self,
+        bench: Benchmark,
+        cfg: &WorkloadConfig,
+        build: impl FnOnce() -> Arc<[TraceInst]>,
+    ) -> Arc<[TraceInst]> {
         let slot = {
-            let mut slots = self.slots.lock().expect("trace cache lock");
+            // Poison-tolerant: the map lock is never held across the
+            // builder, so a poisoned lock only means another worker
+            // panicked elsewhere; the map itself is still consistent.
+            let mut slots = unpoisoned(self.slots.lock());
             slots.entry((bench, *cfg)).or_default().clone()
         };
         let mut built = false;
         let trace = slot
             .get_or_init(|| {
                 built = true;
-                bench.build(cfg).trace().into()
+                build()
             })
             .clone();
         if built {
@@ -228,15 +456,20 @@ impl JsonReport {
     }
 
     /// Renders the report as pretty-printed JSON.
+    ///
+    /// **Non-finite policy:** JSON has no representation for `NaN` or
+    /// `±inf`, so non-finite float fields are emitted as `null`. Every
+    /// consumer of these reports (plot scripts, the CI trend checker)
+    /// must treat `null` as "measurement unavailable", never as zero.
     pub fn render(&self) -> String {
         let mut out = String::from("{\n");
         for (i, (key, value)) in self.entries.iter().enumerate() {
-            out.push_str(&format!("  {}: ", escape(key)));
+            out.push_str(&format!("  {}: ", escape_json(key)));
             match value {
                 JsonValue::Num(v) if v.is_finite() => out.push_str(&format!("{v}")),
                 JsonValue::Num(_) => out.push_str("null"),
                 JsonValue::Int(v) => out.push_str(&format!("{v}")),
-                JsonValue::Str(v) => out.push_str(&escape(v)),
+                JsonValue::Str(v) => out.push_str(&escape_json(v)),
             }
             if i + 1 < self.entries.len() {
                 out.push(',');
@@ -247,17 +480,18 @@ impl JsonReport {
         out
     }
 
-    /// Writes the report to `path`, creating parent directories.
+    /// Writes the report to `path` atomically (temp file + rename,
+    /// creating parent directories), so a crash or kill mid-write never
+    /// leaves a torn `BENCH_*.json` behind.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
-        }
-        let mut f = std::fs::File::create(path)?;
-        writeln!(f, "{}", self.render())
+        let mut contents = self.render();
+        contents.push('\n');
+        write_atomic(path, &contents)
     }
 }
 
-fn escape(s: &str) -> String {
+/// Escapes a string as a JSON string literal (quotes included).
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -299,6 +533,96 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_reraises_the_original_payload() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_map(8, 4, |i| {
+                if i == 3 {
+                    std::panic::panic_any(String::from("original payload"));
+                }
+                i
+            })
+        });
+        let payload = r.expect_err("the job panic must surface");
+        assert_eq!(
+            payload.downcast_ref::<String>().map(String::as_str),
+            Some("original payload"),
+            "the original payload survives, not a second opaque panic"
+        );
+    }
+
+    #[test]
+    fn outcomes_isolate_a_panicking_cell() {
+        let outcomes = parallel_map_outcomes(16, 4, &RunPolicy::default(), |i, _ctx| {
+            assert!(i != 5, "injected failure in cell 5");
+            i * 10
+        });
+        assert_eq!(outcomes.len(), 16);
+        for (i, o) in outcomes.iter().enumerate() {
+            if i == 5 {
+                assert_eq!(o.kind(), "panicked");
+                assert!(o.detail().contains("injected failure"), "{:?}", o.detail());
+                assert_eq!(o.attempts(), 1);
+            } else {
+                assert_eq!(o.ok(), Some(&(i * 10)), "cell {i} must still complete");
+            }
+        }
+    }
+
+    #[test]
+    fn retries_recover_transient_panics() {
+        use std::sync::atomic::AtomicU32;
+        let tries = AtomicU32::new(0);
+        let policy = RunPolicy::default().with_retries(2);
+        let outcomes = parallel_map_outcomes(4, 2, &policy, |i, ctx| {
+            if i == 2 {
+                tries.fetch_add(1, Ordering::SeqCst);
+                assert!(ctx.attempt >= 2, "fails on the first attempt only");
+            }
+            i
+        });
+        assert!(outcomes.iter().all(CellOutcome::is_ok));
+        assert_eq!(tries.load(Ordering::SeqCst), 2, "one failure + one retry");
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let policy = RunPolicy::default().with_retries(2);
+        let outcomes = parallel_map_outcomes(2, 2, &policy, |i, _ctx| {
+            assert!(i != 1, "always fails");
+            i
+        });
+        assert_eq!(outcomes[1].kind(), "panicked");
+        assert_eq!(outcomes[1].attempts(), 3, "1 attempt + 2 retries");
+        assert!(outcomes[0].is_ok());
+    }
+
+    #[test]
+    fn watchdog_times_out_a_stalled_cell() {
+        let policy = RunPolicy::default().with_timeout(Duration::from_millis(40));
+        let (outcomes, wall) = timed(|| {
+            parallel_map_outcomes(6, 3, &policy, |i, ctx| {
+                if i == 4 {
+                    // Cooperative wedge: spins until the watchdog cancels.
+                    while !ctx.cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                i
+            })
+        });
+        assert_eq!(outcomes[4].kind(), "timed_out");
+        for (i, o) in outcomes.iter().enumerate() {
+            if i != 4 {
+                assert_eq!(o.ok(), Some(&i), "non-stalled cells complete");
+            }
+        }
+        assert!(
+            wall < Duration::from_secs(10),
+            "the stalled cell must not wedge the sweep: {wall:?}"
+        );
+    }
+
+    #[test]
     fn trace_cache_counts_hits_and_misses() {
         let cache = TraceCache::new();
         let cfg = WorkloadConfig::new(Scale::Test);
@@ -324,6 +648,46 @@ mod tests {
     }
 
     #[test]
+    fn builder_panic_does_not_wedge_the_slot() {
+        let cache = TraceCache::new();
+        let cfg = WorkloadConfig::new(Scale::Test);
+        // First request: the builder panics. The panic propagates…
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            cache.get_or_build_with(Benchmark::Gcc, &cfg, || panic!("builder exploded"))
+        }));
+        assert!(r.is_err());
+        assert_eq!((cache.misses(), cache.hits()), (0, 0));
+        // …but the slot is not deadlocked or poisoned: the next
+        // requester retries the build and succeeds.
+        let trace = cache.get_or_build(Benchmark::Gcc, &cfg);
+        assert!(!trace.is_empty());
+        assert_eq!((cache.misses(), cache.hits()), (1, 0));
+        // And a plain hit still works afterwards.
+        let again = cache.get_or_build(Benchmark::Gcc, &cfg);
+        assert!(Arc::ptr_eq(&trace, &again));
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_builder_panic_leaves_other_requesters_live() {
+        let cache = TraceCache::new();
+        let cfg = WorkloadConfig::new(Scale::Test);
+        // Several workers race the same slot while the first builder
+        // panics: every worker must terminate (no deadlock), and at
+        // least the retries must converge on a real trace.
+        let outcomes = parallel_map_outcomes(6, 3, &RunPolicy::default(), |i, _ctx| {
+            cache.get_or_build_with(Benchmark::Perl, &cfg, || {
+                assert!(i != 0, "first builder exploded");
+                Benchmark::Perl.build(&cfg).trace().into()
+            })
+        });
+        let completed = outcomes.iter().filter(|o| o.is_ok()).count();
+        assert!(completed >= 5, "only the panicking builder may fail");
+        let trace = cache.get_or_build(Benchmark::Perl, &cfg);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
     fn json_report_renders_and_escapes() {
         let mut r = JsonReport::new();
         r.str("name", "fig5 \"small\"")
@@ -334,5 +698,60 @@ mod tests {
         assert!(s.contains("\"name\": \"fig5 \\\"small\\\"\""));
         assert!(s.contains("\"cells\": 130,"));
         assert!(s.contains("\"speedup\": 2.5\n"));
+    }
+
+    #[test]
+    fn json_report_nulls_non_finite_floats() {
+        let mut r = JsonReport::new();
+        r.num("nan", f64::NAN)
+            .num("inf", f64::INFINITY)
+            .num("ninf", f64::NEG_INFINITY)
+            .num("fine", 1.25);
+        let s = r.render();
+        assert!(s.contains("\"nan\": null,"));
+        assert!(s.contains("\"inf\": null,"));
+        assert!(s.contains("\"ninf\": null,"));
+        assert!(s.contains("\"fine\": 1.25"));
+        assert!(!s.contains("NaN") && !s.contains("inf\": i"), "{s}");
+    }
+
+    #[test]
+    fn json_report_escapes_control_chars_and_keys() {
+        let mut r = JsonReport::new();
+        r.str("quote\"back\\slash", "tab\there")
+            .str("ctrl", "bell\u{7}null\u{0}cr\r")
+            .str("newline\nkey", "v");
+        let s = r.render();
+        assert!(s.contains("\"quote\\\"back\\\\slash\": \"tab\\there\""));
+        assert!(s.contains("\\u0007"));
+        assert!(s.contains("\\u0000"));
+        assert!(s.contains("\\u000d"));
+        assert!(s.contains("\"newline\\nkey\""));
+        // The rendered report round-trips through the journal's strict
+        // JSON parser — i.e. it is actually valid JSON.
+        let parsed = crate::journal::parse_json_object(&s).expect("render emits valid JSON");
+        assert_eq!(parsed.len(), 3);
+    }
+
+    #[test]
+    fn json_report_write_is_atomic_and_creates_dirs() {
+        let dir = std::env::temp_dir().join(format!("hbat-report-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("deep").join("BENCH_test.json");
+        let mut r = JsonReport::new();
+        r.int("value", 1);
+        r.write(&path).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        assert!(first.ends_with("}\n"));
+        let mut r2 = JsonReport::new();
+        r2.int("value", 2);
+        r2.write(&path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("2"));
+        let tmp_left = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().contains("tmp"));
+        assert!(!tmp_left, "no temp files may survive");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -10,18 +10,28 @@
 //! count because each cell's replacement RNG is seeded independently
 //! from the experiment's `design_seed`.
 
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use hbat_core::addr::PageGeometry;
 use hbat_core::designs::spec::DesignSpec;
 use hbat_cpu::{simulate, RunMetrics, SimConfig};
 use hbat_isa::trace::TraceInst;
+use hbat_isa::tracefile::{read_trace, write_trace};
 use hbat_stats::agg::runtime_weighted_ipc;
 use hbat_stats::chart::BarChart;
-use hbat_stats::table::{fnum, TextTable};
+use hbat_stats::table::{fnum, fnum_opt, percent_opt, TextTable};
 use hbat_workloads::{Benchmark, Scale, WorkloadConfig};
 
-use crate::executor::{parallel_map, timed, worker_threads, SweepTelemetry, TraceCache};
+use crate::executor::{
+    parallel_map, parallel_map_outcomes, timed, worker_threads, RunPolicy, SweepTelemetry,
+    TraceCache,
+};
+use crate::faults::{FaultKind, FaultPlan};
+use crate::journal::{fnv1a_hex, read_journal, CellKey, JournalRecord, JournalWriter};
+use crate::outcome::{CellFailure, CellOutcome, FailureManifest};
 
 /// Everything one experiment (one figure) varies.
 #[derive(Debug, Clone)]
@@ -101,6 +111,10 @@ impl SweepResult {
     /// Per-design run-time weighted average IPC (weighted by each
     /// benchmark's T4 run time, per the paper). Falls back to the first
     /// design's run time when T4 is not part of the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design` is not one of this sweep's designs.
     pub fn weighted_ipc(&self, design: DesignSpec) -> f64 {
         let weight_col = self
             .designs
@@ -190,6 +204,11 @@ pub fn sweep(designs: &[DesignSpec], cfg: &ExperimentConfig) -> SweepResult {
 
 /// [`sweep`] with explicit worker count and trace cache — the form the
 /// determinism tests and the sweep benchmark drive directly.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by any trace build or cell run —
+/// this is the fail-fast sweep; [`sweep_ft_on`] is the isolating one.
 pub fn sweep_on(
     designs: &[DesignSpec],
     cfg: &ExperimentConfig,
@@ -272,6 +291,376 @@ pub fn sweep_serial(designs: &[DesignSpec], cfg: &ExperimentConfig) -> SweepResu
 /// Sweeps the full Table-2 design set.
 pub fn sweep_table2(cfg: &ExperimentConfig) -> SweepResult {
     sweep(&DesignSpec::TABLE2, cfg)
+}
+
+// ---- fault-tolerant sweeps -----------------------------------------------
+
+/// Fingerprint of everything that affects a cell's metrics, for the
+/// journal's cell identity: scale, machine model, page geometry,
+/// workload configuration, and design seed. Two runs share journal
+/// records only when their fingerprints match.
+pub fn config_fingerprint(cfg: &ExperimentConfig) -> String {
+    fnv1a_hex(&format!("{cfg:?}"))
+}
+
+/// How a fault-tolerant sweep runs: worker count, retry/deadline
+/// policy, an optional fault-injection plan, and the journal used for
+/// restartable campaigns.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads (0 = [`worker_threads`]).
+    pub threads: usize,
+    /// Retry and deadline policy (see [`RunPolicy::from_env`]).
+    pub policy: RunPolicy,
+    /// Injected faults; [`FaultPlan::none`] for production runs.
+    pub faults: FaultPlan,
+    /// Append completed cells to this JSONL journal.
+    pub journal: Option<PathBuf>,
+    /// Replay the journal first and re-execute only missing cells.
+    pub resume: bool,
+}
+
+/// The result of a fault-tolerant sweep: per-cell outcomes (partial
+/// results survive individual failures), a manifest of the failed
+/// cells, and how many cells were restored from the journal.
+#[derive(Debug)]
+pub struct FtSweepResult {
+    /// Designs in presentation order.
+    pub designs: Vec<DesignSpec>,
+    /// Row-major: `cells[bench][design]`, one outcome per cell.
+    pub cells: Vec<Vec<CellOutcome<CellResult>>>,
+    /// The failed cells, in schedule order.
+    pub manifest: FailureManifest,
+    /// Cells restored from the journal instead of re-executed.
+    pub resumed: usize,
+    /// Where the sweep's wall time went.
+    pub telemetry: SweepTelemetry,
+}
+
+impl FtSweepResult {
+    /// Cells that completed (executed or restored).
+    pub fn completed(&self) -> usize {
+        self.cells.iter().flatten().filter(|o| o.is_ok()).count()
+    }
+
+    /// Converts to a plain [`SweepResult`] when *every* cell completed;
+    /// `None` if any cell failed.
+    pub fn into_complete(self) -> Option<SweepResult> {
+        let cells: Option<Vec<Vec<CellResult>>> = self
+            .cells
+            .into_iter()
+            .map(|row| row.into_iter().map(CellOutcome::into_ok).collect())
+            .collect();
+        Some(SweepResult {
+            designs: self.designs,
+            cells: cells?,
+            telemetry: self.telemetry,
+        })
+    }
+
+    /// Partial run-time weighted IPC: averages over the benchmarks
+    /// where both this design's cell and the weight (T4) cell
+    /// completed. `None` when the design is absent from the sweep or no
+    /// benchmark has both cells.
+    pub fn weighted_ipc(&self, design: DesignSpec) -> Option<f64> {
+        let weight_col = self
+            .designs
+            .iter()
+            .position(|d| *d == DesignSpec::MultiPorted { ports: 4 })
+            .unwrap_or(0);
+        let col = self.designs.iter().position(|d| *d == design)?;
+        let mut ipcs = Vec::new();
+        let mut weights = Vec::new();
+        for row in &self.cells {
+            if let (Some(c), Some(w)) = (
+                row.get(col).and_then(CellOutcome::ok),
+                row.get(weight_col).and_then(CellOutcome::ok),
+            ) {
+                ipcs.push(c.metrics.ipc());
+                weights.push(w.metrics.cycles);
+            }
+        }
+        if ipcs.is_empty() {
+            None
+        } else {
+            Some(runtime_weighted_ipc(&ipcs, &weights))
+        }
+    }
+
+    /// Partial relative IPC (normalised to T4 over the same benchmark
+    /// subset); `None` when either side is unavailable.
+    pub fn relative_ipc(&self, design: DesignSpec) -> Option<f64> {
+        let t4 = self.weighted_ipc(DesignSpec::MultiPorted { ports: 4 })?;
+        if t4 == 0.0 {
+            return Some(0.0);
+        }
+        Some(self.weighted_ipc(design)? / t4)
+    }
+
+    /// Renders the figure like [`SweepResult::render_figure`], but
+    /// failed cells are marked explicitly: designs with no usable
+    /// measurements show `n/a` bars, and the failure manifest is
+    /// appended below the chart.
+    pub fn render_figure(&self, title: &str) -> String {
+        let mut t = TextTable::new(vec!["design", "weighted IPC", "vs T4"]);
+        t.numeric();
+        let mut chart = BarChart::new("relative IPC (normalised to T4)", 50)
+            .with_max(1.0)
+            .percent();
+        for d in &self.designs {
+            t.row(vec![
+                d.mnemonic().to_owned(),
+                fnum_opt(self.weighted_ipc(*d), 4),
+                percent_opt(self.relative_ipc(*d)),
+            ]);
+            match self.relative_ipc(*d) {
+                Some(rel) => chart.bar(d.mnemonic(), rel),
+                None => chart.bar_missing(d.mnemonic()),
+            };
+        }
+        let mut out = format!("{title}\n{}\n{}", t.render(), chart.render());
+        if !self.manifest.is_empty() {
+            out.push('\n');
+            out.push_str(&self.manifest.render());
+        }
+        out
+    }
+
+    /// Renders the per-benchmark detail table with failed cells marked
+    /// `n/a` instead of aborting the render.
+    pub fn render_details(&self) -> String {
+        let mut headers = vec!["program".to_owned()];
+        headers.extend(self.designs.iter().map(|d| d.mnemonic().to_owned()));
+        let mut t = TextTable::new(headers);
+        t.numeric();
+        for (bench, row) in Benchmark::ALL.iter().zip(&self.cells) {
+            let mut cells = vec![bench.name().to_owned()];
+            cells.extend(
+                row.iter()
+                    .map(|o| fnum_opt(o.ok().map(|c| c.metrics.ipc()), 3)),
+            );
+            t.row(cells);
+        }
+        t.render()
+    }
+}
+
+/// What one phase-2 cell job produced (before outcome classification).
+enum CellJob {
+    /// Executed this run (journalled if a journal is configured).
+    Ran(RunMetrics),
+    /// Restored from the resume journal without re-executing.
+    Restored(RunMetrics),
+    /// Not runnable: its benchmark's trace failed to build.
+    NoTrace(String),
+}
+
+/// Exercises the corrupt-input recovery path for a `CorruptTrace`
+/// fault: the cell's trace is serialised, truncated at the plan's
+/// deterministic offset, and fed back through [`read_trace`], which
+/// must reject it. Diverges either way: the rejection (the expected
+/// path) fails the cell cleanly into the manifest, and an accepted
+/// corrupt image is a hardening bug surfaced loudly.
+///
+/// # Panics
+///
+/// Always — both branches diverge by design; the surrounding cell
+/// isolation turns the panic into a manifest entry.
+fn run_with_corrupt_trace(index: usize, trace: &[TraceInst], plan: &FaultPlan) -> ! {
+    let mut buf = Vec::new();
+    if let Err(e) = write_trace(&mut buf, trace) {
+        panic!("injected fault: trace serialisation failed: {e}");
+    }
+    buf.truncate(plan.corruption_offset(index, buf.len()));
+    match read_trace(&mut &buf[..]) {
+        Err(e) => panic!("injected fault: corrupt trace rejected: {e}"),
+        Ok(_) => panic!("corrupt trace image was accepted by read_trace"),
+    }
+}
+
+/// Fault-tolerant sweep over all ten benchmarks: per-cell isolation,
+/// retries/deadlines per `opts.policy`, journalled completion, and
+/// partial results (see [`FtSweepResult`]). Uses the process-wide trace
+/// cache.
+///
+/// # Errors
+///
+/// Only journal I/O errors propagate (opening the journal for append,
+/// or reading it under `opts.resume`); cell failures are reported
+/// through the result's manifest instead.
+pub fn sweep_ft(
+    designs: &[DesignSpec],
+    cfg: &ExperimentConfig,
+    opts: &SweepOptions,
+) -> io::Result<FtSweepResult> {
+    sweep_ft_on(designs, cfg, opts, TraceCache::global())
+}
+
+/// [`sweep_ft`] with an explicit trace cache — the form the
+/// fault-injection tests drive with private caches.
+///
+/// # Errors
+///
+/// Journal I/O errors only; see [`sweep_ft`].
+pub fn sweep_ft_on(
+    designs: &[DesignSpec],
+    cfg: &ExperimentConfig,
+    opts: &SweepOptions,
+    cache: &TraceCache,
+) -> io::Result<FtSweepResult> {
+    let benches = Benchmark::ALL;
+    let threads = if opts.threads == 0 {
+        worker_threads()
+    } else {
+        opts.threads
+    };
+    let n_cells = benches.len() * designs.len();
+    let fingerprint = config_fingerprint(cfg);
+    let (hits0, misses0) = (cache.hits(), cache.misses());
+
+    // Resume: restore completed cells from the journal. Records keyed
+    // for a different configuration simply never match.
+    let mut restored: HashMap<CellKey, RunMetrics> = HashMap::new();
+    if opts.resume {
+        if let Some(path) = &opts.journal {
+            for rec in read_journal(path)? {
+                restored.insert(rec.key, rec.metrics);
+            }
+        }
+    }
+    let writer = match &opts.journal {
+        Some(path) => Some(JournalWriter::append_to(path)?),
+        None => None,
+    };
+
+    // Phase 1: every distinct trace, built in parallel, isolated per
+    // benchmark — a failed build skips that benchmark's cells instead
+    // of aborting the sweep.
+    // hbat-lint: allow(panic) bi < benches.len() by parallel_map_outcomes' contract; an escaped panic here is caught per-cell anyway
+    let (trace_outcomes, trace_build) = timed(|| {
+        parallel_map_outcomes(benches.len(), threads, &opts.policy, |bi, _ctx| {
+            assert!(
+                !opts.faults.trace_fault_for(bi),
+                "injected fault: trace build for {} panicked",
+                benches[bi].name()
+            );
+            cache.get_or_build(benches[bi], &cfg.workload)
+        })
+    });
+    let mut traces: Vec<Option<Arc<[TraceInst]>>> = Vec::with_capacity(benches.len());
+    let mut trace_errs: Vec<String> = Vec::with_capacity(benches.len());
+    for outcome in trace_outcomes {
+        trace_errs.push(match &outcome {
+            CellOutcome::Ok(_) => String::new(),
+            other => format!("trace build {}: {}", other.kind(), other.detail()),
+        });
+        traces.push(outcome.into_ok());
+    }
+
+    // Phase 2: one queue of benchmark × design cells. Restored cells
+    // return without executing (and without re-journalling); fresh
+    // completions journal themselves before returning.
+    // hbat-lint: allow(panic) bi/di derive from i < n_cells, and a panic inside a cell job is exactly what the isolation layer catches
+    let (flat, cell_exec) = timed(|| {
+        parallel_map_outcomes(n_cells, threads, &opts.policy, |i, ctx| {
+            let (bi, di) = (i / designs.len(), i % designs.len());
+            let key = CellKey {
+                bench: benches[bi].name().to_owned(),
+                design: format!("{:?}", designs[di]),
+                config: fingerprint.clone(),
+                seed: cfg.design_seed,
+            };
+            if let Some(metrics) = restored.get(&key) {
+                return CellJob::Restored(metrics.clone());
+            }
+            let Some(trace) = &traces[bi] else {
+                return CellJob::NoTrace(trace_errs[bi].clone());
+            };
+            opts.faults.arm(i, ctx.attempt, ctx.cancel_flag());
+            assert!(
+                !ctx.cancelled(),
+                "injected fault: cell {i} stalled past its deadline"
+            );
+            if opts.faults.fault_for(i) == Some(FaultKind::CorruptTrace) {
+                run_with_corrupt_trace(i, trace, &opts.faults);
+            }
+            let metrics = run_cell(trace, designs[di], cfg);
+            if let Some(w) = &writer {
+                if let Err(e) = w.append(&JournalRecord {
+                    key,
+                    metrics: metrics.clone(),
+                }) {
+                    eprintln!("warning: journal append failed: {e}");
+                }
+            }
+            CellJob::Ran(metrics)
+        })
+    });
+
+    // Classify the flat outcomes into rows, the manifest, and the
+    // resumed count.
+    let mut cells: Vec<Vec<CellOutcome<CellResult>>> = Vec::with_capacity(benches.len());
+    let mut manifest = FailureManifest::default();
+    let mut resumed = 0usize;
+    // hbat-lint: allow(panic) bi/di derive from i < n_cells = benches.len() * designs.len()
+    for (i, outcome) in flat.into_iter().enumerate() {
+        let (bi, di) = (i / designs.len(), i % designs.len());
+        let done = |metrics: RunMetrics| CellResult {
+            bench: benches[bi],
+            design: designs[di],
+            metrics,
+        };
+        let outcome: CellOutcome<CellResult> = match outcome {
+            CellOutcome::Ok(CellJob::Ran(m)) => CellOutcome::Ok(done(m)),
+            CellOutcome::Ok(CellJob::Restored(m)) => {
+                resumed += 1;
+                CellOutcome::Ok(done(m))
+            }
+            CellOutcome::Ok(CellJob::NoTrace(reason)) => CellOutcome::Skipped { reason },
+            CellOutcome::Panicked {
+                msg,
+                attempts,
+                payload,
+            } => CellOutcome::Panicked {
+                msg,
+                attempts,
+                payload,
+            },
+            CellOutcome::TimedOut { attempts } => CellOutcome::TimedOut { attempts },
+            CellOutcome::Skipped { reason } => CellOutcome::Skipped { reason },
+        };
+        if !outcome.is_ok() {
+            manifest.failures.push(CellFailure {
+                index: i,
+                bench: benches[bi].name().to_owned(),
+                design: designs[di].mnemonic().to_owned(),
+                kind: outcome.kind().to_owned(),
+                detail: outcome.detail(),
+                attempts: outcome.attempts(),
+            });
+        }
+        if di == 0 {
+            cells.push(Vec::with_capacity(designs.len()));
+        }
+        if let Some(row) = cells.last_mut() {
+            row.push(outcome);
+        }
+    }
+
+    Ok(FtSweepResult {
+        designs: designs.to_vec(),
+        cells,
+        manifest,
+        resumed,
+        telemetry: SweepTelemetry {
+            threads,
+            cells: n_cells,
+            traces_built: cache.misses() - misses0,
+            trace_cache_hits: cache.hits() - hits0,
+            trace_build,
+            cell_exec,
+        },
+    })
 }
 
 /// Parses the scale from a CLI argument / env (`test`, `small`,

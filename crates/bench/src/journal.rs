@@ -1,0 +1,670 @@
+//! The append-only sweep journal: restartable campaigns.
+//!
+//! Workers append one JSONL record per completed cell, keyed by the
+//! cell's full identity `(benchmark, design, config fingerprint, seed)`
+//! and carrying the complete integer [`RunMetrics`], so a killed sweep
+//! can be resumed with `--resume`: journalled cells are replayed from
+//! disk (bit-identical — every metric is an integer) and only the
+//! missing cells re-execute.
+//!
+//! ```text
+//! {"v":1,"bench":"Compress","design":"MultiPorted { ports: 4 }","config":"a1b2…","seed":1996,"metrics":{…}}
+//! ```
+//!
+//! Each record is written and flushed as a single line, so a kill can
+//! tear at most the final line; [`read_journal`] tolerates exactly that
+//! (a torn tail is dropped, a corrupt interior line is an error).
+//!
+//! The module also provides [`write_atomic`]: temp-file + rename in the
+//! target directory, used by every report writer so readers never see a
+//! half-written `BENCH_*.json` or figure file.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use hbat_core::stats::TranslatorStats;
+use hbat_cpu::RunMetrics;
+use hbat_mem::cache::CacheStats;
+
+use crate::executor::escape_json;
+
+/// Journal format version; bump on incompatible record changes.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// The durable identity of one sweep cell.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellKey {
+    /// Benchmark name (`Benchmark::name`).
+    pub bench: String,
+    /// Unambiguous design identity (the `DesignSpec` debug form, which
+    /// carries parameters, unlike the display mnemonic).
+    pub design: String,
+    /// Fingerprint of the experiment configuration (scale, machine
+    /// model, geometry, workload, design seed).
+    pub config: String,
+    /// The design replacement seed.
+    pub seed: u64,
+}
+
+/// One journalled cell: identity plus its full metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// The cell's identity.
+    pub key: CellKey,
+    /// The cell's complete run metrics.
+    pub metrics: RunMetrics,
+}
+
+/// FNV-1a over a string, hex-rendered — the config fingerprint hash.
+pub fn fnv1a_hex(s: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a unique
+/// temp file in the target directory, then a `rename` publishes them,
+/// so concurrent readers (and a kill at any instant) observe either the
+/// old complete file or the new complete file, never a torn prefix.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => {
+            std::fs::create_dir_all(d)?;
+            d.to_path_buf()
+        }
+        _ => std::path::PathBuf::from("."),
+    };
+    let base = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(".{base}.tmp{}", std::process::id()));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+// ---- serialization -------------------------------------------------------
+
+fn push_u64_fields(out: &mut String, fields: &[(&str, u64)]) {
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&escape_json(k));
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+}
+
+fn translator_fields(t: &TranslatorStats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("accesses", t.accesses),
+        ("shielded", t.shielded),
+        ("base_hits", t.base_hits),
+        ("misses", t.misses),
+        ("retries", t.retries),
+        ("internal_queueing_cycles", t.internal_queueing_cycles),
+        ("status_writes", t.status_writes),
+        ("inclusion_invalidations", t.inclusion_invalidations),
+        ("shield_flushes", t.shield_flushes),
+    ]
+}
+
+fn cache_fields(c: &CacheStats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("accesses", c.accesses),
+        ("hits", c.hits),
+        ("misses", c.misses),
+        ("merged", c.merged),
+        ("writebacks", c.writebacks),
+        ("port_rejects", c.port_rejects),
+    ]
+}
+
+fn metrics_scalar_fields(m: &RunMetrics) -> Vec<(&'static str, u64)> {
+    vec![
+        ("cycles", m.cycles),
+        ("committed", m.committed),
+        ("issued", m.issued),
+        ("squashed", m.squashed),
+        ("wrong_path_translations", m.wrong_path_translations),
+        ("issued_mem", m.issued_mem),
+        ("loads", m.loads),
+        ("stores", m.stores),
+        ("cond_branches", m.cond_branches),
+        ("bpred_correct", m.bpred_correct),
+        ("tlb_dispatch_stall_cycles", m.tlb_dispatch_stall_cycles),
+        ("translation_retries", m.translation_retries),
+    ]
+}
+
+/// Renders one journal record as a single JSON line (no newline).
+pub fn render_record(rec: &JournalRecord) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!(
+        "{{\"v\":{JOURNAL_VERSION},\"bench\":{},\"design\":{},\"config\":{},\"seed\":{},\"metrics\":{{",
+        escape_json(&rec.key.bench),
+        escape_json(&rec.key.design),
+        escape_json(&rec.key.config),
+        rec.key.seed,
+    ));
+    push_u64_fields(&mut out, &metrics_scalar_fields(&rec.metrics));
+    for (name, fields) in [
+        ("tlb", translator_fields(&rec.metrics.tlb)),
+        ("dcache", cache_fields(&rec.metrics.dcache)),
+        ("icache", cache_fields(&rec.metrics.icache)),
+    ] {
+        out.push(',');
+        out.push_str(&escape_json(name));
+        out.push_str(":{");
+        push_u64_fields(&mut out, &fields);
+        out.push('}');
+    }
+    out.push_str("}}");
+    out
+}
+
+// ---- parsing -------------------------------------------------------------
+
+/// The JSON subset journal records and reports use.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Str(String),
+    Int(u64),
+    Num(f64),
+    Bool(bool),
+    Null,
+    Obj(BTreeMap<String, Val>),
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("short \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => return Err(format!("bad escape \\{}", char::from(other))),
+                    }
+                }
+                b if b < 0x80 => out.push(char::from(b)),
+                _ => {
+                    // Multi-byte UTF-8: copy the full sequence.
+                    let start = self.pos - 1;
+                    while self.peek().is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Val) -> Result<Val, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Val, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Val::Str(self.parse_string()?)),
+            Some(b'{') => self.parse_object(),
+            Some(b'n') => self.parse_keyword("null", Val::Null),
+            Some(b't') => self.parse_keyword("true", Val::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Val::Bool(false)),
+            Some(b'0'..=b'9' | b'-') => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.peek().is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+                }) {
+                    self.pos += 1;
+                }
+                let s =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+                if let Ok(v) = s.parse::<u64>() {
+                    Ok(Val::Int(v))
+                } else {
+                    s.parse::<f64>().map(Val::Num).map_err(|e| e.to_string())
+                }
+            }
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Val, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Val::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Val::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn get_int(obj: &BTreeMap<String, Val>, key: &str) -> Result<u64, String> {
+    match obj.get(key) {
+        Some(Val::Int(v)) => Ok(*v),
+        _ => Err(format!("missing integer field {key:?}")),
+    }
+}
+
+fn get_str(obj: &BTreeMap<String, Val>, key: &str) -> Result<String, String> {
+    match obj.get(key) {
+        Some(Val::Str(s)) => Ok(s.clone()),
+        _ => Err(format!("missing string field {key:?}")),
+    }
+}
+
+fn get_obj<'v>(
+    obj: &'v BTreeMap<String, Val>,
+    key: &str,
+) -> Result<&'v BTreeMap<String, Val>, String> {
+    match obj.get(key) {
+        Some(Val::Obj(m)) => Ok(m),
+        _ => Err(format!("missing object field {key:?}")),
+    }
+}
+
+fn parse_translator(obj: &BTreeMap<String, Val>) -> Result<TranslatorStats, String> {
+    Ok(TranslatorStats {
+        accesses: get_int(obj, "accesses")?,
+        shielded: get_int(obj, "shielded")?,
+        base_hits: get_int(obj, "base_hits")?,
+        misses: get_int(obj, "misses")?,
+        retries: get_int(obj, "retries")?,
+        internal_queueing_cycles: get_int(obj, "internal_queueing_cycles")?,
+        status_writes: get_int(obj, "status_writes")?,
+        inclusion_invalidations: get_int(obj, "inclusion_invalidations")?,
+        shield_flushes: get_int(obj, "shield_flushes")?,
+    })
+}
+
+fn parse_cache(obj: &BTreeMap<String, Val>) -> Result<CacheStats, String> {
+    Ok(CacheStats {
+        accesses: get_int(obj, "accesses")?,
+        hits: get_int(obj, "hits")?,
+        misses: get_int(obj, "misses")?,
+        merged: get_int(obj, "merged")?,
+        writebacks: get_int(obj, "writebacks")?,
+        port_rejects: get_int(obj, "port_rejects")?,
+    })
+}
+
+/// Strictly parses a standalone JSON object and returns its top-level
+/// keys in sorted order. Rejects trailing bytes. Report and CLI tests
+/// use this to check that rendered output really is valid JSON.
+pub fn parse_json_object(s: &str) -> Result<Vec<String>, String> {
+    let mut cur = Cursor {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let Val::Obj(top) = cur.parse_object()? else {
+        return Err("not a JSON object".to_owned());
+    };
+    cur.skip_ws();
+    if cur.pos != cur.bytes.len() {
+        return Err("trailing bytes after JSON object".to_owned());
+    }
+    Ok(top.keys().cloned().collect())
+}
+
+/// Parses one journal line back into a record.
+pub fn parse_record(line: &str) -> Result<JournalRecord, String> {
+    let mut cur = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let Val::Obj(top) = cur.parse_object()? else {
+        return Err("journal line is not an object".to_owned());
+    };
+    cur.skip_ws();
+    if cur.pos != cur.bytes.len() {
+        return Err("trailing bytes after journal record".to_owned());
+    }
+    let version = get_int(&top, "v")?;
+    if version != JOURNAL_VERSION {
+        return Err(format!(
+            "journal version {version} (this build reads {JOURNAL_VERSION})"
+        ));
+    }
+    let m = get_obj(&top, "metrics")?;
+    let metrics = RunMetrics {
+        cycles: get_int(m, "cycles")?,
+        committed: get_int(m, "committed")?,
+        issued: get_int(m, "issued")?,
+        squashed: get_int(m, "squashed")?,
+        wrong_path_translations: get_int(m, "wrong_path_translations")?,
+        issued_mem: get_int(m, "issued_mem")?,
+        loads: get_int(m, "loads")?,
+        stores: get_int(m, "stores")?,
+        cond_branches: get_int(m, "cond_branches")?,
+        bpred_correct: get_int(m, "bpred_correct")?,
+        tlb_dispatch_stall_cycles: get_int(m, "tlb_dispatch_stall_cycles")?,
+        translation_retries: get_int(m, "translation_retries")?,
+        tlb: parse_translator(get_obj(m, "tlb")?)?,
+        dcache: parse_cache(get_obj(m, "dcache")?)?,
+        icache: parse_cache(get_obj(m, "icache")?)?,
+    };
+    Ok(JournalRecord {
+        key: CellKey {
+            bench: get_str(&top, "bench")?,
+            design: get_str(&top, "design")?,
+            config: get_str(&top, "config")?,
+            seed: get_int(&top, "seed")?,
+        },
+        metrics,
+    })
+}
+
+// ---- file I/O ------------------------------------------------------------
+
+/// A shared append-only journal writer. Workers append concurrently;
+/// each record is one `write` + `flush`, so a kill tears at most the
+/// final line.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: Mutex<File>,
+}
+
+impl JournalWriter {
+    /// Opens `path` for appending, creating it (and parent directories)
+    /// if needed.
+    pub fn append_to(path: &Path) -> io::Result<JournalWriter> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JournalWriter {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one record as a flushed JSONL line.
+    pub fn append(&self, rec: &JournalRecord) -> io::Result<()> {
+        let line = render_record(rec);
+        let mut f = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        writeln!(f, "{line}")?;
+        f.flush()
+    }
+}
+
+/// Reads every complete record from a journal file. A torn *final* line
+/// (the signature of a killed run) is silently dropped; an unparseable
+/// interior line is real corruption and errors. A missing file reads as
+/// an empty journal.
+pub fn read_journal(path: &Path) -> io::Result<Vec<JournalRecord>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    let lines: Vec<String> = BufReader::new(file).lines().collect::<io::Result<_>>()?;
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_record(line) {
+            Ok(rec) => records.push(rec),
+            Err(_) if i == last => break, // torn tail from a killed run
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", path.display(), i + 1),
+                ))
+            }
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> JournalRecord {
+        JournalRecord {
+            key: CellKey {
+                bench: "Compress".into(),
+                design: "MultiPorted { ports: 4 }".into(),
+                config: "a1b2c3d4e5f60718".into(),
+                seed: 1996,
+            },
+            metrics: RunMetrics {
+                cycles: 123_456,
+                committed: 100_000,
+                issued: 140_000,
+                squashed: 9_999,
+                wrong_path_translations: 321,
+                issued_mem: 44_000,
+                loads: 30_000,
+                stores: 10_000,
+                cond_branches: 12_000,
+                bpred_correct: 11_000,
+                tlb_dispatch_stall_cycles: 777,
+                translation_retries: 55,
+                tlb: TranslatorStats {
+                    accesses: 40_000,
+                    shielded: 20_000,
+                    base_hits: 19_000,
+                    misses: 1_000,
+                    retries: 55,
+                    internal_queueing_cycles: 12,
+                    status_writes: 3,
+                    inclusion_invalidations: 2,
+                    shield_flushes: 1,
+                },
+                dcache: CacheStats {
+                    accesses: 40_000,
+                    hits: 39_000,
+                    misses: 1_000,
+                    merged: 10,
+                    writebacks: 200,
+                    port_rejects: 5,
+                },
+                icache: CacheStats {
+                    accesses: 100_000,
+                    hits: 99_500,
+                    misses: 500,
+                    merged: 7,
+                    writebacks: 0,
+                    port_rejects: 0,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn record_round_trips_bit_identically() {
+        let rec = sample_record();
+        let line = render_record(&rec);
+        assert!(!line.contains('\n'), "one record, one line");
+        let back = parse_record(&line).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_record("").is_err());
+        assert!(parse_record("{").is_err());
+        assert!(parse_record("{\"v\":1}").is_err());
+        assert!(parse_record("not json at all").is_err());
+        let line = render_record(&sample_record());
+        assert!(parse_record(&line[..line.len() - 2]).is_err(), "torn line");
+        assert!(parse_record(&format!("{line}x")).is_err(), "trailing bytes");
+        // Wrong version is rejected.
+        let wrong_v = line.replacen("\"v\":1", "\"v\":9", 1);
+        assert!(parse_record(&wrong_v).is_err());
+    }
+
+    #[test]
+    fn journal_file_round_trip_and_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("hbat-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.journal");
+        std::fs::remove_file(&path).ok();
+
+        let w = JournalWriter::append_to(&path).unwrap();
+        let mut a = sample_record();
+        let mut b = sample_record();
+        b.key.bench = "Xlisp".into();
+        b.metrics.cycles = 1;
+        w.append(&a).unwrap();
+        w.append(&b).unwrap();
+        drop(w);
+
+        let back = read_journal(&path).unwrap();
+        assert_eq!(back, vec![a.clone(), b.clone()]);
+
+        // Simulate a kill mid-append: torn final line is dropped.
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        contents.push_str("{\"v\":1,\"bench\":\"Gcc");
+        std::fs::write(&path, &contents).unwrap();
+        let tolerant = read_journal(&path).unwrap();
+        assert_eq!(tolerant.len(), 2);
+
+        // But a corrupt interior line is an error.
+        let corrupt = format!("garbage\n{}\n", render_record(&a));
+        std::fs::write(&path, corrupt).unwrap();
+        assert!(read_journal(&path).is_err());
+
+        // A missing journal reads as empty.
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(read_journal(&path).unwrap(), Vec::new());
+        a.key.seed = 7;
+        drop(a);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut rec = sample_record();
+        rec.key.design = "weird \"name\"\\with\nescapes\tand unicode é".into();
+        let back = parse_record(&render_record(&rec)).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_distinguishes() {
+        let a = fnv1a_hex("config-a");
+        assert_eq!(a, fnv1a_hex("config-a"));
+        assert_ne!(a, fnv1a_hex("config-b"));
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_files_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("hbat-atomic-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("nested").join("report.json");
+        write_atomic(&path, "{\"first\": 1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"first\": 1}\n");
+        write_atomic(&path, "{\"second\": 2}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"second\": 2}\n");
+        // No temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

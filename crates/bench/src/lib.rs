@@ -22,13 +22,32 @@
 //! Sweeps run on the cell-level parallel executor in [`executor`]
 //! (worker count from `HBAT_THREADS`, default all cores) and are
 //! bit-identical to the single-threaded [`sweep_serial`] reference.
+//!
+//! The executor is fault-tolerant: each cell runs under `catch_unwind`
+//! with bounded retries and an optional deadline ([`RunPolicy`]), a
+//! failed cell becomes a [`CellOutcome`] and a [`FailureManifest`]
+//! entry instead of sinking the sweep, completed cells journal to an
+//! append-only JSONL file for bit-identical `--resume`
+//! ([`journal`]), and deterministic faults can be injected for testing
+//! the recovery paths ([`faults`]). DESIGN.md §9 documents the failure
+//! model.
 
 pub mod executor;
 pub mod experiment;
+pub mod faults;
+pub mod journal;
 pub mod missrate;
+pub mod outcome;
 
-pub use executor::{parallel_map, worker_threads, JsonReport, SweepTelemetry, TraceCache};
-pub use experiment::{
-    run_cell, scale_from_args, sweep, sweep_on, sweep_serial, sweep_table2, trace_for, CellResult,
-    ExperimentConfig, SweepResult,
+pub use executor::{
+    parallel_map, parallel_map_outcomes, worker_threads, CellCtx, JsonReport, RunPolicy,
+    SweepTelemetry, TraceCache,
 };
+pub use experiment::{
+    config_fingerprint, run_cell, scale_from_args, sweep, sweep_ft, sweep_ft_on, sweep_on,
+    sweep_serial, sweep_table2, trace_for, CellResult, ExperimentConfig, FtSweepResult,
+    SweepOptions, SweepResult,
+};
+pub use faults::{FaultKind, FaultPlan};
+pub use journal::{read_journal, write_atomic, CellKey, JournalRecord, JournalWriter};
+pub use outcome::{CellFailure, CellOutcome, FailureManifest};

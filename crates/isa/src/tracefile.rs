@@ -183,11 +183,26 @@ pub fn write_trace<W: Write>(w: &mut W, trace: &[TraceInst]) -> io::Result<()> {
     Ok(())
 }
 
+/// Pre-allocation cap for the declared record count. The count is
+/// attacker-/corruption-controlled (it is read straight from the
+/// header), so it must never size an allocation directly: a flipped
+/// count byte could otherwise demand gigabytes before the first record
+/// fails to parse. Larger traces still load — the vector grows
+/// normally past this.
+const MAX_PREALLOC_RECORDS: u64 = 1 << 16;
+
 /// Reads a trace written by [`write_trace`].
+///
+/// Corrupt input is rejected, never trusted: the declared record count
+/// only bounds a capped pre-allocation, a stream ending before `count`
+/// records is an error, and bytes remaining after `count` records are
+/// an error (a flipped count byte can shrink the count as easily as
+/// grow it).
 ///
 /// # Errors
 ///
-/// Fails on I/O errors, a bad magic number, or malformed records.
+/// Fails on I/O errors, a bad magic number, malformed records, or a
+/// record count that disagrees with the stream length.
 pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Vec<TraceInst>> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -200,7 +215,7 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Vec<TraceInst>> {
     let mut count_bytes = [0u8; 8];
     r.read_exact(&mut count_bytes)?;
     let count = u64::from_le_bytes(count_bytes);
-    let mut trace = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut trace = Vec::with_capacity(count.min(MAX_PREALLOC_RECORDS) as usize);
     for serial in 0..count {
         let pc = read_varint(r)? as u32;
         let mut head = [0u8; 2];
@@ -271,6 +286,13 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Vec<TraceInst>> {
             });
         }
         trace.push(t);
+    }
+    let mut probe = [0u8];
+    if r.read(&mut probe)? != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes after the declared record count",
+        ));
     }
     Ok(trace)
 }
@@ -344,6 +366,25 @@ mod tests {
         write_trace(&mut buf, &sample()).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).unwrap();
+        buf.push(0);
+        let e = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn huge_declared_count_does_not_preallocate() {
+        // Header promising u64::MAX records must fail with a clean EOF
+        // error, not attempt an OOM-sized allocation first.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let e = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
     }
 
     #[test]

@@ -21,7 +21,9 @@ use std::fmt::Write as _;
 pub struct BarChart {
     title: String,
     width: usize,
-    bars: Vec<(String, f64)>,
+    /// `None` marks a missing measurement (a failed sweep cell): the
+    /// bar renders empty with an `n/a` value instead of being dropped.
+    bars: Vec<(String, Option<f64>)>,
     /// Fixed maximum for the axis; `None` = max of the data.
     scale_max: Option<f64>,
     /// Render values as percentages.
@@ -61,7 +63,15 @@ impl BarChart {
 
     /// Appends a bar.
     pub fn bar(&mut self, label: &str, value: f64) -> &mut Self {
-        self.bars.push((label.to_owned(), value));
+        self.bars.push((label.to_owned(), Some(value)));
+        self
+    }
+
+    /// Appends a placeholder for a missing measurement (e.g. a failed
+    /// sweep cell): an empty bar labelled `n/a`, so partial figures
+    /// show *which* bars are absent instead of silently omitting them.
+    pub fn bar_missing(&mut self, label: &str) -> &mut Self {
+        self.bars.push((label.to_owned(), None));
         self
     }
 
@@ -79,20 +89,31 @@ impl BarChart {
     pub fn render(&self) -> String {
         let max = self
             .scale_max
-            .unwrap_or_else(|| self.bars.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max))
+            .unwrap_or_else(|| {
+                self.bars
+                    .iter()
+                    .filter_map(|(_, v)| *v)
+                    .fold(0.0_f64, f64::max)
+            })
             .max(f64::MIN_POSITIVE);
         let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
         let mut out = String::new();
         let _ = writeln!(out, "{}", self.title);
         for (label, value) in &self.bars {
-            let frac = (value / max).clamp(0.0, 1.0);
-            let filled = (frac * self.width as f64).round() as usize;
-            let bar: String = "█".repeat(filled);
-            let val = if self.percent {
-                format!("{:.1}%", value * 100.0)
-            } else {
-                format!("{value:.3}")
+            let (filled, val) = match value {
+                Some(value) => {
+                    let frac = (value / max).clamp(0.0, 1.0);
+                    let filled = (frac * self.width as f64).round() as usize;
+                    let val = if self.percent {
+                        format!("{:.1}%", value * 100.0)
+                    } else {
+                        format!("{value:.3}")
+                    };
+                    (filled, val)
+                }
+                None => (0, "n/a".to_owned()),
             };
+            let bar: String = "█".repeat(filled);
             let _ = writeln!(out, "{label:<label_w$} |{bar:<w$}| {val}", w = self.width);
         }
         out
@@ -141,6 +162,27 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert!(s.contains("zero"));
         assert!(!s.lines().nth(2).unwrap().contains('█'));
+    }
+
+    #[test]
+    fn missing_bars_render_explicitly() {
+        let mut c = BarChart::new("t", 10).with_max(1.0);
+        c.bar("ok", 1.0);
+        c.bar_missing("lost");
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains('█'));
+        assert!(lines[2].starts_with("lost"), "{s}");
+        assert!(lines[2].ends_with("n/a"), "missing cells are marked: {s}");
+        assert!(!lines[2].contains('█'));
+        // A missing bar does not perturb auto-scaling of the rest.
+        let mut auto = BarChart::new("t", 10);
+        auto.bar("a", 2.0);
+        auto.bar_missing("b");
+        assert_eq!(
+            auto.render().lines().nth(1).unwrap().matches('█').count(),
+            10
+        );
     }
 
     #[test]

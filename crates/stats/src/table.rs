@@ -142,6 +142,24 @@ pub fn percent(v: f64) -> String {
     format!("{:.1}%", v * 100.0)
 }
 
+/// [`fnum`] for possibly-missing measurements: `None` (a failed or
+/// skipped sweep cell) renders as `n/a` — ASCII on purpose, so the
+/// byte-width column alignment of [`TextTable`] holds.
+pub fn fnum_opt(v: Option<f64>, digits: usize) -> String {
+    match v {
+        Some(v) => fnum(v, digits),
+        None => "n/a".to_owned(),
+    }
+}
+
+/// [`percent`] for possibly-missing measurements (`None` → `n/a`).
+pub fn percent_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => percent(v),
+        None => "n/a".to_owned(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +196,10 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fnum(1.23456, 2), "1.23");
         assert_eq!(percent(0.941), "94.1%");
+        assert_eq!(fnum_opt(Some(1.5), 1), "1.5");
+        assert_eq!(fnum_opt(None, 1), "n/a");
+        assert_eq!(percent_opt(Some(0.5)), "50.0%");
+        assert_eq!(percent_opt(None), "n/a");
+        assert!(fnum_opt(None, 3).is_ascii(), "alignment is byte-width");
     }
 }

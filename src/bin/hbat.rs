@@ -13,12 +13,21 @@
 //!          --pages-8k                     8 KB pages
 //!          --small-regs                   8 int / 8 fp registers
 //!          --seed N                       design replacement seed
+//!
+//! sweep fault tolerance (see DESIGN.md § 9):
+//!          --journal <path>               append completed cells (JSONL)
+//!          --resume                       replay the journal, re-run the rest
+//!          --timeout <secs>               per-cell deadline (HBAT_CELL_TIMEOUT)
+//!          --retries <n>                  per-cell retries (HBAT_CELL_RETRIES)
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use hbat_suite::analysis::{AdjacencyProfile, PointerProfile, ReuseProfile};
-use hbat_suite::bench::experiment::{sweep_table2, ExperimentConfig};
+use hbat_suite::bench::executor::RunPolicy;
+use hbat_suite::bench::experiment::{sweep_ft, ExperimentConfig, SweepOptions};
+use hbat_suite::bench::faults::FaultPlan;
 use hbat_suite::isa::tracefile;
 use hbat_suite::prelude::*;
 
@@ -28,6 +37,10 @@ struct Options {
     pages_8k: bool,
     small_regs: bool,
     seed: u64,
+    journal: Option<std::path::PathBuf>,
+    resume: bool,
+    timeout: Option<f64>,
+    retries: Option<u32>,
     positional: Vec<String>,
 }
 
@@ -38,6 +51,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         pages_8k: false,
         small_regs: false,
         seed: 1996,
+        journal: None,
+        resume: false,
+        timeout: None,
+        retries: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -58,6 +75,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 o.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--journal" => {
+                let v = it.next().ok_or("--journal needs a path")?;
+                o.journal = Some(v.into());
+            }
+            "--resume" => o.resume = true,
+            "--timeout" => {
+                let v = it.next().ok_or("--timeout needs seconds")?;
+                let secs: f64 = v.parse().map_err(|e| format!("bad timeout: {e}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(format!("bad timeout `{v}` (need positive seconds)"));
+                }
+                o.timeout = Some(secs);
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a count")?;
+                o.retries = Some(v.parse().map_err(|e| format!("bad retries: {e}"))?);
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown option `{flag}`"));
@@ -169,11 +203,45 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             Ok(())
         }
         "sweep" => {
+            if opts.resume && opts.journal.is_none() {
+                return Err("--resume needs --journal <path>".to_owned());
+            }
             let cfg = opts.experiment();
-            let r = sweep_table2(&cfg);
+            let mut policy = RunPolicy::from_env();
+            if let Some(secs) = opts.timeout {
+                policy.timeout = Some(Duration::from_secs_f64(secs));
+            }
+            if let Some(n) = opts.retries {
+                policy.retries = n;
+            }
+            let sweep_opts = SweepOptions {
+                threads: 0,
+                policy,
+                faults: FaultPlan::from_env().unwrap_or_default(),
+                journal: opts.journal.clone(),
+                resume: opts.resume,
+            };
+            let r = sweep_ft(&DesignSpec::TABLE2, &cfg, &sweep_opts).map_err(|e| e.to_string())?;
             println!("{}", r.render_figure("design sweep"));
             println!("{}", r.render_details());
-            Ok(())
+            if r.resumed > 0 {
+                eprintln!("resumed {} cell(s) from the journal", r.resumed);
+            }
+            if r.manifest.is_empty() {
+                Ok(())
+            } else {
+                eprintln!("{}", r.manifest.render());
+                Err(format!(
+                    "{} of {} cell(s) failed{}",
+                    r.manifest.len(),
+                    r.telemetry.cells,
+                    if opts.journal.is_some() {
+                        " (re-run with --resume to retry only those)"
+                    } else {
+                        ""
+                    }
+                ))
+            }
         }
         "anatomy" => {
             let bench = opts.bench(0)?;

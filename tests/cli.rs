@@ -3,10 +3,16 @@
 use std::process::Command;
 
 fn hbat(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_hbat"))
-        .args(args)
-        .output()
-        .expect("hbat binary runs");
+    hbat_env(args, &[])
+}
+
+fn hbat_env(args: &[&str], envs: &[(&str, &str)]) -> (bool, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hbat"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("hbat binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -74,6 +80,48 @@ fn errors_are_reported_not_panicked() {
     let (ok, _, stderr) = hbat(&["replay", "/nonexistent/trace.trc", "T4"]);
     assert!(!ok);
     assert!(!stderr.is_empty());
+}
+
+#[test]
+fn faulted_sweep_fails_visibly_and_resume_completes_it() {
+    let dir = std::env::temp_dir().join("hbat-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("sweep-resume.journal");
+    std::fs::remove_file(&journal).ok();
+    let journal_s = journal.to_str().unwrap();
+
+    // Sweep with two injected panics: partial results, a manifest on
+    // stderr, and a failing exit code.
+    let (ok, stdout, stderr) = hbat_env(
+        &["sweep", "--scale", "test", "--journal", journal_s],
+        &[("HBAT_FAULT_PLAN", "panic@5,panic@17")],
+    );
+    assert!(!ok, "a sweep with failed cells must exit nonzero");
+    assert!(stdout.contains("n/a"), "failed cells marked n/a:\n{stdout}");
+    assert!(stderr.contains("2 cell(s) failed"), "{stderr}");
+    assert!(stderr.contains("--resume"), "points at recovery: {stderr}");
+
+    // --resume re-executes only the failed cells and succeeds; the
+    // merged output shows no missing cells.
+    let (ok, stdout, stderr) = hbat(&[
+        "sweep",
+        "--scale",
+        "test",
+        "--journal",
+        journal_s,
+        "--resume",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(!stdout.contains("n/a"), "no cells missing after resume");
+    assert!(stderr.contains("resumed 128 cell(s)"), "{stderr}");
+    std::fs::remove_file(&journal).ok();
+}
+
+#[test]
+fn resume_without_journal_is_an_error() {
+    let (ok, _, stderr) = hbat(&["sweep", "--resume", "--scale", "test"]);
+    assert!(!ok);
+    assert!(stderr.contains("--journal"), "{stderr}");
 }
 
 #[test]
