@@ -1,0 +1,71 @@
+//! Measures the observability layer's overhead — the same engine run
+//! with the statically-compiled-out `NullRecorder` and with a full
+//! `TraceRecorder` — verifies the metrics are bit-identical, and
+//! records the measurement in `results/BENCH_obs.json`.
+//!
+//! Run: `cargo run --release -p hbat-bench --bin obs_bench [scale]`
+
+use std::path::Path;
+
+use hbat_bench::executor::{timed, JsonReport};
+use hbat_bench::experiment::{run_cell, run_cell_traced, scale_from_args, ExperimentConfig};
+use hbat_core::designs::spec::DesignSpec;
+use hbat_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let cfg = ExperimentConfig::baseline(scale);
+    let bench = Benchmark::Compress;
+    let design = DesignSpec::parse("M8").expect("known design");
+    let trace = bench.build(&cfg.workload).trace();
+    let reps = 5u32;
+
+    // Warm-up both paths once, then time `reps` alternating pairs so
+    // drift (thermal, cache) hits both sides equally.
+    let warm_null = run_cell(&trace, design, &cfg);
+    let (warm_traced, rec) = run_cell_traced(&trace, design, &cfg);
+    assert_eq!(
+        warm_null, warm_traced,
+        "recording changed the simulation -- observability contract broken"
+    );
+    assert_eq!(rec.cycles(), warm_traced.cycles, "stall attribution drift");
+
+    let mut null_s = 0.0f64;
+    let mut traced_s = 0.0f64;
+    for _ in 0..reps {
+        let (_, d) = timed(|| run_cell(&trace, design, &cfg));
+        null_s += d.as_secs_f64();
+        let (_, d) = timed(|| run_cell_traced(&trace, design, &cfg));
+        traced_s += d.as_secs_f64();
+    }
+    let null_ms = null_s * 1e3 / f64::from(reps);
+    let traced_ms = traced_s * 1e3 / f64::from(reps);
+    let overhead = if null_ms > 0.0 {
+        traced_ms / null_ms - 1.0
+    } else {
+        0.0
+    };
+
+    println!(
+        "obs overhead, {scale:?} scale, {bench}/{}: null {null_ms:.3} ms, \
+         traced {traced_ms:.3} ms ({:+.1}%), metrics bit-identical",
+        design.mnemonic(),
+        overhead * 100.0
+    );
+
+    let mut report = JsonReport::new();
+    report
+        .str("benchmark", "obs_overhead")
+        .str("scale", &format!("{scale:?}").to_lowercase())
+        .str("workload", bench.name())
+        .str("design", design.mnemonic())
+        .int("instructions", trace.len() as u64)
+        .int("reps", u64::from(reps))
+        .num("null_ms", null_ms)
+        .num("traced_ms", traced_ms)
+        .num("overhead_frac", overhead)
+        .str("identical_metrics", "true");
+    let path = Path::new("results/BENCH_obs.json");
+    report.write(path).expect("write results/BENCH_obs.json");
+    println!("wrote {}", path.display());
+}

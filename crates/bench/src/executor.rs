@@ -64,12 +64,18 @@ pub struct RunPolicy {
     /// Per-cell wall-clock deadline enforced by the watchdog thread;
     /// `None` disables the watchdog.
     pub timeout: Option<Duration>,
+    /// Progress-heartbeat interval: a reporter thread prints cells
+    /// done/failed/retried, throughput, and the ETA to stderr every
+    /// interval. `None` means "unset" (callers pick their default);
+    /// `Duration::ZERO` means explicitly off.
+    pub heartbeat: Option<Duration>,
 }
 
 impl RunPolicy {
     /// Policy from the environment: `HBAT_CELL_TIMEOUT` (seconds, may be
-    /// fractional) and `HBAT_CELL_RETRIES` (non-negative integer).
-    /// Malformed values warn to stderr and are ignored.
+    /// fractional), `HBAT_CELL_RETRIES` (non-negative integer), and
+    /// `HBAT_HEARTBEAT` (seconds, may be fractional; `0` switches the
+    /// heartbeat off). Malformed values warn to stderr and are ignored.
     pub fn from_env() -> RunPolicy {
         let mut policy = RunPolicy::default();
         if let Ok(raw) = std::env::var("HBAT_CELL_TIMEOUT") {
@@ -90,6 +96,16 @@ impl RunPolicy {
                 ),
             }
         }
+        if let Ok(raw) = std::env::var("HBAT_HEARTBEAT") {
+            match raw.parse::<f64>() {
+                Ok(secs) if secs >= 0.0 && secs.is_finite() => {
+                    policy.heartbeat = Some(Duration::from_secs_f64(secs));
+                }
+                _ => eprintln!(
+                    "warning: ignoring HBAT_HEARTBEAT={raw:?} (expected seconds, 0 = off)"
+                ),
+            }
+        }
         policy
     }
 
@@ -106,6 +122,31 @@ impl RunPolicy {
         self.retries = retries;
         self
     }
+
+    /// Sets the heartbeat interval (`Duration::ZERO` switches it off).
+    #[must_use]
+    pub fn with_heartbeat(mut self, interval: Duration) -> Self {
+        self.heartbeat = Some(interval);
+        self
+    }
+}
+
+/// Renders one heartbeat line: progress, failure/retry counts,
+/// throughput, and the ETA extrapolated from the current rate.
+fn heartbeat_line(done: usize, n: usize, failed: usize, retried: usize, elapsed: f64) -> String {
+    let rate = if elapsed > 0.0 {
+        done as f64 / elapsed
+    } else {
+        0.0
+    };
+    let eta = if done > 0 && rate > 0.0 {
+        format!("{:.0}s", (n - done) as f64 / rate)
+    } else {
+        "?".to_owned()
+    };
+    format!(
+        "heartbeat: {done}/{n} cells ({failed} failed, {retried} retried), {rate:.1} cells/s, ETA {eta}"
+    )
 }
 
 /// Per-attempt execution context handed to fault-tolerant jobs.
@@ -140,6 +181,7 @@ fn run_one_cell<T, F>(
     cancelled: &AtomicBool,
     started: &AtomicU64,
     epoch: Instant,
+    retried: &AtomicUsize,
 ) -> CellOutcome<T>
 where
     F: Fn(usize, &CellCtx) -> T + Sync,
@@ -148,6 +190,9 @@ where
     let mut attempt = 0u32;
     loop {
         attempt += 1;
+        if attempt > 1 {
+            retried.fetch_add(1, Ordering::Relaxed);
+        }
         // Publish the attempt's start time for the watchdog (+1 so a
         // zero-millisecond offset is distinguishable from "idle").
         started.store(epoch.elapsed().as_millis() as u64 + 1, Ordering::SeqCst);
@@ -200,11 +245,42 @@ where
     let threads = threads.clamp(1, n);
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let retried = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<CellOutcome<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cancelled: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     let started: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let epoch = Instant::now();
     std::thread::scope(|scope| {
+        if let Some(interval) = policy.heartbeat.filter(|d| !d.is_zero()) {
+            // Progress reporter: wakes often enough to exit promptly
+            // once the pool drains, prints every full interval.
+            let poll = interval.min(Duration::from_millis(50));
+            let (done, failed, retried) = (&done, &failed, &retried);
+            scope.spawn(move || {
+                let mut last_report = Instant::now();
+                while done.load(Ordering::SeqCst) < n {
+                    std::thread::sleep(poll);
+                    if last_report.elapsed() >= interval {
+                        last_report = Instant::now();
+                        let d = done.load(Ordering::SeqCst);
+                        if d >= n {
+                            break;
+                        }
+                        eprintln!(
+                            "{}",
+                            heartbeat_line(
+                                d,
+                                n,
+                                failed.load(Ordering::SeqCst),
+                                retried.load(Ordering::SeqCst),
+                                epoch.elapsed().as_secs_f64(),
+                            )
+                        );
+                    }
+                }
+            });
+        }
         if let Some(deadline) = policy.timeout {
             let deadline_ms = deadline.as_millis() as u64;
             let poll = (deadline / 8).clamp(Duration::from_millis(1), Duration::from_millis(50));
@@ -230,7 +306,11 @@ where
                     break;
                 }
                 // hbat-lint: allow(panic) cell index bounded by the claim guard above
-                let outcome = run_one_cell(i, policy, &job, &cancelled[i], &started[i], epoch);
+                let (cancel, start) = (&cancelled[i], &started[i]);
+                let outcome = run_one_cell(i, policy, &job, cancel, start, epoch, &retried);
+                if !outcome.is_ok() {
+                    failed.fetch_add(1, Ordering::SeqCst);
+                }
                 // hbat-lint: allow(panic) cell index bounded by the claim guard above
                 *unpoisoned(slots[i].lock()) = Some(outcome);
                 done.fetch_add(1, Ordering::SeqCst);
@@ -620,6 +700,38 @@ mod tests {
             wall < Duration::from_secs(10),
             "the stalled cell must not wedge the sweep: {wall:?}"
         );
+    }
+
+    #[test]
+    fn heartbeat_line_reports_progress_and_eta() {
+        let s = heartbeat_line(25, 100, 2, 3, 5.0);
+        assert_eq!(
+            s,
+            "heartbeat: 25/100 cells (2 failed, 3 retried), 5.0 cells/s, ETA 15s"
+        );
+        // Before any cell completes the ETA is unknown, not a panic.
+        let s0 = heartbeat_line(0, 100, 0, 0, 0.0);
+        assert!(s0.contains("0/100"), "{s0}");
+        assert!(s0.ends_with("ETA ?"), "{s0}");
+    }
+
+    #[test]
+    fn heartbeat_thread_does_not_perturb_results() {
+        // A very short interval fires the reporter mid-pool; the
+        // outcomes (and their order) must be unaffected.
+        let policy = RunPolicy::default().with_heartbeat(Duration::from_millis(1));
+        let out = parallel_map_outcomes(32, 4, &policy, |i, _ctx| {
+            std::thread::sleep(Duration::from_millis(1));
+            i * 2
+        });
+        assert_eq!(out.len(), 32);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.ok(), Some(&(i * 2)));
+        }
+        // An explicit zero interval means off and also changes nothing.
+        let off = RunPolicy::default().with_heartbeat(Duration::ZERO);
+        let out = parallel_map_outcomes(4, 2, &off, |i, _ctx| i);
+        assert!(out.iter().enumerate().all(|(i, o)| o.ok() == Some(&i)));
     }
 
     #[test]

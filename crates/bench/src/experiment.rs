@@ -17,9 +17,10 @@ use std::sync::Arc;
 
 use hbat_core::addr::PageGeometry;
 use hbat_core::designs::spec::DesignSpec;
-use hbat_cpu::{simulate, RunMetrics, SimConfig};
+use hbat_cpu::{simulate, simulate_with_recorder, RunMetrics, SimConfig};
 use hbat_isa::trace::TraceInst;
 use hbat_isa::tracefile::{read_trace, write_trace};
+use hbat_obs::{PortResource, TraceRecorder};
 use hbat_stats::agg::runtime_weighted_ipc;
 use hbat_stats::chart::BarChart;
 use hbat_stats::table::{fnum, fnum_opt, percent_opt, TextTable};
@@ -196,6 +197,21 @@ pub fn run_cell(trace: &[TraceInst], design: DesignSpec, cfg: &ExperimentConfig)
     simulate(&cfg.sim, trace, translator.as_mut())
 }
 
+/// Runs one (trace, design) cell under a [`TraceRecorder`] and returns
+/// the metrics together with the recorder. The metrics are bit-identical
+/// to [`run_cell`]'s (the observability contract, tested in
+/// `crates/cpu/tests/observability.rs` and `tests/obs.rs`).
+pub fn run_cell_traced(
+    trace: &[TraceInst],
+    design: DesignSpec,
+    cfg: &ExperimentConfig,
+) -> (RunMetrics, TraceRecorder) {
+    let mut translator = design.build(cfg.geometry, cfg.design_seed);
+    let mut rec = TraceRecorder::new();
+    let metrics = simulate_with_recorder(&cfg.sim, trace, translator.as_mut(), &mut rec);
+    (metrics, rec)
+}
+
 /// Sweeps `designs` over all ten benchmarks on [`worker_threads`]
 /// workers, sharing traces through the process-wide cache.
 pub fn sweep(designs: &[DesignSpec], cfg: &ExperimentConfig) -> SweepResult {
@@ -318,6 +334,85 @@ pub struct SweepOptions {
     pub journal: Option<PathBuf>,
     /// Replay the journal first and re-execute only missing cells.
     pub resume: bool,
+    /// Run every cell under a [`TraceRecorder`] and append one
+    /// observability summary per executed cell to the journal's
+    /// `.obs.jsonl` sidecar (requires `journal`; the main journal stays
+    /// byte-identical to an unobserved sweep).
+    pub observe: bool,
+}
+
+/// The sidecar path that an observed sweep writes its per-cell
+/// observability summaries to: `<journal>.obs.jsonl` next to the
+/// journal itself, so the main journal stays byte-identical whether or
+/// not observation is on.
+pub fn obs_sidecar_path(journal: &std::path::Path) -> PathBuf {
+    let mut os = journal.as_os_str().to_owned();
+    os.push(".obs.jsonl");
+    PathBuf::from(os)
+}
+
+/// Renders one observability sidecar record: the cell's identity plus
+/// the recorder's summary counters (stall taxonomy, port conflicts,
+/// walks, occupancy histogram summaries) as a single JSON line.
+pub fn render_obs_record(key: &CellKey, rec: &TraceRecorder) -> String {
+    use crate::executor::escape_json;
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!(
+        "{{\"v\":1,\"bench\":{},\"design\":{},\"config\":{},\"seed\":{},\"obs\":{{",
+        escape_json(&key.bench),
+        escape_json(&key.design),
+        escape_json(&key.config),
+        key.seed,
+    ));
+    out.push_str(&format!(
+        "\"cycles\":{},\"issue_cycles\":{},\"issued_ops\":{},\"stalls\":{{",
+        rec.cycles(),
+        rec.issue_cycles(),
+        rec.issued_ops(),
+    ));
+    for (i, (cause, n)) in rec.stall_breakdown().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{n}", escape_json(cause.name())));
+    }
+    out.push_str("},\"port_conflicts\":{");
+    for (i, res) in PortResource::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{}:{}",
+            escape_json(res.name()),
+            rec.port_conflicts(*res)
+        ));
+    }
+    out.push_str(&format!(
+        "}},\"walks\":{},\"walk_cycles\":{},\"occupancy\":{{",
+        rec.walks(),
+        rec.walk_cycles(),
+    ));
+    for (i, (name, h)) in [
+        ("rob", rec.rob_occupancy()),
+        ("lsq", rec.lsq_occupancy()),
+        ("mshrs", rec.mshr_occupancy()),
+        ("tlb_queue", rec.tlb_queue_occupancy()),
+    ]
+    .iter()
+    .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{}:{{\"samples\":{},\"max\":{}}}",
+            escape_json(name),
+            h.total(),
+            h.max_seen()
+        ));
+    }
+    out.push_str("}}}");
+    out
 }
 
 /// The result of a fault-tolerant sweep: per-cell outcomes (partial
@@ -532,6 +627,10 @@ pub fn sweep_ft_on(
         Some(path) => Some(JournalWriter::append_to(path)?),
         None => None,
     };
+    let obs_writer = match (&opts.journal, opts.observe) {
+        (Some(path), true) => Some(JournalWriter::append_to(&obs_sidecar_path(path))?),
+        _ => None,
+    };
 
     // Phase 1: every distinct trace, built in parallel, isolated per
     // benchmark — a failed build skips that benchmark's cells instead
@@ -584,13 +683,23 @@ pub fn sweep_ft_on(
             if opts.faults.fault_for(i) == Some(FaultKind::CorruptTrace) {
                 run_with_corrupt_trace(i, trace, &opts.faults);
             }
-            let metrics = run_cell(trace, designs[di], cfg);
+            let (metrics, rec) = if opts.observe {
+                let (metrics, rec) = run_cell_traced(trace, designs[di], cfg);
+                (metrics, Some(rec))
+            } else {
+                (run_cell(trace, designs[di], cfg), None)
+            };
             if let Some(w) = &writer {
                 if let Err(e) = w.append(&JournalRecord {
-                    key,
+                    key: key.clone(),
                     metrics: metrics.clone(),
                 }) {
                     eprintln!("warning: journal append failed: {e}");
+                }
+            }
+            if let (Some(w), Some(rec)) = (&obs_writer, &rec) {
+                if let Err(e) = w.append_line(&render_obs_record(&key, rec)) {
+                    eprintln!("warning: obs sidecar append failed: {e}");
                 }
             }
             CellJob::Ran(metrics)

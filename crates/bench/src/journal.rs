@@ -474,7 +474,13 @@ impl JournalWriter {
 
     /// Appends one record as a flushed JSONL line.
     pub fn append(&self, rec: &JournalRecord) -> io::Result<()> {
-        let line = render_record(rec);
+        self.append_line(&render_record(rec))
+    }
+
+    /// Appends one pre-rendered line (no trailing newline) and flushes.
+    /// Sidecar streams (the observability summaries) share the writer's
+    /// torn-tail guarantee through this.
+    pub fn append_line(&self, line: &str) -> io::Result<()> {
         let mut f = self
             .file
             .lock()

@@ -44,9 +44,9 @@ pub use executor::{
     SweepTelemetry, TraceCache,
 };
 pub use experiment::{
-    config_fingerprint, run_cell, scale_from_args, sweep, sweep_ft, sweep_ft_on, sweep_on,
-    sweep_serial, sweep_table2, trace_for, CellResult, ExperimentConfig, FtSweepResult,
-    SweepOptions, SweepResult,
+    config_fingerprint, obs_sidecar_path, render_obs_record, run_cell, run_cell_traced,
+    scale_from_args, sweep, sweep_ft, sweep_ft_on, sweep_on, sweep_serial, sweep_table2, trace_for,
+    CellResult, ExperimentConfig, FtSweepResult, SweepOptions, SweepResult,
 };
 pub use faults::{FaultKind, FaultPlan};
 pub use journal::{read_journal, write_atomic, CellKey, JournalRecord, JournalWriter};

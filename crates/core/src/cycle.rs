@@ -125,6 +125,12 @@ impl PortTimeline {
         self.next_free.iter().any(|&c| c <= now)
     }
 
+    /// Number of ports still serving (or queued past) requests at
+    /// `now` — an occupancy probe for observability sampling.
+    pub fn busy_at(&self, now: Cycle) -> usize {
+        self.next_free.iter().filter(|&&c| c > now).count()
+    }
+
     /// Forgets all reservations (e.g. across simulation runs).
     pub fn clear(&mut self) {
         for c in &mut self.next_free {
@@ -169,6 +175,17 @@ mod tests {
         p.allocate(Cycle(0), 2);
         assert!(!p.available_at(Cycle(1)));
         assert!(p.available_at(Cycle(2)));
+    }
+
+    #[test]
+    fn busy_port_count() {
+        let mut p = PortTimeline::new(2);
+        assert_eq!(p.busy_at(Cycle(0)), 0);
+        p.allocate(Cycle(0), 3);
+        p.allocate(Cycle(0), 1);
+        assert_eq!(p.busy_at(Cycle(0)), 2);
+        assert_eq!(p.busy_at(Cycle(1)), 1, "short request finished");
+        assert_eq!(p.busy_at(Cycle(3)), 0);
     }
 
     #[test]

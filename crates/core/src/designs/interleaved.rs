@@ -198,6 +198,12 @@ impl AddressTranslator for InterleavedTlb {
         }
     }
 
+    fn queue_depth(&self, _now: Cycle) -> usize {
+        // Banks already claimed this cycle; later same-bank requests
+        // are either piggybacked or rejected.
+        self.in_flight.iter().filter(|s| s.is_some()).count()
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

@@ -200,6 +200,11 @@ impl AddressTranslator for MultiLevelTlb {
         }
     }
 
+    fn queue_depth(&self, now: Cycle) -> usize {
+        // Requests that missed the L1 queue on the L2 port(s).
+        self.l2_port.busy_at(now)
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

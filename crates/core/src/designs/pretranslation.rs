@@ -370,6 +370,12 @@ impl AddressTranslator for PretranslationTlb {
         self.stats.shield_flushes += 1;
     }
 
+    fn queue_depth(&self, now: Cycle) -> usize {
+        // Requests that missed the pretranslation cache queue on the
+        // single-ported base TLB.
+        self.base_port.busy_at(now)
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

@@ -50,9 +50,15 @@ impl TranslatorStats {
         ratio(self.misses, self.accesses)
     }
 
-    /// Hit ratio (shielded + base hits) of the whole mechanism.
+    /// Hit ratio (shielded + base hits) of the whole mechanism; 0 when
+    /// nothing has been accepted (an empty run has no hits, and
+    /// `1.0 - miss_rate()` would misreport it as a perfect one).
     pub fn hit_rate(&self) -> f64 {
-        1.0 - self.miss_rate()
+        if self.accesses == 0 {
+            0.0
+        } else {
+            1.0 - self.miss_rate()
+        }
     }
 
     /// Sanity invariant: every accepted access is exactly one of shielded,
@@ -81,6 +87,14 @@ mod tests {
         assert_eq!(s.miss_rate(), 0.0);
         assert_eq!(s.shield_rate(), 0.0);
         assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn empty_run_reports_zero_hit_rate() {
+        // Regression: `1.0 - miss_rate()` used to claim a perfect hit
+        // rate for a translator that was never accessed.
+        let s = TranslatorStats::new();
+        assert_eq!(s.hit_rate(), 0.0);
     }
 
     #[test]

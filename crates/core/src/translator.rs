@@ -50,6 +50,15 @@ pub trait AddressTranslator {
         self.flush();
     }
 
+    /// Requests currently queued or in service *inside* the translator
+    /// (busy internal ports, banks mid-service) at `now` — an occupancy
+    /// probe for observability sampling. Purely diagnostic: designs
+    /// without internal queueing keep the default of 0.
+    fn queue_depth(&self, now: Cycle) -> usize {
+        let _ = now;
+        0
+    }
+
     /// Event counters accumulated so far.
     fn stats(&self) -> &TranslatorStats;
 

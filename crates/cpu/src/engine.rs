@@ -42,6 +42,7 @@ use hbat_core::translator::AddressTranslator;
 use hbat_core::Outcome;
 use hbat_isa::trace::{OpClass, TraceInst};
 use hbat_mem::cache::{Cache, CacheAccess};
+use hbat_obs::{NullRecorder, OccupancySample, PortResource, Recorder, StallCause};
 
 use crate::bpred::BranchPredictor;
 use crate::config::{IssueModel, SimConfig};
@@ -90,6 +91,9 @@ struct Slot {
     /// Cycle at which the translator answered this request (used to share
     /// walks between piggybacked requests to the same page).
     translated_at: Cycle,
+    /// Load that missed the data cache (observability only; never read by
+    /// the timing model).
+    dmiss: bool,
 }
 
 /// Completion times of recent page walks, by VPN: piggybacked requests
@@ -162,9 +166,28 @@ struct SpecEpoch {
     squash_at: Option<Cycle>,
 }
 
-/// The timing engine. Construct with [`Engine::new`], then call
-/// [`Engine::run`].
-pub struct Engine<'a> {
+/// Per-cycle scratch flags feeding the stall classifier: set at the
+/// point in the cycle where the engine learns a resource rejected work,
+/// read (and reset) once per cycle. Write-only when observability is
+/// off — the timing model never reads them.
+#[derive(Debug, Clone, Copy, Default)]
+struct ObsFlags {
+    /// A translation request got `Outcome::Retry` this cycle.
+    tlb_retry: bool,
+    /// A memory op sat on a pending or in-progress page walk this cycle.
+    walk_wait: bool,
+    /// A data-cache access found no free port this cycle.
+    dcache_noport: bool,
+}
+
+/// The timing engine. Construct with [`Engine::new`] (uninstrumented) or
+/// [`Engine::with_recorder`], then call [`Engine::run`].
+///
+/// The engine is generic over a [`Recorder`]; with the default
+/// [`NullRecorder`] every probe is statically compiled out and the run
+/// is bit-identical to an unobserved one (`Recorder::ENABLED` is a
+/// `const`).
+pub struct Engine<'a, R: Recorder = NullRecorder> {
     cfg: &'a SimConfig,
     trace: &'a [TraceInst],
     translator: &'a mut dyn AddressTranslator,
@@ -188,15 +211,31 @@ pub struct Engine<'a> {
     pending_wb: VecDeque<PendingWb>,
     walk_done: WalkTable,
     metrics: RunMetrics,
+    rec: R,
+    obs: ObsFlags,
 }
 
 impl<'a> Engine<'a> {
-    /// Builds an engine over `trace` using `translator` for data-memory
-    /// address translation.
+    /// Builds an uninstrumented engine over `trace` using `translator`
+    /// for data-memory address translation.
     pub fn new(
         cfg: &'a SimConfig,
         trace: &'a [TraceInst],
         translator: &'a mut dyn AddressTranslator,
+    ) -> Self {
+        Engine::with_recorder(cfg, trace, translator, NullRecorder)
+    }
+}
+
+impl<'a, R: Recorder> Engine<'a, R> {
+    /// Builds an engine whose probes report to `rec`. Pass a recorder by
+    /// `&mut` to read it back after [`run`](Engine::run) consumes the
+    /// engine.
+    pub fn with_recorder(
+        cfg: &'a SimConfig,
+        trace: &'a [TraceInst],
+        translator: &'a mut dyn AddressTranslator,
+        rec: R,
     ) -> Self {
         Engine {
             cfg,
@@ -220,6 +259,8 @@ impl<'a> Engine<'a> {
             pending_wb: VecDeque::with_capacity(cfg.rob_entries),
             walk_done: WalkTable::new(cfg.rob_entries),
             metrics: RunMetrics::default(),
+            rec,
+            obs: ObsFlags::default(),
         }
     }
 
@@ -235,6 +276,7 @@ impl<'a> Engine<'a> {
         while self.next_fetch < self.trace.len() || !self.rob.is_empty() {
             assert!(self.now.0 < self.cfg.max_cycles, "cycle budget exceeded");
             self.begin_cycle();
+            let issued_before = self.metrics.issued;
             let progressed = {
                 let s = self.maybe_squash();
                 let a = self.commit();
@@ -242,6 +284,9 @@ impl<'a> Engine<'a> {
                 let c = self.dispatch();
                 s || a || b || c
             };
+            if R::ENABLED {
+                self.record_cycle(issued_before);
+            }
             if progressed {
                 idle_cycles = 0;
             } else {
@@ -285,6 +330,68 @@ impl<'a> Engine<'a> {
         self.dcache.begin_cycle(self.now);
         self.icache.begin_cycle(self.now);
         self.fus.begin_cycle(self.now);
+        if R::ENABLED {
+            self.obs = ObsFlags::default();
+        }
+    }
+
+    /// Charges this cycle to issue or to exactly one stall cause, and
+    /// takes the periodic occupancy sample. Called only when `R::ENABLED`.
+    fn record_cycle(&mut self, issued_before: u64) {
+        let issued = self.metrics.issued - issued_before;
+        if issued > 0 {
+            self.rec.issue_cycle(self.now.0, issued as u32);
+        } else {
+            let cause = self.classify_stall();
+            self.rec.stall_cycle(self.now.0, cause);
+        }
+        let every = self.rec.sample_interval();
+        if every != 0 && self.now.0.is_multiple_of(every) {
+            let occupancy = OccupancySample {
+                rob: self.rob.len() as u32,
+                lsq: self.lsq_occupancy as u32,
+                mshrs: self.dcache.inflight_fills(self.now) as u32,
+                tlb_queue: self.translator.queue_depth(self.now) as u32,
+            };
+            self.rec.sample(self.now.0, &occupancy);
+        }
+    }
+
+    /// Attributes a non-issuing cycle to the single most specific cause,
+    /// in fixed priority order: direct in-cycle evidence (a rejected
+    /// translation, a blocking walk, a rejected cache access) beats
+    /// structural back-pressure (full ROB/LSQ), which beats the default
+    /// dependence-stall bucket. Reads engine state only.
+    fn classify_stall(&self) -> StallCause {
+        if self.obs.tlb_retry {
+            return StallCause::TlbPort;
+        }
+        if self.obs.walk_wait || self.spec_tlb_miss_stall || self.now < self.dispatch_stall_until {
+            return StallCause::TlbWalk;
+        }
+        if self.obs.dcache_noport {
+            return StallCause::DcachePort;
+        }
+        if self.rob.is_empty() {
+            return StallCause::FetchStarved;
+        }
+        if self
+            .rob
+            .iter()
+            .any(|s| s.dmiss && s.state == State::Complete && s.finish > self.now)
+        {
+            return StallCause::DcacheMiss;
+        }
+        if self.rob.len() == self.cfg.rob_entries {
+            return StallCause::RobFull;
+        }
+        if self.lsq_occupancy == self.cfg.lsq_entries {
+            return StallCause::LsqFull;
+        }
+        if self.now < self.fetch_stall_until {
+            return StallCause::FetchStarved;
+        }
+        StallCause::NoReadyOp
     }
 
     fn slot_by_id(&self, id: u64) -> Option<&Slot> {
@@ -381,7 +488,13 @@ impl<'a> Engine<'a> {
                 let pa = self.translator.geometry().splice(head.ppn, mem.vaddr);
                 match self.dcache.access(pa, true) {
                     CacheAccess::Served { .. } => {}
-                    CacheAccess::NoPort => break,
+                    CacheAccess::NoPort => {
+                        if R::ENABLED {
+                            self.obs.dcache_noport = true;
+                            self.rec.port_conflict(self.now.0, PortResource::Dcache);
+                        }
+                        break;
+                    }
                 }
                 self.metrics.stores += 1;
             } else if head.t.class == OpClass::Load {
@@ -504,6 +617,10 @@ impl<'a> Engine<'a> {
                 // unit bandwidth.
                 self.fus.issue(self.rob[idx].t.class);
                 self.metrics.translation_retries += 1;
+                if R::ENABLED {
+                    self.obs.tlb_retry = true;
+                    self.rec.port_conflict(self.now.0, PortResource::Tlb);
+                }
                 return false;
             }
             Outcome::Hit { ppn, extra_latency } => {
@@ -548,6 +665,9 @@ impl<'a> Engine<'a> {
         // request that piggybacked on another request's translation shares
         // that request's walk rather than paying a second one.
         if let Some(walk) = self.rob[idx].pending_walk {
+            if R::ENABLED {
+                self.obs.walk_wait = true;
+            }
             let vpn = {
                 let slot = &self.rob[idx];
                 let mem = slot.t.mem.expect("memory op without record");
@@ -573,6 +693,9 @@ impl<'a> Engine<'a> {
                 self.rob[idx].pending_walk = None;
                 self.rob[idx].addr_ready = ready_at;
                 self.walk_done.insert(vpn, ready_at);
+                if R::ENABLED {
+                    self.rec.walk(self.now.0, vpn, walk);
+                }
                 if ready_at > self.dispatch_stall_until {
                     self.metrics.tlb_dispatch_stall_cycles +=
                         ready_at - self.dispatch_stall_until.max(self.now);
@@ -632,14 +755,21 @@ impl<'a> Engine<'a> {
                 // `addr_ready` beyond `now` adds latency).
                 let pa = self.translator.geometry().splice(slot.ppn, mem.vaddr);
                 match self.dcache.access(pa, false) {
-                    CacheAccess::Served { data_at, .. } => {
+                    CacheAccess::Served { data_at, was_miss } => {
                         let extra = addr_ready.since(self.now);
                         let s = &mut self.rob[idx];
                         s.state = State::Complete;
                         s.finish = data_at + extra;
+                        s.dmiss = was_miss;
                         true
                     }
-                    CacheAccess::NoPort => false,
+                    CacheAccess::NoPort => {
+                        if R::ENABLED {
+                            self.obs.dcache_noport = true;
+                            self.rec.port_conflict(self.now.0, PortResource::Dcache);
+                        }
+                        false
+                    }
                 }
             }
             _ => unreachable!("try_complete_mem on a non-memory op"),
@@ -710,7 +840,12 @@ impl<'a> Engine<'a> {
                                 break;
                             }
                         }
-                        CacheAccess::NoPort => break,
+                        CacheAccess::NoPort => {
+                            if R::ENABLED {
+                                self.rec.port_conflict(self.now.0, PortResource::Icache);
+                            }
+                            break;
+                        }
                     }
                     block = Some(iblock);
                 }
@@ -843,6 +978,7 @@ impl<'a> Engine<'a> {
             mispredicted,
             pending_walk: None,
             translated_at: Cycle::ZERO,
+            dmiss: false,
         });
     }
     // hbat-lint: cold

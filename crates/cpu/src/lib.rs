@@ -55,3 +55,35 @@ pub fn simulate(
 ) -> RunMetrics {
     engine::Engine::new(cfg, trace, translator).run()
 }
+
+/// Like [`simulate`], but reporting cycle-level observations to `rec`
+/// (see `hbat-obs`). Pass the recorder by `&mut` to inspect it after the
+/// run; enabling one never changes the returned metrics.
+///
+/// ```
+/// # use hbat_core::designs::spec::DesignSpec;
+/// # use hbat_core::PageGeometry;
+/// # use hbat_cpu::{simulate_with_recorder, SimConfig};
+/// # use hbat_isa::{Inst, Machine, Program, Reg};
+/// # use hbat_isa::inst::{AddrMode, Width};
+/// use hbat_obs::TraceRecorder;
+///
+/// # let program = Program::new(vec![
+/// #     Inst::Li { d: Reg::int(1), imm: 0x1000 },
+/// #     Inst::Halt,
+/// # ])?;
+/// # let trace = Machine::new(program).run_to_vec(100);
+/// # let mut tlb = DesignSpec::parse("T4").unwrap().build(PageGeometry::KB4, 1);
+/// let mut rec = TraceRecorder::new();
+/// let metrics = simulate_with_recorder(&SimConfig::baseline(), &trace, tlb.as_mut(), &mut rec);
+/// assert_eq!(rec.cycles(), metrics.cycles);
+/// # Ok::<(), hbat_isa::ProgramError>(())
+/// ```
+pub fn simulate_with_recorder<R: hbat_obs::Recorder>(
+    cfg: &SimConfig,
+    trace: &[TraceInst],
+    translator: &mut dyn AddressTranslator,
+    rec: R,
+) -> RunMetrics {
+    engine::Engine::with_recorder(cfg, trace, translator, rec).run()
+}

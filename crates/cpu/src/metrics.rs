@@ -87,6 +87,37 @@ impl RunMetrics {
             self.bpred_correct as f64 / self.cond_branches as f64
         }
     }
+
+    /// Fraction of issued instructions that were wrong-path work later
+    /// squashed at branch resolution.
+    pub fn squash_rate(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.squashed as f64 / self.issued as f64
+        }
+    }
+
+    /// Fraction of issued memory operations whose translation served the
+    /// wrong path — the extra bandwidth demand beyond the committed
+    /// stream (Section 4.1's issue-rate vs commit-rate gap).
+    pub fn wrong_path_translation_share(&self) -> f64 {
+        if self.issued_mem == 0 {
+            0.0
+        } else {
+            self.wrong_path_translations as f64 / self.issued_mem as f64
+        }
+    }
+
+    /// Translation-port retries per accepted translator access — the
+    /// visible face of the paper's `t_stalled` queueing term.
+    pub fn retries_per_access(&self) -> f64 {
+        if self.tlb.accesses == 0 {
+            0.0
+        } else {
+            self.translation_retries as f64 / self.tlb.accesses as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +146,33 @@ mod tests {
         assert_eq!(m.ipc(), 0.0);
         assert_eq!(m.mem_per_cycle(), 0.0);
         assert_eq!(m.bpred_rate(), 0.0);
+    }
+
+    #[test]
+    fn wrong_path_rates() {
+        let m = RunMetrics {
+            issued: 400,
+            squashed: 100,
+            issued_mem: 80,
+            wrong_path_translations: 20,
+            translation_retries: 30,
+            tlb: TranslatorStats {
+                accesses: 120,
+                shielded: 120,
+                ..TranslatorStats::default()
+            },
+            ..RunMetrics::default()
+        };
+        assert!((m.squash_rate() - 0.25).abs() < 1e-12);
+        assert!((m.wrong_path_translation_share() - 0.25).abs() < 1e-12);
+        assert!((m.retries_per_access() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_path_rates_guard_division_by_zero() {
+        let m = RunMetrics::default();
+        assert_eq!(m.squash_rate(), 0.0);
+        assert_eq!(m.wrong_path_translation_share(), 0.0);
+        assert_eq!(m.retries_per_access(), 0.0);
     }
 }

@@ -13,12 +13,17 @@ use crate::lexer::{lex, Token, TokenKind};
 pub const REPORT_CRATES: &[&str] = &["analysis", "stats"];
 
 /// Simulation crates: results must not depend on wall-clock time.
-pub const SIM_CRATES: &[&str] = &["core", "cpu", "mem", "isa"];
+/// `obs` counts as one — its probes run inside the engine's cycle loop,
+/// so an observation taken from the clock would both perturb timing and
+/// break run-to-run determinism of the recorded streams.
+pub const SIM_CRATES: &[&str] = &["core", "cpu", "mem", "isa", "obs"];
 
 /// Crates whose library code must not panic (R3). `bench` joined when
 /// it grew the fault-tolerance layer: a sweep that survives panicking
-/// *cells* must not itself panic in the surviving paths.
-pub const PANIC_CRATES: &[&str] = &["isa", "workloads", "stats", "core", "bench"];
+/// *cells* must not itself panic in the surviving paths; `obs` joined
+/// with the observability layer: a recorder that panics mid-probe would
+/// take the simulation down with it.
+pub const PANIC_CRATES: &[&str] = &["isa", "workloads", "stats", "core", "bench", "obs"];
 
 /// Crate names resolved to offline shims (R4).
 pub const SHIM_ROOTS: &[&str] = &["rand", "proptest", "criterion", "serde", "serde_derive"];

@@ -183,6 +183,17 @@ impl Cache {
         &self.stats
     }
 
+    /// Lines still being filled at `now` — the cache's MSHR-equivalent
+    /// occupancy, an observability sampling probe.
+    pub fn inflight_fills(&self, now: Cycle) -> usize {
+        self.sets
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|l| l.ready_at > now)
+            .count()
+    }
+
     /// Opens a new cycle, freeing the ports.
     pub fn begin_cycle(&mut self, now: Cycle) {
         debug_assert!(now >= self.now, "time must not run backwards");
@@ -355,6 +366,18 @@ mod tests {
         c.begin_cycle(Cycle(80));
         c.access(PhysAddr(3 * set_stride), false); // evicts 0 (dirty)
         assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn inflight_fills_tracks_pending_misses() {
+        let mut c = small();
+        assert_eq!(c.inflight_fills(Cycle(0)), 0);
+        c.begin_cycle(Cycle(0));
+        c.access(PhysAddr(0x000), false); // fills until cycle 8
+        c.access(PhysAddr(0x800), false);
+        assert_eq!(c.inflight_fills(Cycle(0)), 2);
+        assert_eq!(c.inflight_fills(Cycle(7)), 2);
+        assert_eq!(c.inflight_fills(Cycle(8)), 0, "fills landed");
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Bounded-bucket occupancy histograms.
+//!
+//! A [`Histogram`] has a fixed bucket count chosen at construction; all
+//! later updates are branch-plus-increment, with values past the last
+//! bucket saturating into it. That keeps the recording path
+//! allocation-free (the only allocation is the bucket vector in
+//! [`Histogram::new`]), which hot-loop callers require.
+
+/// A fixed-width histogram of small non-negative integers (queue
+/// occupancies). Bucket `i` counts observations of exactly `i`, except
+/// the last bucket, which also absorbs everything larger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+    max_seen: u32,
+}
+
+impl Histogram {
+    /// A histogram covering occupancies `0..=cap`, with values above
+    /// `cap` saturating into the last bucket.
+    ///
+    /// # Panics
+    /// Panics if `cap` is so large the bucket vector cannot be sized
+    /// (`cap + 1` overflows `usize`); queue capacities are tiny in
+    /// practice.
+    pub fn new(cap: u32) -> Self {
+        Histogram {
+            buckets: vec![0; cap as usize + 1],
+            total: 0,
+            max_seen: 0,
+        }
+    }
+
+    // hbat-lint: hot
+    /// Record one observation of occupancy `value`.
+    #[inline]
+    pub fn record(&mut self, value: u32) {
+        let last = self.buckets.len() - 1;
+        let idx = (value as usize).min(last);
+        // hbat-lint: allow(panic) buckets is non-empty by construction (cap + 1) and idx is clamped to it
+        self.buckets[idx] += 1;
+        self.total += 1;
+        if value > self.max_seen {
+            self.max_seen = value;
+        }
+    }
+    // hbat-lint: cold
+
+    /// Number of buckets (the constructor's `cap + 1`).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest raw value observed (even if it saturated).
+    pub fn max_seen(&self) -> u32 {
+        self.max_seen
+    }
+
+    /// Count in bucket `i`, or 0 out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// The bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Mean observed occupancy, computed from the buckets (saturated
+    /// observations count at the last bucket's value). 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as f64 * c as f64)
+            .sum();
+        weighted / self.total as f64
+    }
+
+    /// Smallest occupancy `v` such that at least `q` (in `0.0..=1.0`)
+    /// of observations are `<= v`. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u32 {
+        if self.total == 0 {
+            return 0;
+        }
+        let need = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= need {
+                return i as u32;
+            }
+        }
+        (self.buckets.len() - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_saturates() {
+        let mut h = Histogram::new(4);
+        assert_eq!(h.len(), 5);
+        assert!(h.is_empty());
+        for v in [0, 1, 1, 4, 9, 200] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(4), 3, "4, 9 and 200 all land in the last bucket");
+        assert_eq!(h.max_seen(), 200);
+        assert_eq!(h.count(17), 0);
+    }
+
+    #[test]
+    fn mean_and_quantile() {
+        let mut h = Histogram::new(8);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [2, 2, 4, 8] {
+            h.record(v);
+        }
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(1.0), 8);
+        assert_eq!(h.quantile(0.0), 2, "ceil keeps q=0 at the first datum");
+    }
+
+    #[test]
+    fn zero_capacity_is_a_single_saturating_bucket() {
+        let mut h = Histogram::new(0);
+        h.record(0);
+        h.record(7);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.quantile(0.9), 0);
+    }
+}

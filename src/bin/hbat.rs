@@ -3,6 +3,7 @@
 //! ```text
 //! hbat list                             designs and benchmarks
 //! hbat run <bench> <design> [opts]      one timing simulation
+//! hbat trace <bench> <design> [opts]    one run with stall attribution
 //! hbat sweep [opts]                     all 13 designs × 10 benchmarks
 //! hbat anatomy <bench> [opts]           trace-anatomy ceilings
 //! hbat dump <bench> <file> [opts]       write a binary trace file
@@ -14,11 +15,18 @@
 //!          --small-regs                   8 int / 8 fp registers
 //!          --seed N                       design replacement seed
 //!
-//! sweep fault tolerance (see DESIGN.md § 9):
+//! trace observability (see DESIGN.md § 10):
+//!          --out <path>                   write the JSONL event stream
+//!
+//! sweep fault tolerance (see DESIGN.md § 9) and observability:
 //!          --journal <path>               append completed cells (JSONL)
 //!          --resume                       replay the journal, re-run the rest
 //!          --timeout <secs>               per-cell deadline (HBAT_CELL_TIMEOUT)
 //!          --retries <n>                  per-cell retries (HBAT_CELL_RETRIES)
+//!          --observe                      per-cell obs sidecar (<journal>.obs.jsonl)
+//!          --heartbeat <secs>             progress line interval, 0 = off
+//!                                         (HBAT_HEARTBEAT; default: off at test
+//!                                         scale, 30 s otherwise)
 //! ```
 
 use std::process::ExitCode;
@@ -29,7 +37,10 @@ use hbat_suite::bench::executor::RunPolicy;
 use hbat_suite::bench::experiment::{sweep_ft, ExperimentConfig, SweepOptions};
 use hbat_suite::bench::faults::FaultPlan;
 use hbat_suite::isa::tracefile;
+use hbat_suite::obs::PortResource;
 use hbat_suite::prelude::*;
+use hbat_suite::stats::chart::BarChart;
+use hbat_suite::stats::table::TextTable;
 
 struct Options {
     scale: Scale,
@@ -41,6 +52,9 @@ struct Options {
     resume: bool,
     timeout: Option<f64>,
     retries: Option<u32>,
+    observe: bool,
+    heartbeat: Option<f64>,
+    out: Option<std::path::PathBuf>,
     positional: Vec<String>,
 }
 
@@ -55,6 +69,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         resume: false,
         timeout: None,
         retries: None,
+        observe: false,
+        heartbeat: None,
+        out: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -92,6 +109,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--retries" => {
                 let v = it.next().ok_or("--retries needs a count")?;
                 o.retries = Some(v.parse().map_err(|e| format!("bad retries: {e}"))?);
+            }
+            "--observe" => o.observe = true,
+            "--heartbeat" => {
+                let v = it.next().ok_or("--heartbeat needs seconds (0 = off)")?;
+                let secs: f64 = v.parse().map_err(|e| format!("bad heartbeat: {e}"))?;
+                if !(secs >= 0.0 && secs.is_finite()) {
+                    return Err(format!("bad heartbeat `{v}` (need seconds, 0 = off)"));
+                }
+                o.heartbeat = Some(secs);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a path")?;
+                o.out = Some(v.into());
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown option `{flag}`"));
@@ -159,7 +189,7 @@ fn print_metrics(design: DesignSpec, m: &RunMetrics) {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: hbat <list|run|sweep|anatomy|dump|replay> …");
+        eprintln!("usage: hbat <list|run|trace|sweep|anatomy|dump|replay> …");
         return ExitCode::FAILURE;
     };
     let opts = match parse_args(rest) {
@@ -202,9 +232,83 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             print_metrics(design, &m);
             Ok(())
         }
+        "trace" => {
+            let bench = opts.bench(0)?;
+            let design = opts.design(1)?;
+            let cfg = opts.experiment();
+            let trace = bench.build(&cfg.workload).trace();
+            let mut tlb = design.build(cfg.geometry, cfg.design_seed);
+            let mut rec = TraceRecorder::new();
+            let m = simulate_with_recorder(&cfg.sim, &trace, tlb.as_mut(), &mut rec);
+            println!(
+                "{bench} on {} ({}): {} instructions, {} cycles, IPC {:.3}\n",
+                design.mnemonic(),
+                design.description(),
+                trace.len(),
+                m.cycles,
+                m.ipc()
+            );
+            let total = m.cycles.max(1) as f64;
+            let mut t = TextTable::new(vec!["cycles charged to", "count", "share"]);
+            t.numeric();
+            let mut chart = BarChart::new("where the cycles went", 50)
+                .with_max(1.0)
+                .percent();
+            let issue_share = rec.issue_cycles() as f64 / total;
+            t.row(vec![
+                "issue".to_owned(),
+                rec.issue_cycles().to_string(),
+                format!("{:5.1}%", issue_share * 100.0),
+            ]);
+            chart.bar("issue", issue_share);
+            for (cause, n) in rec.stall_breakdown() {
+                let share = n as f64 / total;
+                t.row(vec![
+                    cause.name().to_owned(),
+                    n.to_string(),
+                    format!("{:5.1}%", share * 100.0),
+                ]);
+                chart.bar(cause.name(), share);
+            }
+            println!("{}", t.render());
+            println!("{}", chart.render());
+            println!(
+                "port conflicts    : tlb {} / dcache {} / icache {}",
+                rec.port_conflicts(PortResource::Tlb),
+                rec.port_conflicts(PortResource::Dcache),
+                rec.port_conflicts(PortResource::Icache)
+            );
+            println!(
+                "page-table walks  : {} ({} cycles)",
+                rec.walks(),
+                rec.walk_cycles()
+            );
+            println!(
+                "occupancy (max)   : rob {} / lsq {} / mshrs {} / tlb-queue {}",
+                rec.rob_occupancy().max_seen(),
+                rec.lsq_occupancy().max_seen(),
+                rec.mshr_occupancy().max_seen(),
+                rec.tlb_queue_occupancy().max_seen()
+            );
+            if let Some(path) = &opts.out {
+                std::fs::write(path, rec.render_jsonl()).map_err(|e| e.to_string())?;
+                println!(
+                    "wrote {} events to {} ({} dropped past the buffer)",
+                    rec.events().len(),
+                    path.display(),
+                    rec.dropped_events()
+                );
+            }
+            Ok(())
+        }
         "sweep" => {
             if opts.resume && opts.journal.is_none() {
                 return Err("--resume needs --journal <path>".to_owned());
+            }
+            if opts.observe && opts.journal.is_none() {
+                return Err(
+                    "--observe needs --journal <path> (the sidecar lives next to it)".to_owned(),
+                );
             }
             let cfg = opts.experiment();
             let mut policy = RunPolicy::from_env();
@@ -214,12 +318,21 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             if let Some(n) = opts.retries {
                 policy.retries = n;
             }
+            // Heartbeat resolution: CLI flag > HBAT_HEARTBEAT (already in
+            // `policy`) > scale default (off at test scale, 30 s otherwise).
+            if let Some(secs) = opts.heartbeat {
+                policy.heartbeat = Some(Duration::from_secs_f64(secs));
+            }
+            if policy.heartbeat.is_none() && opts.scale != Scale::Test {
+                policy.heartbeat = Some(Duration::from_secs(30));
+            }
             let sweep_opts = SweepOptions {
                 threads: 0,
                 policy,
                 faults: FaultPlan::from_env().unwrap_or_default(),
                 journal: opts.journal.clone(),
                 resume: opts.resume,
+                observe: opts.observe,
             };
             let r = sweep_ft(&DesignSpec::TABLE2, &cfg, &sweep_opts).map_err(|e| e.to_string())?;
             println!("{}", r.render_figure("design sweep"));

@@ -14,6 +14,9 @@
 //! * `mem` — the 32 KB split caches;
 //! * `cpu` — the 8-way in-order/out-of-order timing engine
 //!   with speculative wrong-path execution;
+//! * `obs` — zero-cost observability: the statically-dispatched
+//!   [`Recorder`](hbat_obs::Recorder) probes, stall attribution, and
+//!   occupancy histograms;
 //! * `stats` — aggregation and table rendering;
 //! * `bench` — the harness that regenerates every table and
 //!   figure;
@@ -40,6 +43,7 @@ pub use hbat_core as core;
 pub use hbat_cpu as cpu;
 pub use hbat_isa as isa;
 pub use hbat_mem as mem;
+pub use hbat_obs as obs;
 pub use hbat_stats as stats;
 pub use hbat_workloads as workloads;
 
@@ -51,7 +55,8 @@ pub mod prelude {
     pub use hbat_core::{
         AddressTranslator, Cycle, Outcome, PageGeometry, PageTable, TranslateRequest,
     };
-    pub use hbat_cpu::{simulate, IssueModel, RunMetrics, SimConfig};
+    pub use hbat_cpu::{simulate, simulate_with_recorder, IssueModel, RunMetrics, SimConfig};
     pub use hbat_isa::{Machine, Program};
+    pub use hbat_obs::{NullRecorder, Recorder, StallCause, TraceRecorder};
     pub use hbat_workloads::{Benchmark, RegBudget, Scale, Workload, WorkloadConfig};
 }

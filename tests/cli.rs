@@ -125,6 +125,114 @@ fn resume_without_journal_is_an_error() {
 }
 
 #[test]
+fn trace_prints_attribution_and_writes_valid_jsonl() {
+    use hbat_suite::bench::journal::parse_json_object;
+
+    let dir = std::env::temp_dir().join("hbat-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The three design families the paper's figures lean on.
+    for design in ["I4", "M8", "P8"] {
+        let out = dir.join(format!("espresso-{design}.jsonl"));
+        std::fs::remove_file(&out).ok();
+        let (ok, stdout, stderr) = hbat(&[
+            "trace",
+            "Espresso",
+            design,
+            "--scale",
+            "test",
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        assert!(ok, "{stderr}");
+        // Full stall taxonomy in the table, plus the chart and summary.
+        for needle in [
+            "cycles charged to",
+            "issue",
+            "tlb-port",
+            "tlb-walk",
+            "dcache-port",
+            "dcache-miss",
+            "rob-full",
+            "lsq-full",
+            "fetch-starved",
+            "no-ready-op",
+            "where the cycles went",
+            "port conflicts",
+            "page-table walks",
+            "occupancy (max)",
+        ] {
+            assert!(
+                stdout.contains(needle),
+                "{design}: missing {needle}:\n{stdout}"
+            );
+        }
+        // The event stream is valid JSONL: every line one strict JSON
+        // object whose first key is the cycle stamp.
+        let jsonl = std::fs::read_to_string(&out).unwrap();
+        assert!(!jsonl.is_empty(), "{design}: no events written");
+        for line in jsonl.lines() {
+            let keys = parse_json_object(line)
+                .unwrap_or_else(|e| panic!("{design}: bad JSONL line {line}: {e}"));
+            assert!(keys.contains(&"cycle".to_owned()), "{design}: {line}");
+            assert!(keys.contains(&"event".to_owned()), "{design}: {line}");
+        }
+        std::fs::remove_file(&out).ok();
+    }
+}
+
+#[test]
+fn trace_is_deterministic() {
+    let (ok1, out1, _) = hbat(&["trace", "Xlisp", "T1", "--scale", "test"]);
+    let (ok2, out2, _) = hbat(&["trace", "Xlisp", "T1", "--scale", "test"]);
+    assert!(ok1 && ok2);
+    assert_eq!(out1, out2, "trace output must be deterministic");
+}
+
+#[test]
+fn observed_sweep_writes_sidecar_and_heartbeat_is_controllable() {
+    let dir = std::env::temp_dir().join("hbat-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("sweep-observe.journal");
+    let sidecar = dir.join("sweep-observe.journal.obs.jsonl");
+    std::fs::remove_file(&journal).ok();
+    std::fs::remove_file(&sidecar).ok();
+
+    // Observed sweep with a sub-second heartbeat: the progress line
+    // appears on stderr and the sidecar lands next to the journal.
+    let (ok, _, stderr) = hbat(&[
+        "sweep",
+        "--scale",
+        "test",
+        "--journal",
+        journal.to_str().unwrap(),
+        "--observe",
+        "--heartbeat",
+        "0.01",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("heartbeat:"), "{stderr}");
+    assert!(stderr.contains("cells"), "{stderr}");
+    let side = std::fs::read_to_string(&sidecar).expect("obs sidecar written");
+    assert_eq!(side.lines().count(), 130, "one obs record per cell");
+
+    // Test scale defaults the heartbeat off.
+    std::fs::remove_file(&journal).ok();
+    std::fs::remove_file(&sidecar).ok();
+    let (ok, _, stderr) = hbat(&["sweep", "--scale", "test"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        !stderr.contains("heartbeat:"),
+        "heartbeat must default off at test scale: {stderr}"
+    );
+
+    // --observe without a journal is a usage error.
+    let (ok, _, stderr) = hbat(&["sweep", "--observe", "--scale", "test"]);
+    assert!(!ok);
+    assert!(stderr.contains("--journal"), "{stderr}");
+}
+
+#[test]
 fn anatomy_prints_ceilings() {
     let (ok, stdout, _) = hbat(&["anatomy", "Tomcatv", "--scale", "test"]);
     assert!(ok);
