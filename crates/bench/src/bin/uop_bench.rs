@@ -1,0 +1,116 @@
+//! Measures the predecoded micro-op engine against the legacy
+//! `TraceInst` decode path — the same workload replayed through both on
+//! every Table-2 design — verifies the metrics are bit-identical, and
+//! records the measurement in `results/BENCH_uop.json`.
+//!
+//! Run: `cargo run --release -p hbat-bench --bin uop_bench [scale]`
+
+use std::path::Path;
+
+use hbat_bench::executor::{timed, JsonReport};
+use hbat_bench::experiment::{run_cell, run_cell_uops, scale_from_args, ExperimentConfig};
+use hbat_core::designs::spec::DesignSpec;
+use hbat_isa::uop::PredecodedTrace;
+use hbat_workloads::{Benchmark, Scale};
+
+/// The frozen pre-predecode engine time for this cell (M8, Compress,
+/// small scale), read back from `results/BENCH_obs.json` so the report
+/// can state the speedup against the recorded baseline rather than a
+/// number re-measured on whatever the current host happens to be.
+fn frozen_baseline_ms() -> Option<f64> {
+    let s = std::fs::read_to_string("results/BENCH_obs.json").ok()?;
+    let rest = &s[s.find("\"null_ms\":")? + "\"null_ms\":".len()..];
+    let rest = rest.trim_start();
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let cfg = ExperimentConfig::baseline(scale);
+    let bench = Benchmark::Compress;
+    let designs = DesignSpec::TABLE2;
+    let trace = bench.build(&cfg.workload).trace();
+    let (uops, predecode) = timed(|| PredecodedTrace::predecode(&trace));
+    let reps = 5u32;
+
+    let mut report = JsonReport::new();
+    report
+        .str("benchmark", "uop_engine")
+        .str("scale", &format!("{scale:?}").to_lowercase())
+        .str("workload", bench.name())
+        .int("designs", designs.len() as u64)
+        .int("instructions", trace.len() as u64)
+        .int("reps", u64::from(reps))
+        .num("predecode_ms", predecode.as_secs_f64() * 1e3);
+
+    let mut legacy_total = 0.0f64;
+    let mut uop_total = 0.0f64;
+    for design in designs {
+        // Warm-up both paths once and gate on bit-identical metrics,
+        // then time `reps` alternating pairs so drift (thermal, cache)
+        // hits both sides equally.
+        let warm_legacy = run_cell(&trace, design, &cfg);
+        let warm_uop = run_cell_uops(&uops, design, &cfg);
+        assert_eq!(
+            warm_legacy,
+            warm_uop,
+            "predecoded engine diverged from the legacy decoder on {}",
+            design.mnemonic()
+        );
+
+        let mut legacy_s = 0.0f64;
+        let mut uop_s = 0.0f64;
+        for _ in 0..reps {
+            let (_, d) = timed(|| run_cell(&trace, design, &cfg));
+            legacy_s += d.as_secs_f64();
+            let (_, d) = timed(|| run_cell_uops(&uops, design, &cfg));
+            uop_s += d.as_secs_f64();
+        }
+        let legacy_ms = legacy_s * 1e3 / f64::from(reps);
+        let uop_ms = uop_s * 1e3 / f64::from(reps);
+        legacy_total += legacy_ms;
+        uop_total += uop_ms;
+        println!(
+            "{:>4}: legacy {legacy_ms:8.3} ms, uop {uop_ms:8.3} ms ({:.2}x), \
+             metrics bit-identical",
+            design.mnemonic(),
+            legacy_ms / uop_ms.max(1e-9)
+        );
+        report
+            .num(&format!("legacy_ms_{}", design.mnemonic()), legacy_ms)
+            .num(&format!("uop_ms_{}", design.mnemonic()), uop_ms);
+        // The frozen BENCH_obs.json baseline timed exactly this cell
+        // (M8 / Compress / small) on the pre-predecode engine; record
+        // the like-for-like speedup against it.
+        if design.mnemonic() == "M8" && scale == Scale::Small {
+            if let Some(base) = frozen_baseline_ms() {
+                report
+                    .num("baseline_obs_ms", base)
+                    .num("speedup_vs_obs_baseline", base / uop_ms.max(1e-9));
+                println!(
+                    "  M8 vs frozen BENCH_obs.json engine baseline: \
+                     {base:.1} ms -> {uop_ms:.1} ms ({:.2}x)",
+                    base / uop_ms.max(1e-9)
+                );
+            }
+        }
+    }
+
+    let speedup = legacy_total / uop_total.max(1e-9);
+    println!(
+        "uop engine, {scale:?} scale, {bench} x {} designs: \
+         legacy {legacy_total:.1} ms, uop {uop_total:.1} ms ({speedup:.2}x), \
+         all metrics bit-identical",
+        designs.len()
+    );
+
+    report
+        .num("legacy_ms", legacy_total)
+        .num("uop_ms", uop_total)
+        .num("speedup", speedup)
+        .bool("identical_metrics", true);
+    let path = Path::new("results/BENCH_uop.json");
+    report.write(path).expect("write results/BENCH_uop.json");
+    println!("wrote {}", path.display());
+}

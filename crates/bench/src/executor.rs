@@ -37,6 +37,7 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use hbat_isa::trace::TraceInst;
+use hbat_isa::uop::PredecodedTrace;
 use hbat_workloads::{Benchmark, WorkloadConfig};
 
 use crate::journal::write_atomic;
@@ -378,12 +379,19 @@ pub struct TraceCache {
     /// One slot per workload; the `OnceLock` lets concurrent requesters
     /// of the same trace block on a single builder instead of racing.
     slots: Mutex<HashMap<(Benchmark, WorkloadConfig), TraceSlot>>,
+    /// Predecoded micro-op form of the same workloads, built lazily from
+    /// the raw trace on first request (a separate map so the raw-only
+    /// path pays nothing for it).
+    uops: Mutex<HashMap<(Benchmark, WorkloadConfig), UopSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 /// A shared once-built trace slot in the [`TraceCache`].
 type TraceSlot = Arc<OnceLock<Arc<[TraceInst]>>>;
+
+/// A shared once-predecoded micro-op slot in the [`TraceCache`].
+type UopSlot = Arc<OnceLock<Arc<PredecodedTrace>>>;
 
 impl TraceCache {
     /// An empty cache (tests use private caches; sweeps share
@@ -444,6 +452,34 @@ impl TraceCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         trace
+    }
+
+    /// Returns both forms of the workload — the raw trace and its
+    /// predecoded micro-ops — building each at most once process-wide.
+    ///
+    /// Counts exactly one hit-or-miss, like [`TraceCache::get_or_build`]
+    /// (which it calls for the raw form): the predecode is a cheap
+    /// derived artifact, not a second trace generation, so sweep
+    /// telemetry still reports one build per workload.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the trace builder (both slots stay
+    /// retryable).
+    pub fn get_or_build_uops(
+        &self,
+        bench: Benchmark,
+        cfg: &WorkloadConfig,
+    ) -> (Arc<[TraceInst]>, Arc<PredecodedTrace>) {
+        let raw = self.get_or_build(bench, cfg);
+        let slot = {
+            let mut slots = unpoisoned(self.uops.lock());
+            slots.entry((bench, *cfg)).or_default().clone()
+        };
+        let uops = slot
+            .get_or_init(|| Arc::new(PredecodedTrace::predecode(&raw)))
+            .clone();
+        (raw, uops)
     }
 
     /// Requests served from an already-built trace.
@@ -508,6 +544,7 @@ enum JsonValue {
     Num(f64),
     Int(u64),
     Str(String),
+    Bool(bool),
 }
 
 impl JsonReport {
@@ -535,6 +572,12 @@ impl JsonReport {
         self
     }
 
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.entries.push((key.to_owned(), JsonValue::Bool(value)));
+        self
+    }
+
     /// Renders the report as pretty-printed JSON.
     ///
     /// **Non-finite policy:** JSON has no representation for `NaN` or
@@ -550,6 +593,7 @@ impl JsonReport {
                 JsonValue::Num(_) => out.push_str("null"),
                 JsonValue::Int(v) => out.push_str(&format!("{v}")),
                 JsonValue::Str(v) => out.push_str(&escape_json(v)),
+                JsonValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
             }
             if i + 1 < self.entries.len() {
                 out.push(',');

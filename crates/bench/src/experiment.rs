@@ -17,9 +17,13 @@ use std::sync::Arc;
 
 use hbat_core::addr::PageGeometry;
 use hbat_core::designs::spec::DesignSpec;
-use hbat_cpu::{simulate, simulate_with_recorder, RunMetrics, SimConfig};
+use hbat_cpu::{
+    simulate, simulate_uops, simulate_uops_with_recorder, simulate_with_recorder, RunMetrics,
+    SimConfig,
+};
 use hbat_isa::trace::TraceInst;
 use hbat_isa::tracefile::{read_trace, write_trace};
+use hbat_isa::uop::{MicroOp, PredecodedTrace};
 use hbat_obs::{PortResource, TraceRecorder};
 use hbat_stats::agg::runtime_weighted_ipc;
 use hbat_stats::chart::BarChart;
@@ -33,6 +37,11 @@ use crate::executor::{
 use crate::faults::{FaultKind, FaultPlan};
 use crate::journal::{fnv1a_hex, read_journal, CellKey, JournalRecord, JournalWriter};
 use crate::outcome::{CellFailure, CellOutcome, FailureManifest};
+
+/// A built workload in both forms: the raw trace (kept for paths that
+/// serialise `TraceInst` records) and its predecoded micro-ops (what
+/// cells actually execute).
+type BuiltTrace = (Arc<[TraceInst]>, Arc<PredecodedTrace>);
 
 /// Everything one experiment (one figure) varies.
 #[derive(Debug, Clone)]
@@ -191,10 +200,39 @@ pub fn trace_for(bench: Benchmark, cfg: &ExperimentConfig) -> Arc<[TraceInst]> {
     TraceCache::global().get_or_build(bench, &cfg.workload)
 }
 
-/// Runs one (trace, design) cell.
+/// Like [`trace_for`], but returning both the raw trace and its
+/// predecoded micro-op form, each built at most once process-wide.
+pub fn uops_for(
+    bench: Benchmark,
+    cfg: &ExperimentConfig,
+) -> (Arc<[TraceInst]>, Arc<PredecodedTrace>) {
+    TraceCache::global().get_or_build_uops(bench, &cfg.workload)
+}
+
+/// Runs one (trace, design) cell through the legacy `TraceInst` decoder.
 pub fn run_cell(trace: &[TraceInst], design: DesignSpec, cfg: &ExperimentConfig) -> RunMetrics {
     let mut translator = design.build(cfg.geometry, cfg.design_seed);
     simulate(&cfg.sim, trace, translator.as_mut())
+}
+
+/// Runs one (micro-ops, design) cell through the predecoded engine.
+/// Bit-identical metrics to [`run_cell`] on the same workload (the
+/// `uop_parity` suite pins this); the sweeps use this path.
+pub fn run_cell_uops(uops: &[MicroOp], design: DesignSpec, cfg: &ExperimentConfig) -> RunMetrics {
+    let mut translator = design.build(cfg.geometry, cfg.design_seed);
+    simulate_uops(&cfg.sim, uops, translator.as_mut())
+}
+
+/// [`run_cell_uops`] under a [`TraceRecorder`]; see [`run_cell_traced`].
+pub fn run_cell_uops_traced(
+    uops: &[MicroOp],
+    design: DesignSpec,
+    cfg: &ExperimentConfig,
+) -> (RunMetrics, TraceRecorder) {
+    let mut translator = design.build(cfg.geometry, cfg.design_seed);
+    let mut rec = TraceRecorder::new();
+    let metrics = simulate_uops_with_recorder(&cfg.sim, uops, translator.as_mut(), &mut rec);
+    (metrics, rec)
 }
 
 /// Runs one (trace, design) cell under a [`TraceRecorder`] and returns
@@ -234,10 +272,11 @@ pub fn sweep_on(
     let benches = Benchmark::ALL;
     let (hits0, misses0) = (cache.hits(), cache.misses());
 
-    // Phase 1: every distinct trace, built in parallel.
+    // Phase 1: every distinct trace, built and predecoded in parallel.
     let (traces, trace_build) = timed(|| {
         parallel_map(benches.len(), threads, |bi| {
-            cache.get_or_build(benches[bi], &cfg.workload)
+            let (_raw, uops) = cache.get_or_build_uops(benches[bi], &cfg.workload);
+            uops
         })
     });
 
@@ -250,7 +289,7 @@ pub fn sweep_on(
             CellResult {
                 bench: benches[bi],
                 design: designs[di],
-                metrics: run_cell(&traces[bi], designs[di], cfg),
+                metrics: run_cell_uops(&traces[bi], designs[di], cfg),
             }
         })
     });
@@ -643,10 +682,12 @@ pub fn sweep_ft_on(
                 "injected fault: trace build for {} panicked",
                 benches[bi].name()
             );
-            cache.get_or_build(benches[bi], &cfg.workload)
+            cache.get_or_build_uops(benches[bi], &cfg.workload)
         })
     });
-    let mut traces: Vec<Option<Arc<[TraceInst]>>> = Vec::with_capacity(benches.len());
+    // The raw trace stays available for the corrupt-trace fault path,
+    // which serialises `TraceInst` records; cells run on the micro-ops.
+    let mut traces: Vec<Option<BuiltTrace>> = Vec::with_capacity(benches.len());
     let mut trace_errs: Vec<String> = Vec::with_capacity(benches.len());
     for outcome in trace_outcomes {
         trace_errs.push(match &outcome {
@@ -672,7 +713,7 @@ pub fn sweep_ft_on(
             if let Some(metrics) = restored.get(&key) {
                 return CellJob::Restored(metrics.clone());
             }
-            let Some(trace) = &traces[bi] else {
+            let Some((trace, uops)) = &traces[bi] else {
                 return CellJob::NoTrace(trace_errs[bi].clone());
             };
             opts.faults.arm(i, ctx.attempt, ctx.cancel_flag());
@@ -684,10 +725,10 @@ pub fn sweep_ft_on(
                 run_with_corrupt_trace(i, trace, &opts.faults);
             }
             let (metrics, rec) = if opts.observe {
-                let (metrics, rec) = run_cell_traced(trace, designs[di], cfg);
+                let (metrics, rec) = run_cell_uops_traced(uops, designs[di], cfg);
                 (metrics, Some(rec))
             } else {
-                (run_cell(trace, designs[di], cfg), None)
+                (run_cell_uops(uops, designs[di], cfg), None)
             };
             if let Some(w) = &writer {
                 if let Err(e) = w.append(&JournalRecord {

@@ -1,0 +1,77 @@
+//! The predecoded micro-op engine's parity contract: every workload,
+//! replayed through the legacy `TraceInst` decoder and through
+//! `PredecodedTrace`, produces bit-identical `RunMetrics` *and*
+//! identical cycle-level observations — same stall-attribution table,
+//! same issue-cycle count — on a representative design spread (ideal
+//! TLB, the Table-1 baseline, and pretranslation).
+
+use hbat_bench::experiment::{run_cell_traced, run_cell_uops_traced, ExperimentConfig};
+use hbat_core::designs::spec::DesignSpec;
+use hbat_isa::uop::PredecodedTrace;
+use hbat_obs::TraceRecorder;
+use hbat_workloads::{Benchmark, Scale};
+
+fn designs() -> [DesignSpec; 3] {
+    [
+        DesignSpec::parse("I4").unwrap(),
+        DesignSpec::parse("M8").unwrap(),
+        DesignSpec::parse("P8").unwrap(),
+    ]
+}
+
+/// Every cycle is either an issue cycle or attributed to exactly one
+/// stall cause — the accounting invariant the stall table rests on.
+fn assert_accounted(rec: &TraceRecorder, label: &str) {
+    assert_eq!(
+        rec.issue_cycles() + rec.stall_total(),
+        rec.cycles(),
+        "{label}: issue + stalls != cycles"
+    );
+}
+
+#[test]
+fn every_workload_matches_legacy_decoder_on_design_spread() {
+    let cfg = ExperimentConfig::baseline(Scale::Test);
+    for bench in Benchmark::ALL {
+        let trace = bench.build(&cfg.workload).trace();
+        let uops = PredecodedTrace::predecode(&trace);
+        for design in designs() {
+            let label = format!("{bench}/{}", design.mnemonic());
+            let (legacy, legacy_rec) = run_cell_traced(&trace, design, &cfg);
+            let (fast, fast_rec) = run_cell_uops_traced(&uops, design, &cfg);
+            assert_eq!(legacy, fast, "{label}: RunMetrics diverged");
+            assert_eq!(
+                legacy_rec.stall_breakdown(),
+                fast_rec.stall_breakdown(),
+                "{label}: stall attribution diverged"
+            );
+            assert_eq!(
+                legacy_rec.issue_cycles(),
+                fast_rec.issue_cycles(),
+                "{label}: issue-cycle count diverged"
+            );
+            assert_eq!(
+                legacy_rec.issued_ops(),
+                fast_rec.issued_ops(),
+                "{label}: issued-op count diverged"
+            );
+            assert_accounted(&legacy_rec, &label);
+            assert_accounted(&fast_rec, &label);
+        }
+    }
+}
+
+/// The predecoded form loses nothing: decoding it back yields the
+/// original dynamic trace record-for-record, for every workload.
+#[test]
+fn every_workload_predecodes_losslessly() {
+    let cfg = ExperimentConfig::baseline(Scale::Test);
+    for bench in Benchmark::ALL {
+        let trace = bench.build(&cfg.workload).trace();
+        let uops = PredecodedTrace::predecode(&trace);
+        assert_eq!(uops.len(), trace.len());
+        for (i, t) in trace.iter().enumerate() {
+            assert_eq!(uops[i].decode(), *t, "{bench}: record {i} not lossless");
+        }
+    }
+}

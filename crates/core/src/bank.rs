@@ -9,6 +9,7 @@ use std::collections::HashMap;
 
 use crate::addr::Vpn;
 use crate::entry::TlbEntry;
+use crate::hash::FastHashBuilder;
 use crate::replacement::{ReplacementPolicy, Replacer};
 
 /// A fully-associative array of [`TlbEntry`]s with a pluggable replacement
@@ -34,7 +35,9 @@ use crate::replacement::{ReplacementPolicy, Replacer};
 #[derive(Debug, Clone)]
 pub struct TlbBank {
     ways: Vec<Option<TlbEntry>>,
-    index: HashMap<Vpn, usize>,
+    /// VPN → way index. Keyed by simulator state, probed on every lookup
+    /// in the translation hot path, hence the fast deterministic hasher.
+    index: HashMap<Vpn, usize, FastHashBuilder>,
     replacer: Replacer,
 }
 
@@ -49,7 +52,7 @@ impl TlbBank {
     pub fn new(entries: usize, policy: ReplacementPolicy, seed: u64) -> Self {
         TlbBank {
             ways: vec![None; entries],
-            index: HashMap::with_capacity(entries),
+            index: HashMap::with_capacity_and_hasher(entries, FastHashBuilder),
             replacer: Replacer::new(policy, entries, seed),
         }
     }
@@ -105,16 +108,24 @@ impl TlbBank {
             return None;
         }
         // Prefer an invalid way; otherwise ask the policy for a victim.
-        let (way, evicted) = match self.ways.iter().position(Option::is_none) {
-            Some(w) => (w, None),
-            None => {
-                let w = self.replacer.victim();
-                let old = self.slot_mut(w).take();
-                if let Some(ref e) = old {
-                    self.index.remove(&e.vpn);
-                }
-                (w, old)
+        // `index` holds exactly the resident entries, so a full bank is
+        // detected without scanning the ways (the scan is O(entries) and
+        // `insert` sits on the translation miss path).
+        let (way, evicted) = if self.index.len() < self.ways.len() {
+            let w = self
+                .ways
+                .iter()
+                .position(Option::is_none)
+                // hbat-lint: allow(panic) a non-full bank always has an invalid way
+                .expect("bank not full yet an invalid way is missing");
+            (w, None)
+        } else {
+            let w = self.replacer.victim();
+            let old = self.slot_mut(w).take();
+            if let Some(ref e) = old {
+                self.index.remove(&e.vpn);
             }
+            (w, old)
         };
         self.index.insert(entry.vpn, way);
         *self.slot_mut(way) = Some(entry);

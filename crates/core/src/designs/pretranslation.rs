@@ -333,6 +333,10 @@ impl AddressTranslator for PretranslationTlb {
         outcome
     }
 
+    fn uses_writebacks(&self) -> bool {
+        true
+    }
+
     fn note_writeback(&mut self, dest: u8, srcs: &[u8], kind: WritebackKind) {
         match kind {
             WritebackKind::PointerArith => {

@@ -44,6 +44,7 @@ pub mod bank;
 pub mod cycle;
 pub mod designs;
 pub mod entry;
+pub mod hash;
 pub mod pagetable;
 pub mod replacement;
 pub mod request;

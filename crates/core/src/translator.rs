@@ -38,6 +38,15 @@ pub trait AddressTranslator {
     /// invalidated. Designs without register-attached state ignore this.
     fn note_writeback(&mut self, _dest: u8, _srcs: &[u8], _kind: WritebackKind) {}
 
+    /// Does this design consume [`note_writeback`](Self::note_writeback)
+    /// events? Cores may skip writeback bookkeeping entirely when false
+    /// (the default) — most designs have no register-attached state, and
+    /// queueing a notification per retired instruction for a no-op
+    /// listener is measurable in the simulation hot loop.
+    fn uses_writebacks(&self) -> bool {
+        false
+    }
+
     /// Invalidates all cached translation state (context switch or
     /// wholesale virtual-memory change).
     fn flush(&mut self);

@@ -38,13 +38,16 @@ pub mod config;
 pub mod engine;
 pub mod fu;
 pub mod metrics;
+pub mod uop;
 
 pub use bpred::BranchPredictor;
 pub use config::{IssueModel, SimConfig};
 pub use metrics::RunMetrics;
+pub use uop::EngineOp;
 
 use hbat_core::translator::AddressTranslator;
 use hbat_isa::trace::TraceInst;
+use hbat_isa::uop::MicroOp;
 
 /// Replays `trace` on the machine described by `cfg`, translating data
 /// addresses through `translator`, and returns the run metrics.
@@ -86,4 +89,58 @@ pub fn simulate_with_recorder<R: hbat_obs::Recorder>(
     rec: R,
 ) -> RunMetrics {
     engine::Engine::with_recorder(cfg, trace, translator, rec).run()
+}
+
+/// Like [`simulate`], but replaying a predecoded micro-op trace (see
+/// `hbat_isa::uop::PredecodedTrace`): the hot loop reads flat fixed-size
+/// records instead of chasing `Option` structure, and the predecode cost
+/// is paid once per workload rather than once per design cell.
+///
+/// Produces bit-identical [`RunMetrics`] to [`simulate`] on the
+/// equivalent `TraceInst` slice — the `uop_parity` suite pins this.
+///
+/// ```
+/// use hbat_core::designs::spec::DesignSpec;
+/// use hbat_core::PageGeometry;
+/// use hbat_cpu::{simulate, simulate_uops, SimConfig};
+/// use hbat_isa::uop::PredecodedTrace;
+/// use hbat_isa::{Inst, Machine, Program, Reg};
+/// use hbat_isa::inst::{AddrMode, Width};
+///
+/// let program = Program::new(vec![
+///     Inst::Li { d: Reg::int(1), imm: 0x1000 },
+///     Inst::Load {
+///         d: Reg::int(2),
+///         addr: AddrMode::BaseOffset { base: Reg::int(1), offset: 0 },
+///         width: Width::B8,
+///     },
+///     Inst::Halt,
+/// ])?;
+/// let trace = Machine::new(program).run_to_vec(100);
+/// let uops = PredecodedTrace::predecode(&trace);
+/// let spec = DesignSpec::parse("T4").unwrap();
+/// let mut tlb = spec.build(PageGeometry::KB4, 1);
+/// let fast = simulate_uops(&SimConfig::baseline(), uops.ops(), tlb.as_mut());
+/// let mut tlb = spec.build(PageGeometry::KB4, 1);
+/// let slow = simulate(&SimConfig::baseline(), &trace, tlb.as_mut());
+/// assert_eq!(fast, slow);
+/// # Ok::<(), hbat_isa::ProgramError>(())
+/// ```
+pub fn simulate_uops(
+    cfg: &SimConfig,
+    uops: &[MicroOp],
+    translator: &mut dyn AddressTranslator,
+) -> RunMetrics {
+    engine::Engine::new(cfg, uops, translator).run()
+}
+
+/// Like [`simulate_uops`], but reporting cycle-level observations to
+/// `rec` (see [`simulate_with_recorder`]).
+pub fn simulate_uops_with_recorder<R: hbat_obs::Recorder>(
+    cfg: &SimConfig,
+    uops: &[MicroOp],
+    translator: &mut dyn AddressTranslator,
+    rec: R,
+) -> RunMetrics {
+    engine::Engine::with_recorder(cfg, uops, translator, rec).run()
 }

@@ -1,0 +1,293 @@
+//! The engine-side view of a dynamic instruction: a flat accessor trait
+//! implemented by both the legacy [`TraceInst`] records and the
+//! predecoded [`MicroOp`]s.
+//!
+//! The timing engine is generic over [`EngineOp`], so one engine body
+//! serves both representations and the bit-identical-metrics parity
+//! suite can diff them directly. For [`TraceInst`] the accessors chase
+//! the original `Option` structure (exactly what the engine used to do
+//! inline); for [`MicroOp`] every accessor is a plain field read — the
+//! per-cycle scheduling scans never decode anything.
+
+use hbat_core::addr::VirtAddr;
+use hbat_core::request::{AccessKind, WritebackKind};
+use hbat_isa::trace::{BranchRec, OpClass, TraceInst};
+use hbat_isa::uop::MicroOp;
+
+pub use hbat_isa::uop::NO_REG;
+
+/// What the timing engine needs from one dynamic instruction.
+///
+/// Register identities are byte codes (0–63) with [`NO_REG`] for
+/// "absent"; note that code 0 — the hardwired zero register — is a
+/// *valid* base register (absolute addressing), so only [`NO_REG`]
+/// means absent. The `mem_*` accessors may only be called when
+/// [`EngineOp::is_mem`] is true.
+pub trait EngineOp: Copy {
+    /// Program-order serial number.
+    fn serial(&self) -> u64;
+    /// Static instruction index.
+    fn pc(&self) -> u32;
+    /// Functional-unit class.
+    fn class(&self) -> OpClass;
+    /// True for loads and stores.
+    fn is_mem(&self) -> bool;
+    /// Source register codes, [`NO_REG`] for empty slots.
+    fn src_codes(&self) -> [u8; 3];
+    /// Primary destination register code, [`NO_REG`] if none.
+    fn dest_code(&self) -> u8;
+    /// Post-increment writeback register code, [`NO_REG`] if none.
+    fn aux_dest_code(&self) -> u8;
+    /// How the destination value relates to the sources.
+    fn dest_kind(&self) -> WritebackKind;
+    /// Bit `i` set ⇔ source slot `i` feeds address generation.
+    fn addr_src_mask(&self) -> u8;
+    /// Effective virtual address (memory ops only).
+    fn mem_vaddr(&self) -> VirtAddr;
+    /// Load or store (memory ops only).
+    fn mem_kind(&self) -> AccessKind;
+    /// Access width in bytes (memory ops only).
+    fn mem_width_bytes(&self) -> u64;
+    /// Base register code (memory ops only; 0 is the valid zero base).
+    fn mem_base_code(&self) -> u8;
+    /// Address-generation displacement (memory ops only).
+    fn mem_offset(&self) -> i32;
+    /// The branch record, if this instruction is a branch or jump.
+    fn branch(&self) -> Option<BranchRec>;
+}
+
+// hbat-lint: hot — these accessors are the engine's per-cycle operand fetches
+
+impl EngineOp for TraceInst {
+    #[inline(always)]
+    fn serial(&self) -> u64 {
+        self.serial
+    }
+
+    #[inline(always)]
+    fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    #[inline(always)]
+    fn class(&self) -> OpClass {
+        self.class
+    }
+
+    #[inline(always)]
+    fn is_mem(&self) -> bool {
+        self.mem.is_some()
+    }
+
+    #[inline(always)]
+    fn src_codes(&self) -> [u8; 3] {
+        let code = |r: Option<hbat_isa::reg::Reg>| r.map_or(NO_REG, |r| r.code());
+        [code(self.srcs[0]), code(self.srcs[1]), code(self.srcs[2])]
+    }
+
+    #[inline(always)]
+    fn dest_code(&self) -> u8 {
+        self.dest.map_or(NO_REG, |r| r.code())
+    }
+
+    #[inline(always)]
+    fn aux_dest_code(&self) -> u8 {
+        self.aux_dest.map_or(NO_REG, |r| r.code())
+    }
+
+    #[inline(always)]
+    fn dest_kind(&self) -> WritebackKind {
+        self.dest_kind
+    }
+
+    #[inline]
+    fn addr_src_mask(&self) -> u8 {
+        let Some(mem) = self.mem else { return 0 };
+        let mut mask = 0u8;
+        for (i, src) in self.srcs.iter().enumerate() {
+            if let Some(r) = src {
+                if *r == mem.base_reg || mem.index_reg == Some(*r) {
+                    mask |= 1 << i;
+                }
+            }
+        }
+        mask
+    }
+
+    #[inline(always)]
+    fn mem_vaddr(&self) -> VirtAddr {
+        self.mem.expect("memory op without record").vaddr
+    }
+
+    #[inline(always)]
+    fn mem_kind(&self) -> AccessKind {
+        self.mem.expect("memory op without record").kind
+    }
+
+    #[inline(always)]
+    fn mem_width_bytes(&self) -> u64 {
+        self.mem.expect("memory op without record").width.bytes()
+    }
+
+    #[inline(always)]
+    fn mem_base_code(&self) -> u8 {
+        self.mem.expect("memory op without record").base_reg.code()
+    }
+
+    #[inline(always)]
+    fn mem_offset(&self) -> i32 {
+        self.mem.expect("memory op without record").offset
+    }
+
+    #[inline(always)]
+    fn branch(&self) -> Option<BranchRec> {
+        self.branch
+    }
+}
+
+impl EngineOp for MicroOp {
+    #[inline(always)]
+    fn serial(&self) -> u64 {
+        self.serial
+    }
+
+    #[inline(always)]
+    fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    #[inline(always)]
+    fn class(&self) -> OpClass {
+        self.class
+    }
+
+    #[inline(always)]
+    fn is_mem(&self) -> bool {
+        self.flags & MicroOp::F_MEM != 0
+    }
+
+    #[inline(always)]
+    fn src_codes(&self) -> [u8; 3] {
+        self.srcs
+    }
+
+    #[inline(always)]
+    fn dest_code(&self) -> u8 {
+        self.dest
+    }
+
+    #[inline(always)]
+    fn aux_dest_code(&self) -> u8 {
+        self.aux_dest
+    }
+
+    #[inline(always)]
+    fn dest_kind(&self) -> WritebackKind {
+        if self.flags & MicroOp::F_DEST_PTR != 0 {
+            WritebackKind::PointerArith
+        } else {
+            WritebackKind::Opaque
+        }
+    }
+
+    #[inline(always)]
+    fn addr_src_mask(&self) -> u8 {
+        self.addr_src_mask
+    }
+
+    #[inline(always)]
+    fn mem_vaddr(&self) -> VirtAddr {
+        VirtAddr(self.vaddr)
+    }
+
+    #[inline(always)]
+    fn mem_kind(&self) -> AccessKind {
+        if self.flags & MicroOp::F_STORE != 0 {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        }
+    }
+
+    #[inline(always)]
+    fn mem_width_bytes(&self) -> u64 {
+        self.width.bytes()
+    }
+
+    #[inline(always)]
+    fn mem_base_code(&self) -> u8 {
+        self.base_reg
+    }
+
+    #[inline(always)]
+    fn mem_offset(&self) -> i32 {
+        self.offset
+    }
+
+    #[inline(always)]
+    fn branch(&self) -> Option<BranchRec> {
+        (self.flags & MicroOp::F_BRANCH != 0).then_some(BranchRec {
+            taken: self.flags & MicroOp::F_BR_TAKEN != 0,
+            target: self.target,
+            conditional: self.flags & MicroOp::F_BR_COND != 0,
+        })
+    }
+}
+
+// hbat-lint: cold
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbat_isa::reg::Reg;
+    use hbat_isa::trace::MemRef;
+    use hbat_isa::Width;
+
+    fn sample() -> TraceInst {
+        let mut t = TraceInst::blank(7, 3, OpClass::Load);
+        t.srcs = [Some(Reg::int(4)), Some(Reg::int(5)), None];
+        t.dest = Some(Reg::int(6));
+        t.aux_dest = Some(Reg::int(4));
+        t.mem = Some(MemRef {
+            vaddr: VirtAddr(0x4000),
+            kind: AccessKind::Load,
+            width: Width::B8,
+            base_reg: Reg::int(4),
+            index_reg: Some(Reg::int(5)),
+            offset: 0,
+        });
+        t
+    }
+
+    /// The two implementations must agree accessor-by-accessor — this is
+    /// the static half of the bit-identical-metrics guarantee.
+    #[test]
+    fn trace_inst_and_micro_op_views_agree() {
+        let t = sample();
+        let u = MicroOp::encode(&t);
+        assert_eq!(EngineOp::serial(&t), EngineOp::serial(&u));
+        assert_eq!(EngineOp::pc(&t), EngineOp::pc(&u));
+        assert_eq!(EngineOp::class(&t), EngineOp::class(&u));
+        assert_eq!(EngineOp::is_mem(&t), EngineOp::is_mem(&u));
+        assert_eq!(t.src_codes(), u.src_codes());
+        assert_eq!(t.dest_code(), u.dest_code());
+        assert_eq!(t.aux_dest_code(), u.aux_dest_code());
+        assert_eq!(EngineOp::dest_kind(&t), EngineOp::dest_kind(&u));
+        assert_eq!(t.addr_src_mask(), u.addr_src_mask());
+        assert_eq!(t.mem_vaddr(), u.mem_vaddr());
+        assert_eq!(EngineOp::mem_kind(&t), EngineOp::mem_kind(&u));
+        assert_eq!(t.mem_width_bytes(), u.mem_width_bytes());
+        assert_eq!(t.mem_base_code(), u.mem_base_code());
+        assert_eq!(t.mem_offset(), u.mem_offset());
+        assert_eq!(EngineOp::branch(&t), EngineOp::branch(&u));
+    }
+
+    #[test]
+    fn addr_src_mask_marks_base_and_index_slots() {
+        let t = sample();
+        assert_eq!(t.addr_src_mask(), 0b011);
+        let mut plain = TraceInst::blank(0, 0, OpClass::IntAlu);
+        plain.srcs = [Some(Reg::int(1)), None, None];
+        assert_eq!(plain.addr_src_mask(), 0);
+    }
+}

@@ -7,18 +7,24 @@
 //! is not modelled here at all.
 
 use hbat_core::addr::VirtAddr;
-use hbat_core::request::{AccessKind, WritebackKind};
 
-use crate::inst::{AddrMode, FpuOp, Inst, Operand, Width};
+use crate::inst::Width;
 use crate::mem::Memory;
 use crate::program::Program;
 use crate::reg::Reg;
-use crate::trace::{BranchRec, MemRef, OpClass, TraceInst};
+use crate::trace::TraceInst;
+use crate::uop::{AddrKind, DecodedInst, Handler, PredecodedProgram};
 
 /// Architectural machine state plus the trace generator.
+///
+/// The program is predecoded once at construction into a flat
+/// [`PredecodedProgram`] table, so [`Machine::step`] is an indexed
+/// handler dispatch with pre-extracted operands — the `Inst` enum is
+/// never re-matched on the hot path.
 #[derive(Debug, Clone)]
 pub struct Machine {
     program: Program,
+    code: PredecodedProgram,
     iregs: [i64; 32],
     fregs: [f64; 32],
     mem: Memory,
@@ -30,8 +36,10 @@ pub struct Machine {
 impl Machine {
     /// Creates a machine at the entry of `program` with zeroed state.
     pub fn new(program: Program) -> Self {
+        let code = PredecodedProgram::from_program(&program);
         Machine {
             program,
+            code,
             iregs: [0; 32],
             fregs: [0.0; 32],
             mem: Memory::new(),
@@ -39,6 +47,11 @@ impl Machine {
             serial: 0,
             halted: false,
         }
+    }
+
+    /// The static program this machine executes.
+    pub fn program(&self) -> &Program {
+        &self.program
     }
 
     /// The functional memory (e.g. to pre-seed workload data).
@@ -89,205 +102,120 @@ impl Machine {
         self.pc
     }
 
-    fn effective_addr(&self, mode: AddrMode) -> VirtAddr {
-        match mode {
-            AddrMode::BaseOffset { base, offset } => {
-                VirtAddr((self.read_reg(base) as u64).wrapping_add(offset as i64 as u64))
-            }
-            AddrMode::BaseIndex { base, index } => {
-                VirtAddr((self.read_reg(base) as u64).wrapping_add(self.read_reg(index) as u64))
-            }
-            AddrMode::PostInc { base, .. } => VirtAddr(self.read_reg(base) as u64),
-        }
-    }
-
-    fn push_src(t: &mut TraceInst, r: Reg) {
-        if r.is_zero() {
-            return; // the zero register creates no dependence
-        }
-        for slot in &mut t.srcs {
-            if slot.is_none() {
-                *slot = Some(r);
-                return;
-            }
-            if *slot == Some(r) {
-                return;
-            }
-        }
-    }
-
-    fn set_dest(t: &mut TraceInst, r: Reg, kind: WritebackKind) {
-        if !r.is_zero() {
-            t.dest = Some(r);
-            t.dest_kind = kind;
+    // hbat-lint: hot — predecoded handler dispatch, one table access per step
+    /// Effective address from a predecoded memory instruction's
+    /// pre-extracted operands.
+    #[inline(always)]
+    fn decoded_ea(&self, di: &DecodedInst) -> VirtAddr {
+        let base = self.read_reg(di.a) as u64;
+        match di.mode {
+            AddrKind::BaseOffset => VirtAddr(base.wrapping_add(di.imm as u64)),
+            AddrKind::BaseIndex => VirtAddr(base.wrapping_add(self.read_reg(di.b) as u64)),
+            AddrKind::PostInc => VirtAddr(base),
         }
     }
 
     /// Executes one instruction, returning its trace record, or `None` if
     /// the machine has halted.
+    ///
+    /// The dependence lists, class, and static memory/branch fields come
+    /// from the predecoded template; only the serial number, effective
+    /// address, and branch direction are patched per dynamic instance.
     // hbat-lint: allow(panic) register-file indices come from Reg::index(), masked to 0..32
-    #[allow(clippy::too_many_lines)]
     pub fn step(&mut self) -> Option<TraceInst> {
         if self.halted {
             return None;
         }
         let pc = self.pc;
-        let inst = self.program.fetch(pc);
+        let di = self.code.code()[pc as usize];
         let mut next_pc = pc + 1;
 
-        let mut t = TraceInst::blank(self.serial, pc, OpClass::IntAlu);
-        match inst {
-            Inst::Halt => {
+        let mut t = di.template;
+        t.serial = self.serial;
+        match di.handler {
+            Handler::Halt => {
                 self.halted = true;
                 return None;
             }
-            Inst::Nop => {}
-            Inst::Li { d, imm } => {
-                Self::set_dest(&mut t, d, WritebackKind::Opaque);
-                self.write_reg(d, imm);
+            Handler::Nop => {}
+            Handler::Li => {
+                self.write_reg(di.d, di.imm);
             }
-            Inst::Alu { op, d, a, b } => {
-                let av = self.read_reg(a);
-                Self::push_src(&mut t, a);
-                let bv = match b {
-                    Operand::Reg(r) => {
-                        Self::push_src(&mut t, r);
-                        self.read_reg(r)
-                    }
-                    Operand::Imm(i) => i as i64,
-                };
-                let kind = if op.is_pointer_arith() {
-                    WritebackKind::PointerArith
-                } else {
-                    WritebackKind::Opaque
-                };
-                Self::set_dest(&mut t, d, kind);
-                self.write_reg(d, op.apply(av, bv));
+            Handler::AluRR => {
+                let v = di.alu.apply(self.read_reg(di.a), self.read_reg(di.b));
+                self.write_reg(di.d, v);
             }
-            Inst::Mul { d, a, b } => {
-                t.class = OpClass::IntMul;
-                Self::push_src(&mut t, a);
-                Self::push_src(&mut t, b);
-                Self::set_dest(&mut t, d, WritebackKind::Opaque);
-                let v = self.read_reg(a).wrapping_mul(self.read_reg(b));
-                self.write_reg(d, v);
+            Handler::AluRI => {
+                let v = di.alu.apply(self.read_reg(di.a), di.imm);
+                self.write_reg(di.d, v);
             }
-            Inst::Div { d, a, b } => {
-                t.class = OpClass::IntDiv;
-                Self::push_src(&mut t, a);
-                Self::push_src(&mut t, b);
-                Self::set_dest(&mut t, d, WritebackKind::Opaque);
-                let bv = self.read_reg(b);
+            Handler::Mul => {
+                let v = self.read_reg(di.a).wrapping_mul(self.read_reg(di.b));
+                self.write_reg(di.d, v);
+            }
+            Handler::Div => {
+                let bv = self.read_reg(di.b);
                 let v = if bv == 0 {
                     0
                 } else {
-                    self.read_reg(a).wrapping_div(bv)
+                    self.read_reg(di.a).wrapping_div(bv)
                 };
-                self.write_reg(d, v);
+                self.write_reg(di.d, v);
             }
-            Inst::Fpu { op, d, a, b } => {
-                t.class = match op {
-                    FpuOp::Add | FpuOp::Sub => OpClass::FpAdd,
-                    FpuOp::Mul => OpClass::FpMul,
-                    FpuOp::Div => OpClass::FpDiv,
-                };
-                debug_assert!(d.is_fp() && a.is_fp() && b.is_fp());
-                Self::push_src(&mut t, a);
-                Self::push_src(&mut t, b);
-                Self::set_dest(&mut t, d, WritebackKind::Opaque);
-                let v = op.apply(self.fregs[a.index()], self.fregs[b.index()]);
-                self.fregs[d.index()] = v;
+            Handler::Fpu => {
+                debug_assert!(di.d.is_fp() && di.a.is_fp() && di.b.is_fp());
+                let v = di
+                    .fpu
+                    .apply(self.fregs[di.a.index()], self.fregs[di.b.index()]);
+                self.fregs[di.d.index()] = v;
             }
-            Inst::Load { d, addr, width } => {
-                t.class = OpClass::Load;
-                let base = addr.base();
-                Self::push_src(&mut t, base);
-                let mut index_reg = None;
-                if let AddrMode::BaseIndex { index, .. } = addr {
-                    Self::push_src(&mut t, index);
-                    index_reg = Some(index);
+            Handler::Load => {
+                let ea = self.decoded_ea(&di);
+                let raw = self.mem.read_le(ea, di.width.bytes());
+                if di.d.is_fp() {
+                    debug_assert_eq!(di.width, Width::B8, "FP loads are 8 bytes");
+                    self.fregs[di.d.index()] = f64::from_bits(raw);
+                } else if !di.d.is_zero() {
+                    self.iregs[di.d.index()] = raw as i64; // zero-extended
                 }
-                let ea = self.effective_addr(addr);
-                let raw = self.mem.read_le(ea, width.bytes());
-                if d.is_fp() {
-                    debug_assert_eq!(width, Width::B8, "FP loads are 8 bytes");
-                    self.fregs[d.index()] = f64::from_bits(raw);
-                } else if !d.is_zero() {
-                    self.iregs[d.index()] = raw as i64; // zero-extended
+                if let Some(m) = t.mem.as_mut() {
+                    m.vaddr = ea;
                 }
-                Self::set_dest(&mut t, d, WritebackKind::Opaque);
-                t.mem = Some(MemRef {
-                    vaddr: ea,
-                    kind: AccessKind::Load,
-                    width,
-                    base_reg: base,
-                    index_reg,
-                    offset: addr.displacement(),
-                });
-                if let AddrMode::PostInc { base, step } = addr {
-                    let nv = self.read_reg(base).wrapping_add(step as i64);
-                    self.write_reg(base, nv);
-                    if !base.is_zero() {
-                        t.aux_dest = Some(base);
-                    }
+                if di.mode == AddrKind::PostInc {
+                    // Base writeback after the destination write: base wins
+                    // when d == base, matching the legacy decoder.
+                    let nv = self.read_reg(di.a).wrapping_add(di.imm);
+                    self.write_reg(di.a, nv);
                 }
             }
-            Inst::Store { s, addr, width } => {
-                t.class = OpClass::Store;
-                let base = addr.base();
-                Self::push_src(&mut t, s);
-                Self::push_src(&mut t, base);
-                let mut index_reg = None;
-                if let AddrMode::BaseIndex { index, .. } = addr {
-                    Self::push_src(&mut t, index);
-                    index_reg = Some(index);
-                }
-                let ea = self.effective_addr(addr);
-                let raw = if s.is_fp() {
-                    debug_assert_eq!(width, Width::B8, "FP stores are 8 bytes");
-                    self.fregs[s.index()].to_bits()
+            Handler::Store => {
+                let ea = self.decoded_ea(&di);
+                let raw = if di.d.is_fp() {
+                    debug_assert_eq!(di.width, Width::B8, "FP stores are 8 bytes");
+                    self.fregs[di.d.index()].to_bits()
                 } else {
-                    self.read_reg(s) as u64
+                    self.read_reg(di.d) as u64
                 };
-                self.mem.write_le(ea, raw, width.bytes());
-                t.mem = Some(MemRef {
-                    vaddr: ea,
-                    kind: AccessKind::Store,
-                    width,
-                    base_reg: base,
-                    index_reg,
-                    offset: addr.displacement(),
-                });
-                if let AddrMode::PostInc { base, step } = addr {
-                    let nv = self.read_reg(base).wrapping_add(step as i64);
-                    self.write_reg(base, nv);
-                    if !base.is_zero() {
-                        t.aux_dest = Some(base);
-                    }
+                self.mem.write_le(ea, raw, di.width.bytes());
+                if let Some(m) = t.mem.as_mut() {
+                    m.vaddr = ea;
+                }
+                if di.mode == AddrKind::PostInc {
+                    let nv = self.read_reg(di.a).wrapping_add(di.imm);
+                    self.write_reg(di.a, nv);
                 }
             }
-            Inst::Branch { cond, a, b, target } => {
-                t.class = OpClass::Branch;
-                Self::push_src(&mut t, a);
-                Self::push_src(&mut t, b);
-                let taken = cond.holds(self.read_reg(a), self.read_reg(b));
+            Handler::Branch => {
+                let taken = di.cond.holds(self.read_reg(di.a), self.read_reg(di.b));
                 if taken {
-                    next_pc = target;
+                    next_pc = di.target;
                 }
-                t.branch = Some(BranchRec {
-                    taken,
-                    target,
-                    conditional: true,
-                });
+                if let Some(b) = t.branch.as_mut() {
+                    b.taken = taken;
+                }
             }
-            Inst::Jump { target } => {
-                t.class = OpClass::Branch;
-                next_pc = target;
-                t.branch = Some(BranchRec {
-                    taken: true,
-                    target,
-                    conditional: false,
-                });
+            Handler::Jump => {
+                next_pc = di.target;
             }
         }
 
@@ -295,6 +223,7 @@ impl Machine {
         self.serial += 1;
         Some(t)
     }
+    // hbat-lint: cold
 
     /// Runs until halt or `max_steps`, feeding each record to `sink`.
     /// Returns the number of instructions executed.
@@ -323,7 +252,9 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::inst::{AluOp, Cond};
+    use crate::inst::{AddrMode, AluOp, Cond, FpuOp, Inst, Operand};
+    use crate::trace::OpClass;
+    use hbat_core::request::{AccessKind, WritebackKind};
 
     fn run_program(insts: Vec<Inst>) -> (Machine, Vec<TraceInst>) {
         let mut m = Machine::new(Program::new(insts).unwrap());

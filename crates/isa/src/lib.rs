@@ -39,9 +39,11 @@ pub mod program;
 pub mod reg;
 pub mod trace;
 pub mod tracefile;
+pub mod uop;
 
 pub use executor::Machine;
 pub use inst::{AddrMode, AluOp, Cond, FpuOp, Inst, Operand, Width};
 pub use program::{Program, ProgramError};
 pub use reg::Reg;
 pub use trace::{BranchRec, MemRef, OpClass, TraceInst};
+pub use uop::{DecodedInst, MicroOp, PredecodedProgram, PredecodedTrace, NO_REG};

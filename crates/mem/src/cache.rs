@@ -144,7 +144,15 @@ impl CacheAccess {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Option<Line>>>,
+    /// All lines in one flat array, `ways` entries per set (set-major):
+    /// one indexed slice per access instead of a nested-vector pointer
+    /// chase — this sits on the engine's per-access hot path.
+    lines: Vec<Option<Line>>,
+    /// `log2(block_bytes)` — block number extraction is a shift, not a
+    /// hardware division by the runtime block size.
+    block_shift: u32,
+    set_mask: usize,
+    tag_shift: u32,
     stats: CacheStats,
     now: Cycle,
     ports_used: usize,
@@ -164,8 +172,11 @@ impl Cache {
         let sets = cfg.sets();
         assert!(sets > 0 && sets.is_power_of_two(), "set count must be 2^k");
         Cache {
+            lines: vec![None; sets * cfg.ways],
+            block_shift: cfg.block_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            tag_shift: sets.trailing_zeros(),
             cfg,
-            sets: vec![vec![None; cfg.ways]; sets],
             stats: CacheStats::default(),
             now: Cycle::ZERO,
             ports_used: 0,
@@ -186,9 +197,8 @@ impl Cache {
     /// Lines still being filled at `now` — the cache's MSHR-equivalent
     /// occupancy, an observability sampling probe.
     pub fn inflight_fills(&self, now: Cycle) -> usize {
-        self.sets
+        self.lines
             .iter()
-            .flatten()
             .flatten()
             .filter(|l| l.ready_at > now)
             .count()
@@ -201,11 +211,13 @@ impl Cache {
         self.ports_used = 0;
     }
 
+    /// Start of the set's way range in `lines`, plus the block tag.
+    #[inline(always)]
     fn index_of(&self, addr: PhysAddr) -> (usize, u64) {
-        let block = addr.0 / self.cfg.block_bytes;
-        let set = (block as usize) & (self.sets.len() - 1);
-        let tag = block >> self.sets.len().trailing_zeros();
-        (set, tag)
+        let block = addr.0 >> self.block_shift;
+        let set = (block as usize) & self.set_mask;
+        let tag = block >> self.tag_shift;
+        (set * self.cfg.ways, tag)
     }
 
     /// Accesses `addr`; `is_store` marks the line dirty.
@@ -217,13 +229,14 @@ impl Cache {
         self.ports_used += 1;
         self.stats.accesses += 1;
         self.lru_counter += 1;
-        let (set, tag) = self.index_of(addr);
+        let (base, tag) = self.index_of(addr);
         let now = self.now;
         let hit_latency = self.cfg.hit_latency;
         let lru_counter = self.lru_counter;
+        let ways = &mut self.lines[base..base + self.cfg.ways];
 
         // Hit (possibly on a block still being filled).
-        if let Some(line) = self.sets[set].iter_mut().flatten().find(|l| l.tag == tag) {
+        if let Some(line) = ways.iter_mut().flatten().find(|l| l.tag == tag) {
             line.dirty |= is_store;
             line.lru_stamp = lru_counter;
             let still_filling = line.ready_at > now;
@@ -242,7 +255,6 @@ impl Cache {
 
         // Miss: pick a victim (invalid way first, then LRU).
         self.stats.misses += 1;
-        let ways = &mut self.sets[set];
         let victim = match ways.iter().position(Option::is_none) {
             Some(i) => i,
             None => ways
@@ -272,15 +284,16 @@ impl Cache {
 
     /// Probes without touching timing, ports, or stats (tests only).
     pub fn contains(&self, addr: PhysAddr) -> bool {
-        let (set, tag) = self.index_of(addr);
-        self.sets[set].iter().flatten().any(|l| l.tag == tag)
+        let (base, tag) = self.index_of(addr);
+        self.lines[base..base + self.cfg.ways]
+            .iter()
+            .flatten()
+            .any(|l| l.tag == tag)
     }
 
     /// Empties the cache (statistics are preserved).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.fill(None);
-        }
+        self.lines.fill(None);
     }
 }
 
