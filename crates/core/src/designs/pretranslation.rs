@@ -106,6 +106,7 @@ impl PretransCache {
                 .min_by_key(|(_, s)| s.map(|e| e.stamp).unwrap_or(0))
                 .map_or(0, |(i, _)| i),
         };
+        // hbat-lint: allow(panic-reach) slot index comes from a position over slots
         self.slots[slot] = Some(entry);
     }
 
@@ -135,6 +136,7 @@ impl PretransCache {
             self.invalidate_reg(dest);
         }
         for i in 0..self.scratch.len() {
+            // hbat-lint: allow(panic-reach) loop bound is the scratch length
             let e = self.scratch[i];
             self.insert(
                 PtcKey {

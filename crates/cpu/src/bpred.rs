@@ -56,6 +56,7 @@ impl BranchPredictor {
 
     /// Predicts the direction of the conditional branch at `pc`.
     pub fn predict(&self, pc: u32) -> bool {
+        // hbat-lint: allow(panic-reach) index masked to the PHT size asserted in new()
         self.pht[self.index(pc)] >= TAKEN_THRESHOLD
     }
 
@@ -63,6 +64,7 @@ impl BranchPredictor {
     /// returns whether the prediction made just before was correct.
     pub fn update(&mut self, pc: u32, taken: bool) -> bool {
         let idx = self.index(pc);
+        // hbat-lint: allow(panic-reach) index masked to the PHT size asserted in new()
         let predicted = self.pht[idx] >= TAKEN_THRESHOLD;
         let ctr = &mut self.pht[idx];
         if taken {

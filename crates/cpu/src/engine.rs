@@ -530,6 +530,10 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
     /// Debug-build invariant check: the three scheduling shortcuts (the
     /// active mask, the completion frontier, the store mirror) must stay
     /// exact images of the full ROB state they summarise.
+    ///
+    /// # Panics
+    /// When a shortcut diverges from the ROB it summarises — the panic
+    /// *is* the check.
     #[cfg(debug_assertions)]
     fn check_shadow_state(&self) {
         let mut mirror = self.stores.iter();
@@ -630,6 +634,10 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
     }
 
     /// The `idx`-th oldest live slot (`idx < rob_len`).
+    ///
+    /// # Panics
+    /// If `idx` names a ring position no [`Self::push_slot`] ever
+    /// touched — a broken live-window invariant.
     #[inline(always)]
     fn slot(&self, idx: usize) -> &Slot<O> {
         debug_assert!(idx < self.rob_len);
@@ -637,6 +645,9 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
     }
 
     /// Mutable access to the `idx`-th oldest live slot.
+    ///
+    /// # Panics
+    /// Same live-window invariant as [`Self::slot`].
     #[inline(always)]
     fn slot_mut(&mut self, idx: usize) -> &mut Slot<O> {
         debug_assert!(idx < self.rob_len);
@@ -646,6 +657,10 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
     /// Appends a slot at the back of the live window (caller guarantees
     /// the window is not full). First touch of a ring position grows the
     /// vector; afterwards the position is overwritten in place.
+    ///
+    /// # Panics
+    /// If the window is already full, the wrapped position skips past
+    /// the vector's end — callers check occupancy first.
     #[inline(always)]
     fn push_slot(&mut self, s: Slot<O>) {
         let pos = (self.front_id as usize).wrapping_add(self.rob_len) & self.rob_mask;
@@ -657,6 +672,11 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
         self.rob_len += 1;
     }
 
+    /// The live slot with ROB id `id`, or `None` when it is not live.
+    ///
+    /// # Panics
+    /// Same live-window invariant as [`Self::slot`]: a live id's ring
+    /// position must have been pushed.
     #[inline(always)]
     fn slot_by_id(&self, id: u64) -> Option<&Slot<O>> {
         if id < self.front_id || id - self.front_id >= self.rob_len as u64 {
@@ -688,11 +708,13 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
     fn schedule_wake(&mut self, id: u64, at: Cycle) {
         debug_assert!(at > self.now, "wake scheduled in the past");
         let at = at.min(self.now + 255);
+        // hbat-lint: allow(panic-reach) index masked to the wheel's fixed 256 buckets
         self.wheel[(at.0 & 255) as usize] |= 1u128 << ((id & 127) as u32);
     }
 
     /// Wakes every slot whose wheel bucket matured this cycle.
     fn drain_wheel(&mut self) {
+        // hbat-lint: allow(panic-reach) index masked to the wheel's fixed 256 buckets
         let mut bucket = std::mem::replace(&mut self.wheel[(self.now.0 & 255) as usize], 0);
         if (self.asleep | self.walk_sleepers) == 0 {
             // Nothing is asleep: the bucket holds only stale bits from
@@ -742,6 +764,10 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
     /// Adds `consumer_id` to the producer's waiter list. Returns false
     /// (caller must stay awake and poll) if the list is full or the
     /// producer is not a live slot.
+    ///
+    /// # Panics
+    /// Same live-window invariant as [`Self::slot`]: a live producer's
+    /// ring position must have been pushed.
     #[inline(always)]
     fn register_waiter(&mut self, producer_id: u64, consumer_id: u64, kind: WaiterKind) -> bool {
         if producer_id < self.front_id || producer_id - self.front_id >= self.rob_len as u64 {
@@ -783,6 +809,10 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
     /// `Translated`. Address-event waiters wake now, post-increment
     /// waiters at the (just fixed) writeback time; value waiters keep
     /// waiting for completion.
+    ///
+    /// # Panics
+    /// If a slot reports more than `MAX_WAITERS` waiters — the count is
+    /// capped at registration, so this is a corrupted slot.
     #[inline(always)]
     fn on_translated(&mut self, idx: usize) {
         if !self.sleep_enabled() || self.slot(idx).n_waiters == 0 {
@@ -813,6 +843,9 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
     /// Producer transition hook: `rob[idx]` just completed with result
     /// time `finish`. Value (and post-increment) waiters wake when the
     /// result is readable; event waiters wake within this pass.
+    ///
+    /// # Panics
+    /// Same capped-waiter-count invariant as [`Self::on_translated`].
     #[inline(always)]
     fn on_completed(&mut self, idx: usize, finish: Cycle) {
         if !self.sleep_enabled() || self.slot(idx).n_waiters == 0 {
@@ -901,6 +934,7 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
             let slot = self.slot_mut(idx);
             for i in 0..3 {
                 if prune & (1 << i) != 0 {
+                    // hbat-lint: allow(panic-reach) producers is a fixed 3-element array
                     slot.producers[i] = PROD_NONE;
                 }
             }
@@ -971,6 +1005,7 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
         // Squashed ids will be recycled: pull the completion frontier
         // back so it never vouches for a dead id's successor.
         self.done_through = self.done_through.min(branch_id + 1);
+        // hbat-lint: allow(panic-reach) epoch presence checked at fn entry
         let epoch = self.spec.take().expect("epoch checked above");
         self.rename = epoch.rename_snapshot;
         // Squashed ids are recycled so ROB slot ids stay contiguous (the
@@ -985,6 +1020,12 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
 
     // ---- commit stage ---------------------------------------------------
 
+    /// Retires completed slots in program order, charging commit-port
+    /// and store-port limits.
+    ///
+    /// # Panics
+    /// If a committing store is missing from the store mirror — the
+    /// mirror tracks every live store by construction.
     fn commit(&mut self) -> bool {
         let mut n = 0;
         while n < self.cfg.width {
@@ -1151,6 +1192,10 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
     }
 
     /// Address generation + translation for a load or store.
+    ///
+    /// # Panics
+    /// If a walk latency overflows `u32` (cycle arithmetic gone wrong)
+    /// or a translated store is missing from the store mirror.
     fn try_issue_mem(&mut self, idx: usize) -> bool {
         let (serial, phantom, t) = {
             let s = self.slot(idx);
@@ -1280,6 +1325,10 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
 
     /// Phase 2: complete a translated load (cache or forward) or store
     /// (data ready). Returns true on completion.
+    ///
+    /// # Panics
+    /// If called on a non-memory op, or a completing store is missing
+    /// from the store mirror.
     fn try_complete_mem(&mut self, idx: usize) -> bool {
         // A deferred TLB-miss walk starts only once every older
         // instruction has completed; dispatch stays stalled meanwhile. A
@@ -1438,6 +1487,12 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
         }
     }
 
+    /// Feeds queued register writebacks (older than `up_to_serial`) to
+    /// the translator's attachment tracker in program order.
+    ///
+    /// # Panics
+    /// The front pop and the source-register copy are bounds-checked by
+    /// construction; a panic means a corrupted writeback record.
     fn drain_writebacks(&mut self, up_to_serial: u64) {
         while self
             .pending_wb
@@ -1458,6 +1513,13 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
 
     // ---- fetch/dispatch stage --------------------------------------------
 
+    /// Fetches up to one dispatch group from the trace (committed or
+    /// phantom stream) and enqueues it.
+    ///
+    /// # Panics
+    /// If the fetch pointer escapes the trace slice, or phantom mode is
+    /// entered without a speculation epoch — both broken fetch
+    /// invariants.
     fn dispatch(&mut self) -> bool {
         if self.now < self.fetch_stall_until
             || self.now < self.dispatch_stall_until
@@ -1587,6 +1649,11 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
 
     /// Allocates a ROB slot for `t`, recording producers and updating the
     /// rename map and the pretranslation writeback queue.
+    ///
+    /// # Panics
+    /// If `ptr` is outside the trace slice or an operand register code
+    /// exceeds the rename map — both broken trace invariants.
+    ///
     /// Force-inlined into its single call site (the dispatch loop):
     /// out-of-line, every call marshals the op record by value and the
     /// slot is built on the stack before being copied into the ring.

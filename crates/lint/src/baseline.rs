@@ -41,14 +41,22 @@ pub fn render(findings: &[Diagnostic]) -> String {
     out
 }
 
-/// Marks each finding as new (`true`) or baselined (`false`), consuming
+/// The two directions of baseline drift: findings not covered by the
+/// baseline (added) and baseline entries no longer produced (stale).
+pub struct Drift {
+    /// Each finding, marked new (`true`) or baselined (`false`).
+    pub marked: Vec<(Diagnostic, bool)>,
+    /// Baseline keys with unconsumed tolerance, one entry per leftover
+    /// occurrence (sorted — a key tolerated twice but hit once appears
+    /// once here).
+    pub stale: Vec<String>,
+}
+
+/// Diffs findings against the baseline in both directions, consuming
 /// baseline counts so N tolerated occurrences cover only N findings.
-pub fn mark_new(
-    findings: Vec<Diagnostic>,
-    baseline: &BTreeMap<String, usize>,
-) -> Vec<(Diagnostic, bool)> {
+pub fn diff(findings: Vec<Diagnostic>, baseline: &BTreeMap<String, usize>) -> Drift {
     let mut remaining = baseline.clone();
-    findings
+    let marked = findings
         .into_iter()
         .map(|d| {
             let key = d.baseline_key();
@@ -61,7 +69,23 @@ pub fn mark_new(
             };
             (d, is_new)
         })
-        .collect()
+        .collect();
+    let mut stale = Vec::new();
+    for (key, n) in remaining {
+        for _ in 0..n {
+            stale.push(key.clone());
+        }
+    }
+    Drift { marked, stale }
+}
+
+/// Marks each finding as new (`true`) or baselined (`false`); see
+/// [`diff`] for the two-directional report.
+pub fn mark_new(
+    findings: Vec<Diagnostic>,
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<(Diagnostic, bool)> {
+    diff(findings, baseline).marked
 }
 
 #[cfg(test)]
@@ -98,5 +122,51 @@ mod tests {
     fn comments_and_blanks_ignored() {
         let base = parse("# header\n\nR3|a.rs|m\n");
         assert_eq!(base.len(), 1);
+    }
+
+    #[test]
+    fn render_is_identical_for_any_input_order() {
+        let findings: Vec<Diagnostic> = (0..16)
+            .map(|i| {
+                diag(
+                    &format!("crates/x/src/f{}.rs", i % 7),
+                    &format!("m{}", i % 5),
+                )
+            })
+            .collect();
+        let golden = render(&findings);
+        // Fisher–Yates with a fixed-seed LCG: several genuinely shuffled
+        // permutations, reproducible across runs.
+        let mut state = 0x9e37_79b9_u64;
+        let mut shuffled = findings;
+        for _ in 0..8 {
+            for i in (1..shuffled.len()).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                shuffled.swap(i, j);
+            }
+            assert_eq!(
+                render(&shuffled),
+                golden,
+                "baseline text depends on input order"
+            );
+        }
+    }
+
+    #[test]
+    fn drift_reports_stale_entries_with_multiplicity() {
+        let base = parse(&render(&[
+            diag("a.rs", "m"),
+            diag("a.rs", "m"),
+            diag("b.rs", "gone"),
+        ]));
+        let drift = diff(vec![diag("a.rs", "m")], &base);
+        assert!(drift.marked.iter().all(|(_, n)| !n));
+        assert_eq!(
+            drift.stale,
+            vec!["R3|a.rs|m".to_string(), "R3|b.rs|gone".to_string()]
+        );
     }
 }

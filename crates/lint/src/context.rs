@@ -59,9 +59,19 @@ impl FileContext {
 
     /// Is `rule` suppressed for the token at `idx` (line or region)?
     pub fn allowed(&self, idx: usize, line: u32, rule: Rule) -> bool {
+        self.allow_mask_at(idx, line) & rule.bit() != 0
+    }
+
+    /// The combined (region | line) suppression mask for a token.
+    pub fn allow_mask_at(&self, idx: usize, line: u32) -> u8 {
         let region = self.flags.get(idx).map(|f| f.allow_mask).unwrap_or(0);
         let by_line = self.line_allows.get(&line).copied().unwrap_or(0);
-        (region | by_line) & rule.bit() != 0
+        region | by_line
+    }
+
+    /// Inclusive hot line ranges of the file.
+    pub fn hot_ranges(&self) -> &[(u32, u32)] {
+        &self.hot
     }
 
     /// Computes the context of a lexed file.

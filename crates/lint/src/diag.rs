@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// The four repo-specific rules.
+/// The six repo-specific rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: bit-determinism — no hash-order-dependent output, no wall
@@ -16,15 +16,30 @@ pub enum Rule {
     /// R4: every item imported from a shimmed crate must exist in the
     /// shim's source.
     ShimDrift,
+    /// R5: interprocedural hot propagation — allocation APIs in any
+    /// function transitively reachable from a `hbat-lint: hot` region,
+    /// across files and crates.
+    HotProp,
+    /// R6: panic reachability — `panic!`/`unwrap`/`expect`/computed
+    /// indexing in any function transitively reachable from the engine
+    /// hot entry points (`Engine::run`, `Machine::step`).
+    PanicReach,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 4] = [
+pub const ALL_RULES: [Rule; 6] = [
     Rule::Determinism,
     Rule::HotPath,
     Rule::PanicPolicy,
     Rule::ShimDrift,
+    Rule::HotProp,
+    Rule::PanicReach,
 ];
+
+/// Bitmask with every rule enabled.
+pub fn all_rules_mask() -> u8 {
+    ALL_RULES.iter().map(|r| r.bit()).fold(0, |a, b| a | b)
+}
 
 impl Rule {
     /// Short code used in output and baselines.
@@ -34,6 +49,8 @@ impl Rule {
             Rule::HotPath => "R2",
             Rule::PanicPolicy => "R3",
             Rule::ShimDrift => "R4",
+            Rule::HotProp => "R5",
+            Rule::PanicReach => "R6",
         }
     }
 
@@ -44,6 +61,8 @@ impl Rule {
             Rule::HotPath => "hot",
             Rule::PanicPolicy => "panic",
             Rule::ShimDrift => "shims",
+            Rule::HotProp => "hot-prop",
+            Rule::PanicReach => "panic-reach",
         }
     }
 
@@ -54,6 +73,8 @@ impl Rule {
             Rule::HotPath => 1 << 1,
             Rule::PanicPolicy => 1 << 2,
             Rule::ShimDrift => 1 << 3,
+            Rule::HotProp => 1 << 4,
+            Rule::PanicReach => 1 << 5,
         }
     }
 
@@ -106,7 +127,7 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Escapes a string for JSON output.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -163,7 +184,9 @@ mod tests {
         assert_eq!(Rule::parse_mask("determinism"), Some(1));
         assert_eq!(Rule::parse_mask("R3"), Some(4));
         assert_eq!(Rule::parse_mask("r2"), Some(2));
-        assert_eq!(Rule::parse_mask("all"), Some(0b1111));
+        assert_eq!(Rule::parse_mask("hot-prop"), Some(1 << 4));
+        assert_eq!(Rule::parse_mask("R6"), Some(1 << 5));
+        assert_eq!(Rule::parse_mask("all"), Some(0b11_1111));
         assert_eq!(Rule::parse_mask("bogus"), None);
     }
 

@@ -1,0 +1,755 @@
+//! The workspace call graph: nodes are parsed function definitions,
+//! edges are call sites resolved with a pragmatic name-resolution
+//! heuristic.
+//!
+//! Resolution order for a path call `foo(…)` (see DESIGN.md § 12 for
+//! the rationale and known ambiguity cases):
+//!
+//! 1. **Same module** — a definition with that name in the caller's own
+//!    module (same crate, same module path);
+//! 2. **Imports** — the caller file's `use` map; an import whose first
+//!    segment is not a workspace crate (std, shims, externals) resolves
+//!    to "external" and stops the search;
+//! 3. **Qualified paths** — `Type::method` / `module::f` filter by the
+//!    written qualifier against impl-type names, module tails, and
+//!    crate names;
+//! 4. **Unique name** — a bare name defined exactly once in the whole
+//!    workspace resolves to that definition;
+//! 5. Anything with several surviving candidates lands in the explicit
+//!    `ambiguous` bucket, which is *reported*, never silently dropped.
+//!
+//! Method calls `recv.foo(…)` resolve through `self` receivers (same
+//! impl type), then unique method name in the workspace — except for
+//! names on the std-method denylist (`push`, `get`, `len`, …), which
+//! are overwhelmingly standard-library calls and would otherwise draw
+//! false edges from every container touch.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parse::{Callee, FileInfo};
+
+/// Method names that are almost always std/core calls; a workspace
+/// method with one of these names never captures dot-call edges (it can
+/// still be reached through `Type::name(…)` qualified calls).
+const STD_METHOD_DENYLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "fmt",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "try_into",
+    "try_from",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "len",
+    "is_empty",
+    "clear",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok_or",
+    "ok_or_else",
+    "filter",
+    "collect",
+    "extend",
+    "drain",
+    "keys",
+    "values",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "binary_search",
+    "split",
+    "join",
+    "parse",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "min",
+    "max",
+    "abs",
+    "take",
+    "replace",
+    "swap",
+    "resize",
+    "reserve",
+    "truncate",
+    "last",
+    "first",
+    "count",
+    "sum",
+    "any",
+    "all",
+    "find",
+    "position",
+    "zip",
+    "rev",
+    "enumerate",
+    "chain",
+    "flat_map",
+    "fold",
+    "retain",
+    "entry",
+    "or_insert",
+    "or_default",
+    "write",
+    "read",
+    "flush",
+    "lock",
+    "send",
+    "recv",
+    "load",
+    "store",
+    "fetch_add",
+    "wrapping_add",
+    "wrapping_sub",
+    "wrapping_mul",
+    "saturating_add",
+    "saturating_sub",
+    "checked_add",
+    "checked_sub",
+    "checked_mul",
+    "checked_div",
+    "min_by_key",
+    "max_by_key",
+    "copy_from_slice",
+    "fill",
+    "windows",
+    "chunks",
+];
+
+/// One unresolved call with several surviving candidates.
+#[derive(Debug, Clone)]
+pub struct Ambiguity {
+    /// Caller node index.
+    pub caller: usize,
+    /// The name as written at the call site.
+    pub written: String,
+    pub line: u32,
+    /// Candidate node indices (sorted).
+    pub candidates: Vec<usize>,
+}
+
+/// The resolved workspace call graph over `files[*].fns`.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Flat node list: `nodes[i]` is `(file index, fn index)` into the
+    /// parsed workspace.
+    pub nodes: Vec<(usize, usize)>,
+    /// `(caller, callee, call-site line)`, sorted and deduped.
+    pub edges: Vec<(usize, usize, u32)>,
+    /// Calls with more than one surviving candidate.
+    pub ambiguous: Vec<Ambiguity>,
+    /// caller → callees adjacency (indices into `nodes`).
+    adj: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Successor node indices of `n`.
+    pub fn callees(&self, n: usize) -> &[usize] {
+        &self.adj[n]
+    }
+
+    /// Breadth-first reachable set from `seeds` (seeds included), with
+    /// a parent map for witness paths.
+    pub fn reach(&self, seeds: &[usize]) -> (BTreeSet<usize>, BTreeMap<usize, usize>) {
+        let mut seen: BTreeSet<usize> = seeds.iter().copied().collect();
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut frontier: Vec<usize> = seeds.to_vec();
+        while let Some(n) = frontier.pop() {
+            for &m in self.callees(n) {
+                if seen.insert(m) {
+                    parent.insert(m, n);
+                    frontier.push(m);
+                }
+            }
+        }
+        (seen, parent)
+    }
+
+    /// Witness chain `seed → … → n` as fn ids, using a parent map.
+    pub fn chain(&self, files: &[FileInfo], parent: &BTreeMap<usize, usize>, n: usize) -> String {
+        let mut names = vec![self.fn_name(files, n)];
+        let mut cur = n;
+        while let Some(&p) = parent.get(&cur) {
+            names.push(self.fn_name(files, p));
+            cur = p;
+            if names.len() > 12 {
+                names.push("…".to_string());
+                break;
+            }
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+
+    /// Short display name (`Type::name` or `name`) of a node.
+    pub fn fn_name(&self, files: &[FileInfo], n: usize) -> String {
+        let (fi, di) = self.nodes[n];
+        let f = &files[fi].fns[di];
+        match &f.qualifier {
+            Some(q) => format!("{q}::{}", f.name),
+            None => f.name.clone(),
+        }
+    }
+
+    /// Full id of a node.
+    pub fn fn_id(&self, files: &[FileInfo], n: usize) -> String {
+        let (fi, di) = self.nodes[n];
+        files[fi].fns[di].id()
+    }
+}
+
+/// Builds the call graph over a parsed workspace.
+pub fn build(files: &[FileInfo]) -> CallGraph {
+    let mut g = CallGraph::default();
+    // Node index and lookup tables.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (di, f) in file.fns.iter().enumerate() {
+            let n = g.nodes.len();
+            g.nodes.push((fi, di));
+            by_name.entry(&f.name).or_default().push(n);
+            if f.qualifier.is_some() {
+                methods.entry(&f.name).or_default().push(n);
+            }
+        }
+    }
+    let def = |g: &CallGraph, n: usize| -> &crate::parse::FnDef {
+        let (fi, di) = g.nodes[n];
+        &files[fi].fns[di]
+    };
+
+    let mut edges: BTreeSet<(usize, usize, u32)> = BTreeSet::new();
+    for caller in 0..g.nodes.len() {
+        let (fi, _) = g.nodes[caller];
+        let file = &files[fi];
+        let caller_def = def(&g, caller);
+        for call in &caller_def.calls {
+            let resolved: Result<Option<usize>, Vec<usize>> = match &call.callee {
+                Callee::Method { name, on_self } => resolve_method(
+                    &g,
+                    &methods,
+                    name,
+                    *on_self,
+                    caller_def.qualifier.as_deref(),
+                    |n| def(&g, n),
+                ),
+                Callee::Path(segs) => {
+                    resolve_path(&g, &by_name, file, caller_def, segs, |n| def(&g, n))
+                }
+            };
+            match resolved {
+                Ok(Some(callee)) => {
+                    edges.insert((caller, callee, call.line));
+                }
+                Ok(None) => {} // external — no edge
+                Err(candidates) => {
+                    let written = match &call.callee {
+                        Callee::Method { name, .. } => format!(".{name}()"),
+                        Callee::Path(segs) => segs.join("::"),
+                    };
+                    g.ambiguous.push(Ambiguity {
+                        caller,
+                        written,
+                        line: call.line,
+                        candidates,
+                    });
+                }
+            }
+        }
+    }
+    g.edges = edges.into_iter().collect();
+    g.adj = vec![Vec::new(); g.nodes.len()];
+    for &(a, b, _) in &g.edges {
+        if g.adj[a].last() != Some(&b) {
+            g.adj[a].push(b);
+        }
+    }
+    g.ambiguous
+        .sort_by(|a, b| (a.caller, a.line, &a.written).cmp(&(b.caller, b.line, &b.written)));
+    g
+}
+
+/// `Ok(Some(n))` resolved, `Ok(None)` external, `Err(cands)` ambiguous.
+type Resolution = Result<Option<usize>, Vec<usize>>;
+
+fn resolve_method<'a>(
+    _g: &CallGraph,
+    methods: &BTreeMap<&str, Vec<usize>>,
+    name: &str,
+    on_self: bool,
+    caller_qualifier: Option<&str>,
+    def: impl Fn(usize) -> &'a crate::parse::FnDef,
+) -> Resolution {
+    let Some(cands) = methods.get(name) else {
+        return Ok(None);
+    };
+    // `self.foo()` inside `impl Q`: a method `foo` on `Q` wins outright.
+    if on_self {
+        if let Some(q) = caller_qualifier {
+            let same: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&n| def(n).qualifier.as_deref() == Some(q))
+                .collect();
+            if same.len() == 1 {
+                return Ok(Some(same[0]));
+            }
+        }
+    }
+    if STD_METHOD_DENYLIST.contains(&name) {
+        return Ok(None);
+    }
+    match cands.as_slice() {
+        [] => Ok(None),
+        [one] => Ok(Some(*one)),
+        many => Err(many.to_vec()),
+    }
+}
+
+fn resolve_path<'a>(
+    _g: &CallGraph,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    file: &FileInfo,
+    caller: &crate::parse::FnDef,
+    segs: &[String],
+    def: impl Fn(usize) -> &'a crate::parse::FnDef,
+) -> Resolution {
+    let Some(name) = segs.last() else {
+        return Ok(None);
+    };
+    let Some(cands) = by_name.get(name.as_str()) else {
+        return Ok(None);
+    };
+
+    // Expand the written path through the import map: `Cache::probe(…)`
+    // with `use hbat_mem::cache::Cache;` becomes
+    // `hbat_mem::cache::Cache::probe`. `crate`/`self`/`super` heads are
+    // rewritten relative to the caller.
+    let mut full: Vec<String> = Vec::new();
+    match segs[0].as_str() {
+        "crate" => {
+            full.push(caller.crate_name.clone());
+            full.extend(segs[1..].iter().cloned());
+        }
+        "self" => {
+            full.push(caller.crate_name.clone());
+            full.extend(caller.module.iter().cloned());
+            full.extend(segs[1..].iter().cloned());
+        }
+        "super" => {
+            full.push(caller.crate_name.clone());
+            let up = caller.module.len().saturating_sub(1);
+            full.extend(caller.module[..up].iter().cloned());
+            full.extend(segs[1..].iter().cloned());
+        }
+        head => match file.imports.get(head) {
+            Some(path) => {
+                full.extend(path.iter().cloned());
+                full.extend(segs[1..].iter().cloned());
+            }
+            None => full.extend(segs.iter().cloned()),
+        },
+    }
+
+    // An import that leads into std/core is external, full stop.
+    if full.len() > 1 {
+        if let Some(head) = full.first() {
+            if matches!(head.as_str(), "std" | "core" | "alloc") {
+                return Ok(None);
+            }
+        }
+    }
+
+    // Qualified call: filter candidates by the written qualifier — an
+    // impl type name, a module tail, or a crate name.
+    if full.len() >= 2 {
+        let quals = &full[..full.len() - 1];
+        let filtered: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&n| qualifier_matches(def(n), quals))
+            .collect();
+        match filtered.as_slice() {
+            [] => {
+                // A fully-qualified path that matches nothing in the
+                // workspace is an external call (std type methods,
+                // shim items, enum variant constructors).
+                return Ok(None);
+            }
+            [one] => return Ok(Some(*one)),
+            many => {
+                // Prefer the caller's own crate, then its module.
+                let near: Vec<usize> = many
+                    .iter()
+                    .copied()
+                    .filter(|&n| def(n).crate_name == caller.crate_name)
+                    .collect();
+                if near.len() == 1 {
+                    return Ok(Some(near[0]));
+                }
+                return Err(many.to_vec());
+            }
+        }
+    }
+
+    // Bare name: same module first.
+    let same_module: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&n| {
+            let d = def(n);
+            d.crate_name == caller.crate_name && d.module == caller.module
+        })
+        .collect();
+    // Inside an impl block, a bare sibling name never refers to a
+    // method (methods need `self.`/`Self::`); prefer free functions.
+    let free_same_module: Vec<usize> = same_module
+        .iter()
+        .copied()
+        .filter(|&n| def(n).qualifier.is_none())
+        .collect();
+    match free_same_module.as_slice() {
+        [one] => return Ok(Some(*one)),
+        [] => {}
+        many => return Err(many.to_vec()),
+    }
+
+    // Unique free name in the workspace.
+    let free: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&n| def(n).qualifier.is_none())
+        .collect();
+    match free.as_slice() {
+        [] => Ok(None),
+        [one] => Ok(Some(*one)),
+        many => Err(many.to_vec()),
+    }
+}
+
+/// Does a definition match the written qualifier segments? The last
+/// written qualifier must equal the impl type (for methods) or the last
+/// module segment (for free fns); earlier segments must appear, in
+/// order, in the def's crate+module path.
+fn qualifier_matches(def: &crate::parse::FnDef, quals: &[String]) -> bool {
+    let Some(last) = quals.last() else {
+        return true;
+    };
+    let mut path: Vec<&str> = vec![def.crate_name.as_str()];
+    path.extend(def.module.iter().map(String::as_str));
+    let tail_matches = |upto: &[&str], written: &[String]| -> bool {
+        // every written segment (minus crate heads) appears in order
+        let mut it = upto.iter();
+        written
+            .iter()
+            .all(|w| it.any(|p| *p == w.as_str() || format!("hbat_{w}") == *p))
+    };
+    match &def.qualifier {
+        Some(q) => {
+            // `Type::method` or `module::Type::method`.
+            q == last && tail_matches(&path, &quals[..quals.len() - 1])
+        }
+        None => {
+            // `module::f` / `crate_name::f`.
+            (path.last() == Some(&last.as_str())
+                || path.contains(&last.as_str())
+                || format!("hbat_{last}") == def.crate_name)
+                && tail_matches(&path, &quals[..quals.len() - 1])
+        }
+    }
+}
+
+/// Renders the call graph, hot set, panic-reachable set, and ambiguity
+/// bucket as a JSON document (the `--graph` CLI mode and CI artifact).
+pub fn render_graph_json(
+    files: &[FileInfo],
+    g: &CallGraph,
+    p: &crate::propagate::Propagation,
+) -> String {
+    use crate::diag::json_escape as esc;
+    use std::collections::BTreeSet;
+
+    let hot: BTreeSet<usize> = p.hot.iter().copied().collect();
+    let reach: BTreeSet<usize> = p.panic_reachable.iter().copied().collect();
+    let crates: BTreeSet<&str> = files.iter().map(|f| f.crate_name.as_str()).collect();
+
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"crates\": [");
+    for (i, c) in crates.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&esc(c));
+    }
+    out.push_str("],\n  \"nodes\": [\n");
+    for (n, &(fi, di)) in g.nodes.iter().enumerate() {
+        let f = &files[fi].fns[di];
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"file\": {}, \"line\": {}, \"crate\": {}, \"hot\": {}, \
+             \"panic_reachable\": {}}}{}\n",
+            esc(&f.id()),
+            esc(&f.file),
+            f.line,
+            esc(&f.crate_name),
+            hot.contains(&n),
+            reach.contains(&n),
+            if n + 1 < g.nodes.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"edges\": [\n");
+    for (i, &(a, b, line)) in g.edges.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"from\": {}, \"to\": {}, \"line\": {}}}{}\n",
+            esc(&g.fn_id(files, a)),
+            esc(&g.fn_id(files, b)),
+            line,
+            if i + 1 < g.edges.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"hot\": [\n");
+    for (i, &n) in p.hot.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}{}\n",
+            esc(&g.fn_id(files, n)),
+            if i + 1 < p.hot.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"panic_reachable\": [\n");
+    for (i, &n) in p.panic_reachable.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}{}\n",
+            esc(&g.fn_id(files, n)),
+            if i + 1 < p.panic_reachable.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ],\n  \"ambiguous\": [\n");
+    for (i, amb) in g.ambiguous.iter().enumerate() {
+        let cands: Vec<String> = amb
+            .candidates
+            .iter()
+            .map(|&c| esc(&g.fn_id(files, c)))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"caller\": {}, \"written\": {}, \"line\": {}, \"candidates\": [{}]}}{}\n",
+            esc(&g.fn_id(files, amb.caller)),
+            esc(&amb.written),
+            amb.line,
+            cands.join(", "),
+            if i + 1 < g.ambiguous.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"counts\": {{\"nodes\": {}, \"edges\": {}, \"hot\": {}, \
+         \"panic_reachable\": {}, \"ambiguous\": {}}}\n}}",
+        g.nodes.len(),
+        g.edges.len(),
+        p.hot.len(),
+        p.panic_reachable.len(),
+        g.ambiguous.len(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_workspace;
+
+    fn ws(files: &[(&str, &str)]) -> (Vec<FileInfo>, CallGraph) {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        let parsed = parse_workspace(&owned);
+        let g = build(&parsed);
+        (parsed, g)
+    }
+
+    fn edge_ids(files: &[FileInfo], g: &CallGraph) -> Vec<(String, String)> {
+        g.edges
+            .iter()
+            .map(|&(a, b, _)| (g.fn_id(files, a), g.fn_id(files, b)))
+            .collect()
+    }
+
+    #[test]
+    fn same_module_resolution_wins() {
+        let (files, g) = ws(&[("crates/cpu/src/x.rs", "fn a() { b(); }\nfn b() {}\n")]);
+        assert_eq!(
+            edge_ids(&files, &g),
+            vec![("hbat_cpu::x::a".to_string(), "hbat_cpu::x::b".to_string())]
+        );
+    }
+
+    #[test]
+    fn import_resolution_crosses_crates() {
+        let (files, g) = ws(&[
+            (
+                "crates/cpu/src/engine.rs",
+                "use hbat_mem::probe_cache;\nfn step() { probe_cache(); }\n",
+            ),
+            ("crates/mem/src/lib.rs", "pub fn probe_cache() {}\n"),
+        ]);
+        assert_eq!(
+            edge_ids(&files, &g),
+            vec![(
+                "hbat_cpu::engine::step".to_string(),
+                "hbat_mem::probe_cache".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn std_imports_are_external() {
+        let (_, g) = ws(&[
+            (
+                "crates/cpu/src/x.rs",
+                "use std::cmp::min;\nfn f() { min(1, 2); }\n",
+            ),
+            ("crates/mem/src/lib.rs", "pub fn min() {}\n"),
+        ]);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn unique_name_fallback() {
+        let (files, g) = ws(&[
+            ("crates/cpu/src/x.rs", "fn f() { helper_unique(); }\n"),
+            ("crates/mem/src/y.rs", "pub fn helper_unique() {}\n"),
+        ]);
+        assert_eq!(
+            edge_ids(&files, &g),
+            vec![(
+                "hbat_cpu::x::f".to_string(),
+                "hbat_mem::y::helper_unique".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn duplicate_bare_names_are_ambiguous_not_dropped() {
+        let (_, g) = ws(&[
+            ("crates/cpu/src/x.rs", "fn f() { dup(); }\n"),
+            ("crates/mem/src/y.rs", "pub fn dup() {}\n"),
+            ("crates/core/src/z.rs", "pub fn dup() {}\n"),
+        ]);
+        assert!(g.edges.is_empty());
+        assert_eq!(g.ambiguous.len(), 1);
+        assert_eq!(g.ambiguous[0].written, "dup");
+        assert_eq!(g.ambiguous[0].candidates.len(), 2);
+    }
+
+    #[test]
+    fn qualified_type_method_resolution() {
+        let (files, g) = ws(&[
+            (
+                "crates/cpu/src/x.rs",
+                "use hbat_mem::Cache;\nfn f() { Cache::probe(); }\n",
+            ),
+            (
+                "crates/mem/src/lib.rs",
+                "pub struct Cache;\nimpl Cache { pub fn probe() {} }\n",
+            ),
+        ]);
+        assert_eq!(
+            edge_ids(&files, &g),
+            vec![(
+                "hbat_cpu::x::f".to_string(),
+                "hbat_mem::Cache::probe".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn self_method_call_resolves_within_impl() {
+        let (files, g) = ws(&[(
+            "crates/cpu/src/x.rs",
+            "struct S;\nimpl S { fn a(&self) { self.b(); } fn b(&self) {} }\n",
+        )]);
+        assert_eq!(
+            edge_ids(&files, &g),
+            vec![(
+                "hbat_cpu::x::S::a".to_string(),
+                "hbat_cpu::x::S::b".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn denylisted_method_names_draw_no_edges() {
+        let (_, g) = ws(&[
+            (
+                "crates/cpu/src/x.rs",
+                "fn f(v: &mut Vec<u32>) { v.push(1); }\n",
+            ),
+            (
+                "crates/mem/src/lib.rs",
+                "pub struct Q;\nimpl Q { pub fn push(&mut self, x: u32) {} }\n",
+            ),
+        ]);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn unique_method_name_resolves() {
+        let (files, g) = ws(&[
+            (
+                "crates/cpu/src/x.rs",
+                "fn f(c: &Cache) { c.probe_line(0); }\n",
+            ),
+            (
+                "crates/mem/src/lib.rs",
+                "pub struct Cache;\nimpl Cache { pub fn probe_line(&self, a: u64) {} }\n",
+            ),
+        ]);
+        assert_eq!(
+            edge_ids(&files, &g),
+            vec![(
+                "hbat_cpu::x::f".to_string(),
+                "hbat_mem::Cache::probe_line".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn reach_and_chain() {
+        let (files, g) = ws(&[(
+            "crates/cpu/src/x.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn lonely() {}\n",
+        )]);
+        let a = (0..g.nodes.len())
+            .find(|&n| g.fn_name(&files, n) == "a")
+            .unwrap();
+        let (seen, parent) = g.reach(&[a]);
+        assert_eq!(seen.len(), 3);
+        let c = (0..g.nodes.len())
+            .find(|&n| g.fn_name(&files, n) == "c")
+            .unwrap();
+        assert_eq!(g.chain(&files, &parent, c), "a -> b -> c");
+    }
+}

@@ -237,7 +237,14 @@ impl<'a> Lexer<'a> {
         self.i += 1; // opening quote
         while self.i < self.s.len() {
             match self.s[self.i] {
-                b'\\' => self.i += 2,
+                b'\\' => {
+                    // A line continuation (`\` before a newline) still
+                    // ends a source line.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
                 b'"' => {
                     self.i += 1;
                     break;
@@ -314,6 +321,11 @@ impl<'a> Lexer<'a> {
         let line = self.line;
         self.i += 1; // opening quote
         if self.peek(0) == Some(b'\\') {
+            if self.peek(1) == Some(b'\n') {
+                // Invalid Rust, but arbitrary input must keep the line
+                // count honest.
+                self.line += 1;
+            }
             self.i += 2; // backslash + escape head (n, t, ', \, x, u, …)
             if self.s.get(self.i - 1) == Some(&b'u') && self.peek(0) == Some(b'{') {
                 while self.i < self.s.len() && self.s[self.i] != b'}' {
@@ -324,7 +336,11 @@ impl<'a> Lexer<'a> {
                 self.i += 2; // two hex digits
             }
         } else {
-            // One (possibly multi-byte) character.
+            // One (possibly multi-byte) character; a raw newline here is
+            // invalid Rust but must still advance the line count.
+            if self.peek(0) == Some(b'\n') {
+                self.line += 1;
+            }
             self.i += 1;
             while self.i < self.s.len() && (self.s[self.i] & 0xC0) == 0x80 {
                 self.i += 1; // UTF-8 continuation bytes
@@ -509,6 +525,13 @@ mod tests {
     fn unterminated_string_consumes_rest() {
         let toks = lex("let s = \"never closed");
         assert_eq!(toks.last().unwrap().kind, TokenKind::StrLit);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_counts_the_line() {
+        let toks = lex("let s = \"a \\\nb\";\nlet t = 1;");
+        let t = toks.iter().find(|t| t.is_ident("t")).unwrap();
+        assert_eq!(t.line, 3);
     }
 
     #[test]

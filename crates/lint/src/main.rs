@@ -11,7 +11,8 @@ use hbat_lint::rules::LintOptions;
 use hbat_lint::{baseline, lint_workspace, walk};
 
 const USAGE: &str = "\
-hbat-lint: workspace static analysis (determinism, hot-path, panics, shims)
+hbat-lint: workspace static analysis (determinism, hot-path, panics, shims,
+hot propagation, panic reachability)
 
 USAGE: hbat-lint [OPTIONS]
 
@@ -23,10 +24,13 @@ OPTIONS:
   --only <RULES>      run only these rules (comma-separated names/codes)
   --skip <RULES>      run all but these rules
   --json              machine-readable output
+  --graph             dump the workspace call graph (nodes, edges, hot set,
+                      panic-reachable set, ambiguity bucket) as JSON and exit
   --list-rules        print the rule table and exit
   -h, --help          this text
 
-Exits non-zero when any finding is not covered by the baseline.
+Exits non-zero when any finding is not covered by the baseline, or when
+the baseline has stale entries (drift is reported as +added/-removed).
 ";
 
 struct Args {
@@ -34,6 +38,7 @@ struct Args {
     baseline: Option<PathBuf>,
     write_baseline: bool,
     json: bool,
+    graph: bool,
     list_rules: bool,
     mask: u8,
 }
@@ -53,6 +58,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         baseline: None,
         write_baseline: false,
         json: false,
+        graph: false,
         list_rules: false,
         mask: ALL_RULES.iter().map(|r| r.bit()).fold(0, |a, b| a | b),
     };
@@ -67,6 +73,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--write-baseline" => args.write_baseline = true,
             "--json" => args.json = true,
+            "--graph" => args.graph = true,
             "--list-rules" => args.list_rules = true,
             "--only" => {
                 args.mask = parse_rules(&it.next().ok_or("--only needs rule names")?)?;
@@ -128,6 +135,16 @@ fn run() -> Result<ExitCode, String> {
     };
 
     let files = walk::collect_files(&root).map_err(|e| format!("walking {root:?}: {e}"))?;
+
+    if args.graph {
+        let ws = hbat_lint::analyze_workspace(&files);
+        println!(
+            "{}",
+            hbat_lint::graph::render_graph_json(&ws.files, &ws.graph, &ws.propagation)
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let opts = LintOptions {
         rule_mask: args.mask,
     };
@@ -149,23 +166,38 @@ fn run() -> Result<ExitCode, String> {
         Ok(text) => baseline::parse(&text),
         Err(_) => Default::default(),
     };
-    let marked = baseline::mark_new(findings, &base);
-    let new = marked.iter().filter(|(_, n)| *n).count();
+    let drift = baseline::diff(findings, &base);
+    let new = drift.marked.iter().filter(|(_, n)| *n).count();
 
     if args.json {
-        println!("{}", render_json(&marked));
+        println!("{}", render_json(&drift.marked));
     } else {
-        for (d, is_new) in &marked {
+        for (d, is_new) in &drift.marked {
             println!("{}{}", d, if *is_new { "  [new]" } else { "" });
         }
         eprintln!(
-            "hbat-lint: {} finding(s), {} new ({} baselined)",
-            marked.len(),
+            "hbat-lint: {} finding(s), {} new ({} baselined), {} stale baseline entr{}",
+            drift.marked.len(),
             new,
-            marked.len() - new
+            drift.marked.len() - new,
+            drift.stale.len(),
+            if drift.stale.len() == 1 { "y" } else { "ies" },
         );
     }
-    Ok(if new == 0 {
+    // Report drift in both directions as an explicit diff: `+` findings
+    // the baseline does not cover, `-` baseline entries no longer
+    // produced (fix: rerun with --write-baseline after review).
+    if new > 0 || !drift.stale.is_empty() {
+        for (d, is_new) in &drift.marked {
+            if *is_new {
+                eprintln!("+ {}", d.baseline_key());
+            }
+        }
+        for key in &drift.stale {
+            eprintln!("- {key}");
+        }
+    }
+    Ok(if new == 0 && drift.stale.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

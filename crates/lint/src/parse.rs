@@ -1,0 +1,784 @@
+//! Item-level parsing on top of the lexer: function definitions, call
+//! sites, and imports, extracted per file for the workspace call graph.
+//!
+//! This is deliberately *not* a Rust parser. It walks the token stream
+//! once with a brace-scope stack (the same technique as
+//! [`crate::context::FileContext`]) and recognises exactly the shapes
+//! the interprocedural rules need:
+//!
+//! * `mod name { … }` — module nesting (the file's own module path is
+//!   derived from its workspace-relative path);
+//! * `impl Type { … }` / `impl Trait for Type { … }` — a qualifier for
+//!   the methods inside;
+//! * `fn name(…) { … }` — a definition with its body line span, plus
+//!   the region flags (`test`, `# Panics` doc, suppression mask) that
+//!   the propagation passes honor;
+//! * `foo(…)`, `path::to::foo(…)`, `recv.foo(…)` — call sites inside
+//!   function bodies;
+//! * `use path::{a, b as c};` — the file's import map, used by name
+//!   resolution.
+//!
+//! Anything it cannot classify it skips; macro bodies, trait method
+//! *signatures* (no body), and expression subtleties degrade to "no
+//! edge", never to a wrong parse of the rest of the file.
+
+use std::collections::BTreeMap;
+
+use crate::context::FileContext;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{
+    alloc_site_hit, classify, computed_index_hit, panic_macro_hit, unwrap_site_hit, KEYWORDS,
+};
+
+/// A callee as written at the call site, before resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `foo(…)` / `a::b::foo(…)` — path segments as written (`crate`,
+    /// `self`, and `Self` already normalised by the parser).
+    Path(Vec<String>),
+    /// `recv.foo(…)`; `on_self` when the receiver is literally `self`.
+    Method { name: String, on_self: bool },
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub callee: Callee,
+    pub line: u32,
+}
+
+/// One allocation or panic site inside a function body, with the
+/// context flags the propagation rules honor.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Human-readable API name (`Vec::new`, `unwrap()`, `panic!`,
+    /// `computed index`).
+    pub what: String,
+    pub line: u32,
+    /// Combined region|line suppression mask at the site.
+    pub allow_mask: u8,
+    /// Inside test code.
+    pub test: bool,
+    /// Inside a function documented with `# Panics`.
+    pub panic_doc: bool,
+    /// On a line inside a literal `hbat-lint: hot` region (already
+    /// R2's jurisdiction — R5 skips these to avoid double reporting).
+    pub literal_hot: bool,
+}
+
+/// One parsed function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Import name of the owning crate (`hbat_cpu`, `hbat_suite`, …).
+    pub crate_name: String,
+    /// Module path inside the crate (file path + inline `mod`s).
+    pub module: Vec<String>,
+    /// `impl` type name for methods.
+    pub qualifier: Option<String>,
+    pub name: String,
+    pub file: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Inclusive line span of the body braces (equal lines for
+    /// single-line bodies); `(0, 0)` for bodiless trait signatures.
+    pub body: (u32, u32),
+    pub is_pub: bool,
+    /// Defined inside test code.
+    pub test: bool,
+    /// Documented with `# Panics`.
+    pub panic_doc: bool,
+    pub calls: Vec<CallSite>,
+    pub allocs: Vec<Site>,
+    pub panics: Vec<Site>,
+}
+
+impl FnDef {
+    /// Stable display id: `crate::module::Type::name`.
+    pub fn id(&self) -> String {
+        let mut parts: Vec<&str> = vec![self.crate_name.as_str()];
+        parts.extend(self.module.iter().map(String::as_str));
+        if let Some(q) = &self.qualifier {
+            parts.push(q);
+        }
+        parts.push(&self.name);
+        parts.join("::")
+    }
+}
+
+/// Everything the graph needs from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileInfo {
+    pub file: String,
+    pub crate_name: String,
+    /// Module path of the file itself.
+    pub module: Vec<String>,
+    /// Local name → full path, from `use` declarations.
+    pub imports: BTreeMap<String, Vec<String>>,
+    pub fns: Vec<FnDef>,
+    /// Inclusive literal hot line ranges.
+    pub hot: Vec<(u32, u32)>,
+}
+
+/// Parses every non-shim file of the workspace.
+pub fn parse_workspace(files: &[(String, String)]) -> Vec<FileInfo> {
+    files
+        .iter()
+        .filter(|(rel, _)| !classify(rel).shim)
+        .map(|(rel, src)| parse_file(rel, src))
+        .collect()
+}
+
+/// The import name of the crate owning a workspace-relative path.
+pub fn crate_name_of(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", c, ..] => format!("hbat_{}", c.replace('-', "_")),
+        ["shims", c, ..] => c.replace('-', "_"),
+        _ => "hbat_suite".to_string(),
+    }
+}
+
+/// The module path a file contributes (before inline `mod`s): `src/x.rs`
+/// → `[x]`, `src/a/mod.rs` → `[a]`, `src/lib.rs` → `[]`. Test,
+/// example, and bench targets get a synthetic path so that same-file
+/// resolution still works while staying distinct from library modules.
+fn module_path_of(rel: &str) -> Vec<String> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let rest: &[&str] = match parts.as_slice() {
+        ["crates", _, rest @ ..] => rest,
+        ["shims", _, rest @ ..] => rest,
+        rest => rest,
+    };
+    let mut out: Vec<String> = Vec::new();
+    match rest {
+        ["src", segs @ ..] => {
+            for (i, s) in segs.iter().enumerate() {
+                let last = i + 1 == segs.len();
+                if last {
+                    match s.strip_suffix(".rs") {
+                        Some("lib") | Some("main") | Some("mod") => {}
+                        Some(stem) => out.push(stem.to_string()),
+                        None => out.push((*s).to_string()),
+                    }
+                } else {
+                    out.push((*s).to_string());
+                }
+            }
+        }
+        [kind @ ("tests" | "benches" | "examples"), segs @ ..] => {
+            out.push((*kind).to_string());
+            for s in segs {
+                out.push(s.strip_suffix(".rs").unwrap_or(s).to_string());
+            }
+        }
+        segs => {
+            for s in segs {
+                out.push(s.strip_suffix(".rs").unwrap_or(s).to_string());
+            }
+        }
+    }
+    out
+}
+
+/// What a brace scope on the stack is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Scope {
+    /// `mod name {`
+    Module(String),
+    /// `impl Type {` / `impl Trait for Type {`
+    Impl(Option<String>),
+    /// `fn name(...) {` — index into `fns`.
+    Fn(usize),
+    /// Any other brace (struct body, match arm, block expression…).
+    Other,
+}
+
+/// Parses one file into its [`FileInfo`].
+pub fn parse_file(rel: &str, src: &str) -> FileInfo {
+    let tokens = lex(src);
+    let ctx = FileContext::of(&tokens);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+
+    let mut info = FileInfo {
+        file: rel.to_string(),
+        crate_name: crate_name_of(rel),
+        module: module_path_of(rel),
+        hot: ctx.hot_ranges().to_vec(),
+        ..FileInfo::default()
+    };
+
+    let mut scopes: Vec<Scope> = Vec::new();
+    // Pending item state, cleared at `{` / `;`.
+    let mut pend_pub = false;
+    let mut pend_fn: Option<(String, u32, bool)> = None; // (name, line, is_pub)
+    let mut pend_mod: Option<String> = None;
+    let mut pend_impl: Option<Option<String>> = None;
+
+    let tok = |k: usize| code.get(k).map(|&j| &tokens[j]);
+    let hot_line = |line: u32, hot: &[(u32, u32)]| hot.iter().any(|&(a, b)| a <= line && line <= b);
+
+    let mut k = 0usize;
+    while k < code.len() {
+        let i = code[k];
+        let t = &tokens[i];
+
+        // Skip attribute bodies wholesale: `#[derive(Default)]`,
+        // `#[allow(dead_code)]` and friends would otherwise read as
+        // call sites or item keywords.
+        if t.is_punct('#') {
+            let mut m = k + 1;
+            if tok(m).is_some_and(|n| n.is_punct('!')) {
+                m += 1;
+            }
+            if tok(m).is_some_and(|n| n.is_punct('[')) {
+                let mut depth = 0i32;
+                while let Some(u) = tok(m) {
+                    if u.is_punct('[') {
+                        depth += 1;
+                    } else if u.is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                k = m + 1;
+                continue;
+            }
+        }
+
+        let in_fn = scopes.iter().rev().find_map(|s| match s {
+            Scope::Fn(d) => Some(*d),
+            _ => None,
+        });
+
+        // --- site collection inside fn bodies -------------------------
+        if let Some(d) = in_fn {
+            let flags = ctx.flags[i];
+            let mk_site = |what: String| Site {
+                what,
+                line: t.line,
+                allow_mask: ctx.allow_mask_at(i, t.line),
+                test: flags.test,
+                panic_doc: flags.panic_doc,
+                literal_hot: hot_line(t.line, &info.hot),
+            };
+            if let Some(api) = alloc_site_hit(&tokens, &code, k) {
+                info.fns[d].allocs.push(mk_site(api));
+            }
+            if let Some(name) = unwrap_site_hit(&tokens, &code, k) {
+                info.fns[d].panics.push(mk_site(format!("`{name}`")));
+            } else if let Some(mac) = panic_macro_hit(&tokens, &code, k) {
+                info.fns[d].panics.push(mk_site(format!("`{mac}`")));
+            } else if computed_index_hit(&tokens, &code, k) {
+                info.fns[d]
+                    .panics
+                    .push(mk_site("computed index".to_string()));
+            }
+
+            // Method call: `recv.foo(` (but not `.foo::<T>(`, rare and
+            // skipped; not `.await`, which is never followed by `(`).
+            if t.is_punct('.')
+                && tok(k + 1).is_some_and(|n| n.kind == TokenKind::Ident)
+                && tok(k + 2).is_some_and(|n| n.is_punct('('))
+            {
+                let name = tok(k + 1).map(|n| n.text.clone()).unwrap_or_default();
+                let on_self = k
+                    .checked_sub(1)
+                    .and_then(tok)
+                    .is_some_and(|p| p.is_ident("self"));
+                if !KEYWORDS.contains(&name.as_str()) {
+                    info.fns[d].calls.push(CallSite {
+                        callee: Callee::Method { name, on_self },
+                        line: t.line,
+                    });
+                }
+            }
+
+            // Path call: `[a :: b ::] foo (` or `foo ::< T > (`. Path
+            // heads `self`/`Self`/`crate`/`super` are keywords but
+            // legal when followed by `::`.
+            let path_head_keyword = matches!(t.text.as_str(), "self" | "Self" | "crate" | "super")
+                && tok(k + 1).is_some_and(|n| n.is_punct(':'))
+                && tok(k + 2).is_some_and(|n| n.is_punct(':'));
+            if t.kind == TokenKind::Ident
+                && (!KEYWORDS.contains(&t.text.as_str()) || path_head_keyword)
+                && !k
+                    .checked_sub(1)
+                    .and_then(tok)
+                    .is_some_and(|p| p.is_punct('.') || p.is_punct(':') || p.is_ident("fn"))
+                && !tok(k + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                // Walk forward through the path to its last segment.
+                let mut segs = vec![t.text.clone()];
+                let mut j = k;
+                while tok(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && tok(j + 2).is_some_and(|n| n.is_punct(':'))
+                    && tok(j + 3).is_some_and(|n| n.kind == TokenKind::Ident)
+                {
+                    segs.push(tok(j + 3).map(|n| n.text.clone()).unwrap_or_default());
+                    j += 3;
+                }
+                // Optional turbofish between the last segment and `(`.
+                let mut call_paren = j + 1;
+                if tok(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && tok(j + 2).is_some_and(|n| n.is_punct(':'))
+                    && tok(j + 3).is_some_and(|n| n.is_punct('<'))
+                {
+                    let mut depth = 0i32;
+                    let mut m = j + 3;
+                    while let Some(u) = tok(m) {
+                        if u.is_punct('<') {
+                            depth += 1;
+                        } else if u.is_punct('>') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        } else if u.is_punct(';') || u.is_punct('{') {
+                            break; // not a turbofish after all
+                        }
+                        m += 1;
+                    }
+                    call_paren = m + 1;
+                }
+                if tok(call_paren).is_some_and(|n| n.is_punct('(')) {
+                    let last = segs.last().cloned().unwrap_or_default();
+                    // `Foo(` with an uppercase initial and no path is a
+                    // tuple-struct/variant constructor more often than a
+                    // call; keep it — resolution finds no fn and drops it.
+                    let impl_qualifier = scopes.iter().rev().find_map(|s| match s {
+                        Scope::Impl(q) => Some(q.clone()),
+                        _ => None,
+                    });
+                    // Normalise leading `self`/`crate`/`Self`.
+                    let norm: Vec<String> = match segs[0].as_str() {
+                        "Self" => {
+                            let mut v: Vec<String> = impl_qualifier.flatten().into_iter().collect();
+                            v.extend(segs[1..].iter().cloned());
+                            if v.len() == segs.len() {
+                                v
+                            } else {
+                                segs.clone()
+                            }
+                        }
+                        _ => segs.clone(),
+                    };
+                    let _ = last;
+                    info.fns[d].calls.push(CallSite {
+                        callee: Callee::Path(norm),
+                        line: t.line,
+                    });
+                }
+            }
+        }
+
+        // --- item structure -------------------------------------------
+        match t.kind {
+            TokenKind::Ident if t.text == "pub" => {
+                pend_pub = true;
+                // Skip `pub(crate)` / `pub(super)` visibility groups.
+                if tok(k + 1).is_some_and(|n| n.is_punct('(')) {
+                    let mut depth = 0i32;
+                    let mut m = k + 1;
+                    while let Some(u) = tok(m) {
+                        if u.is_punct('(') {
+                            depth += 1;
+                        } else if u.is_punct(')') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        m += 1;
+                    }
+                    k = m;
+                }
+            }
+            TokenKind::Ident if t.text == "mod" => {
+                if let Some(n) = tok(k + 1) {
+                    if n.kind == TokenKind::Ident {
+                        pend_mod = Some(n.text.clone());
+                    }
+                }
+            }
+            TokenKind::Ident if t.text == "impl" => {
+                pend_impl = Some(parse_impl_type(&tokens, &code, k));
+            }
+            TokenKind::Ident if t.text == "fn" => {
+                if let Some(n) = tok(k + 1) {
+                    if n.kind == TokenKind::Ident {
+                        pend_fn = Some((n.text.clone(), t.line, pend_pub));
+                        k += 1; // never treat the defined name as a call
+                    }
+                }
+            }
+            TokenKind::Ident if t.text == "use" && in_fn.is_none() => {
+                k = collect_use(&tokens, &code, k, &mut info.imports);
+            }
+            TokenKind::Punct if t.is_punct('{') => {
+                let scope = if let Some((name, line, is_pub)) = pend_fn.take() {
+                    let flags = ctx.flags[i];
+                    let module: Vec<String> = info
+                        .module
+                        .iter()
+                        .cloned()
+                        .chain(scopes.iter().filter_map(|s| match s {
+                            Scope::Module(m) => Some(m.clone()),
+                            _ => None,
+                        }))
+                        .collect();
+                    let qualifier = scopes.iter().rev().find_map(|s| match s {
+                        Scope::Impl(q) => Some(q.clone()),
+                        _ => None,
+                    });
+                    info.fns.push(FnDef {
+                        crate_name: info.crate_name.clone(),
+                        module,
+                        qualifier: qualifier.flatten(),
+                        name,
+                        file: rel.to_string(),
+                        line,
+                        body: (t.line, t.line),
+                        is_pub,
+                        test: flags.test,
+                        panic_doc: flags.panic_doc,
+                        calls: Vec::new(),
+                        allocs: Vec::new(),
+                        panics: Vec::new(),
+                    });
+                    Scope::Fn(info.fns.len() - 1)
+                } else if let Some(m) = pend_mod.take() {
+                    Scope::Module(m)
+                } else if let Some(q) = pend_impl.take() {
+                    Scope::Impl(q)
+                } else {
+                    Scope::Other
+                };
+                scopes.push(scope);
+                (pend_pub, pend_mod, pend_impl) = (false, None, None);
+            }
+            TokenKind::Punct if t.is_punct('}') => {
+                if let Some(Scope::Fn(d)) = scopes.pop() {
+                    info.fns[d].body.1 = t.line;
+                }
+                // Struct-field `pub`s etc. must not leak onto the item
+                // that follows the closing brace.
+                (pend_pub, pend_fn, pend_mod, pend_impl) = (false, None, None, None);
+            }
+            TokenKind::Punct if t.is_punct(';') => {
+                (pend_pub, pend_fn, pend_mod, pend_impl) = (false, None, None, None);
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    // Unclosed fn bodies (unbalanced braces) extend to the last line.
+    let last_line = tokens.last().map(|t| t.line).unwrap_or(1);
+    for s in scopes {
+        if let Scope::Fn(d) = s {
+            info.fns[d].body.1 = last_line;
+        }
+    }
+    info
+}
+
+/// The implemented type name of an `impl` header starting at code
+/// position `k`: the last path segment before the body `{` (after
+/// `for`, if present), generics stripped.
+fn parse_impl_type(tokens: &[Token], code: &[usize], k: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut after_for = false;
+    let mut candidate: Option<String> = None;
+    let mut in_where = false;
+    for &j in code.get(k + 1..)? {
+        let t = &tokens[j];
+        match t.kind {
+            TokenKind::Punct if t.is_punct('<') => angle += 1,
+            TokenKind::Punct if t.is_punct('>') => angle -= 1,
+            TokenKind::Punct if t.is_punct('{') && angle <= 0 => break,
+            TokenKind::Punct if t.is_punct(';') => break,
+            TokenKind::Ident if t.text == "for" && angle <= 0 => {
+                after_for = true;
+                candidate = None;
+            }
+            TokenKind::Ident if t.text == "where" && angle <= 0 => in_where = true,
+            TokenKind::Ident
+                if angle <= 0
+                    && !in_where
+                    && !matches!(t.text.as_str(), "dyn" | "mut" | "const") =>
+            {
+                candidate = Some(t.text.clone());
+            }
+            _ => {}
+        }
+    }
+    let _ = after_for;
+    candidate
+}
+
+/// Collects a `use path::{tree};` declaration into `imports` (local
+/// name → full path). Returns the code index of the terminating `;`.
+fn collect_use(
+    tokens: &[Token],
+    code: &[usize],
+    k: usize,
+    imports: &mut BTreeMap<String, Vec<String>>,
+) -> usize {
+    let tok = |k: usize| code.get(k).map(|&j| &tokens[j]);
+    // Prefix path segments up to a `{`, `*`, or the final segment.
+    let mut prefix: Vec<String> = Vec::new();
+    let mut j = k + 1;
+    let mut stack: Vec<Vec<String>> = Vec::new();
+    let mut pending: Option<String> = None;
+    let mut after_as = false;
+    while let Some(t) = tok(j) {
+        if t.is_punct(';') {
+            break;
+        }
+        match t.kind {
+            TokenKind::Ident if t.text == "as" => {
+                after_as = true;
+            }
+            TokenKind::Ident => {
+                if after_as {
+                    // `x as y`: the local name is `y`, path is prefix+x.
+                    if let Some(orig) = pending.take() {
+                        let mut path = prefix.clone();
+                        path.push(orig);
+                        imports.insert(t.text.clone(), path);
+                    }
+                    after_as = false;
+                } else {
+                    // Previous pending segment was an intermediate one.
+                    if let Some(p) = pending.take() {
+                        prefix.push(p);
+                    }
+                    pending = Some(t.text.clone());
+                }
+            }
+            TokenKind::Punct if t.is_punct('{') => {
+                if let Some(p) = pending.take() {
+                    prefix.push(p);
+                }
+                stack.push(prefix.clone());
+            }
+            TokenKind::Punct if t.is_punct('}') => {
+                finish_pending(&mut pending, &prefix, imports);
+                prefix = stack.pop().unwrap_or_default();
+            }
+            TokenKind::Punct if t.is_punct(',') => {
+                finish_pending(&mut pending, &prefix, imports);
+                prefix = stack.last().cloned().unwrap_or_default();
+            }
+            TokenKind::Punct if t.is_punct('*') => {
+                pending = None; // glob imports are not tracked
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    finish_pending(&mut pending, &prefix, imports);
+    j
+}
+
+fn finish_pending(
+    pending: &mut Option<String>,
+    prefix: &[String],
+    imports: &mut BTreeMap<String, Vec<String>>,
+) {
+    if let Some(name) = pending.take() {
+        if name == "self" {
+            // `use a::b::{self}` imports the module `b`.
+            if let Some(last) = prefix.last() {
+                imports.insert(last.clone(), prefix.to_vec());
+            }
+        } else {
+            let mut path = prefix.to_vec();
+            path.push(name.clone());
+            imports.insert(name, path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(rel: &str, src: &str) -> FileInfo {
+        parse_file(rel, src)
+    }
+
+    #[test]
+    fn crate_and_module_paths() {
+        assert_eq!(crate_name_of("crates/cpu/src/engine.rs"), "hbat_cpu");
+        assert_eq!(crate_name_of("src/lib.rs"), "hbat_suite");
+        assert_eq!(crate_name_of("tests/cli.rs"), "hbat_suite");
+        assert_eq!(
+            module_path_of("crates/cpu/src/engine.rs"),
+            vec!["engine".to_string()]
+        );
+        assert!(module_path_of("crates/cpu/src/lib.rs").is_empty());
+        assert_eq!(
+            module_path_of("crates/isa/src/programs/mod.rs"),
+            vec!["programs".to_string()]
+        );
+        assert_eq!(
+            module_path_of("crates/isa/tests/properties.rs"),
+            vec!["tests".to_string(), "properties".to_string()]
+        );
+    }
+
+    #[test]
+    fn fn_defs_with_modules_and_impls() {
+        let src = "\
+pub fn free() { helper(); }
+fn helper() {}
+mod inner {
+    pub fn nested() {}
+}
+struct S;
+impl S {
+    pub fn method(&self) { self.other(); }
+    fn other(&self) {}
+}
+impl Display for S {
+    fn fmt(&self) {}
+}
+";
+        let info = one("crates/cpu/src/x.rs", src);
+        let ids: Vec<String> = info.fns.iter().map(FnDef::id).collect();
+        assert!(ids.contains(&"hbat_cpu::x::free".to_string()), "{ids:?}");
+        assert!(
+            ids.contains(&"hbat_cpu::x::inner::nested".to_string()),
+            "{ids:?}"
+        );
+        assert!(
+            ids.contains(&"hbat_cpu::x::S::method".to_string()),
+            "{ids:?}"
+        );
+        assert!(ids.contains(&"hbat_cpu::x::S::fmt".to_string()), "{ids:?}");
+        let free = info.fns.iter().find(|f| f.name == "free").unwrap();
+        assert!(free.is_pub);
+        assert_eq!(free.calls.len(), 1);
+        assert_eq!(free.calls[0].callee, Callee::Path(vec!["helper".into()]));
+        let method = info.fns.iter().find(|f| f.name == "method").unwrap();
+        assert_eq!(
+            method.calls[0].callee,
+            Callee::Method {
+                name: "other".into(),
+                on_self: true
+            }
+        );
+    }
+
+    #[test]
+    fn body_spans_cover_lines() {
+        let src = "fn a() {\n    x();\n    y();\n}\nfn b() {}\n";
+        let info = one("crates/cpu/src/x.rs", src);
+        assert_eq!(info.fns[0].body, (1, 4));
+        assert_eq!(info.fns[1].body, (5, 5));
+    }
+
+    #[test]
+    fn qualified_and_turbofish_calls() {
+        let src =
+            "fn f() { mem::Cache::probe(x); parse::<u32>(s); Self::go(); }\nimpl T { fn go() {} }";
+        let info = one("crates/cpu/src/x.rs", src);
+        let calls = &info.fns[0].calls;
+        assert!(calls
+            .iter()
+            .any(|c| c.callee == Callee::Path(vec!["mem".into(), "Cache".into(), "probe".into()])));
+        assert!(calls
+            .iter()
+            .any(|c| c.callee == Callee::Path(vec!["parse".into()])));
+        // `Self::go` outside an impl normalises to the literal path.
+        assert!(calls
+            .iter()
+            .any(|c| matches!(&c.callee, Callee::Path(p) if p.last() == Some(&"go".to_string()))));
+    }
+
+    #[test]
+    fn use_trees_flat_grouped_renamed() {
+        let src = "\
+use hbat_mem::Cache;
+use hbat_isa::{Machine, trace::TraceInst as TI};
+use std::collections::BTreeMap;
+fn f() {}
+";
+        let info = one("crates/cpu/src/x.rs", src);
+        assert_eq!(
+            info.imports.get("Cache"),
+            Some(&vec!["hbat_mem".to_string(), "Cache".to_string()])
+        );
+        assert_eq!(
+            info.imports.get("Machine"),
+            Some(&vec!["hbat_isa".to_string(), "Machine".to_string()])
+        );
+        assert_eq!(
+            info.imports.get("TI"),
+            Some(&vec![
+                "hbat_isa".to_string(),
+                "trace".to_string(),
+                "TraceInst".to_string()
+            ])
+        );
+        assert_eq!(
+            info.imports.get("BTreeMap"),
+            Some(&vec![
+                "std".to_string(),
+                "collections".to_string(),
+                "BTreeMap".to_string()
+            ])
+        );
+    }
+
+    #[test]
+    fn sites_collected_with_flags() {
+        let src = "\
+// hbat-lint: hot
+fn hot_caller() { helper(); }
+// hbat-lint: cold
+fn cold() {
+    let v = Vec::new();
+    let x = opt.unwrap();
+    panic!(\"boom\");
+    let y = xs[i];
+}
+";
+        let info = one("crates/cpu/src/x.rs", src);
+        let cold = info.fns.iter().find(|f| f.name == "cold").unwrap();
+        assert_eq!(cold.allocs.len(), 1);
+        assert_eq!(cold.allocs[0].what, "Vec::new");
+        assert!(!cold.allocs[0].literal_hot);
+        let whats: Vec<&str> = cold.panics.iter().map(|s| s.what.as_str()).collect();
+        assert!(whats.contains(&"`unwrap()`"), "{whats:?}");
+        assert!(whats.contains(&"`panic!`"), "{whats:?}");
+        assert!(whats.contains(&"computed index"), "{whats:?}");
+        let hot = info.fns.iter().find(|f| f.name == "hot_caller").unwrap();
+        assert_eq!(hot.calls.len(), 1);
+        assert_eq!(info.hot.len(), 1);
+    }
+
+    #[test]
+    fn trait_signatures_without_bodies_are_skipped() {
+        let src = "trait T { fn sig(&self); fn with_default(&self) { self.sig(); } }";
+        let info = one("crates/cpu/src/x.rs", src);
+        let names: Vec<&str> = info.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["with_default"]);
+    }
+
+    #[test]
+    fn impl_type_strips_generics_and_trait() {
+        let src = "\
+impl<'a, R: Recorder> Engine<'a, R> { fn run(&mut self) {} }
+impl Default for Config { fn default() -> Self { Config::new() } }
+";
+        let info = one("crates/cpu/src/x.rs", src);
+        assert_eq!(info.fns[0].qualifier.as_deref(), Some("Engine"));
+        assert_eq!(info.fns[1].qualifier.as_deref(), Some("Config"));
+    }
+}

@@ -38,7 +38,7 @@ const HASH_ITER_METHODS: &[&str] = &[
     "drain",
 ];
 
-const KEYWORDS: &[&str] = &[
+pub(crate) const KEYWORDS: &[&str] = &[
     "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
     "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
     "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
@@ -53,7 +53,9 @@ pub struct LintOptions {
 
 impl Default for LintOptions {
     fn default() -> Self {
-        LintOptions { rule_mask: 0b1111 }
+        LintOptions {
+            rule_mask: crate::diag::all_rules_mask(),
+        }
     }
 }
 
@@ -274,6 +276,103 @@ fn rule_determinism(
     }
 }
 
+/// Matches an allocation-API site at code position `k`; returns the API
+/// name for the message. Shared by R2 (literal hot regions) and R5
+/// (propagated hot functions).
+pub(crate) fn alloc_site_hit(tokens: &[Token], code: &[usize], k: usize) -> Option<String> {
+    let t = &tokens[code[k]];
+    let next = |n: usize| code.get(k + n).map(|&j| &tokens[j]);
+    if (t.is_ident("vec") || t.is_ident("format")) && next(1).is_some_and(|n| n.is_punct('!')) {
+        Some(format!("{}!", t.text))
+    } else if (t.is_ident("Vec") || t.is_ident("Box") || t.is_ident("String"))
+        && next(1).is_some_and(|n| n.is_punct(':'))
+        && next(2).is_some_and(|n| n.is_punct(':'))
+        && next(3)
+            .is_some_and(|n| n.is_ident("new") || n.is_ident("from") || n.is_ident("with_capacity"))
+    {
+        Some(format!(
+            "{}::{}",
+            t.text,
+            next(3).map(|n| n.text.clone()).unwrap_or_default()
+        ))
+    } else if t.is_punct('.')
+        && next(1).is_some_and(|n| {
+            n.is_ident("collect")
+                || n.is_ident("to_vec")
+                || n.is_ident("to_string")
+                || n.is_ident("to_owned")
+        })
+    {
+        next(1).map(|n| format!(".{}()", n.text))
+    } else {
+        None
+    }
+}
+
+/// Matches a `.unwrap()`/`.expect(` site at code position `k`.
+pub(crate) fn unwrap_site_hit(tokens: &[Token], code: &[usize], k: usize) -> Option<String> {
+    let t = &tokens[code[k]];
+    let next = |n: usize| code.get(k + n).map(|&j| &tokens[j]);
+    if t.is_punct('.')
+        && next(1).is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+        && next(2).is_some_and(|n| n.is_punct('('))
+    {
+        next(1).map(|n| format!("{}()", n.text))
+    } else {
+        None
+    }
+}
+
+/// Matches a `panic!`-family macro at code position `k`.
+pub(crate) fn panic_macro_hit(tokens: &[Token], code: &[usize], k: usize) -> Option<String> {
+    let t = &tokens[code[k]];
+    let next = |n: usize| code.get(k + n).map(|&j| &tokens[j]);
+    if (t.is_ident("panic")
+        || t.is_ident("unreachable")
+        || t.is_ident("todo")
+        || t.is_ident("unimplemented"))
+        && next(1).is_some_and(|n| n.is_punct('!'))
+    {
+        Some(format!("{}!", t.text))
+    } else {
+        None
+    }
+}
+
+/// Matches a computed (non-literal) index expression opening at code
+/// position `k` (a `[` with an indexable receiver before it and at
+/// least one identifier inside the brackets).
+pub(crate) fn computed_index_hit(tokens: &[Token], code: &[usize], k: usize) -> bool {
+    let t = &tokens[code[k]];
+    if !t.is_punct('[') {
+        return false;
+    }
+    let indexable_receiver = k.checked_sub(1).map(|p| &tokens[code[p]]).is_some_and(|p| {
+        (p.kind == TokenKind::Ident && !KEYWORDS.contains(&p.text.as_str()))
+            || p.is_punct(')')
+            || p.is_punct(']')
+    });
+    if !indexable_receiver {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut computed = false;
+    for &j in &code[k..] {
+        let u = &tokens[j];
+        if u.is_punct('[') {
+            depth += 1;
+        } else if u.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if u.kind == TokenKind::Ident || u.kind == TokenKind::StrLit {
+            computed = true;
+        }
+    }
+    computed
+}
+
 /// R2: allocation APIs inside hot regions.
 fn rule_hot_path(
     rel: &str,
@@ -287,36 +386,7 @@ fn rule_hot_path(
         if !ctx.hot_line(t.line) || ctx.allowed(i, t.line, Rule::HotPath) {
             continue;
         }
-        let next = |n: usize| code.get(k + n).map(|&j| &tokens[j]);
-        let hit: Option<String> = if (t.is_ident("vec") || t.is_ident("format"))
-            && next(1).is_some_and(|n| n.is_punct('!'))
-        {
-            Some(format!("{}!", t.text))
-        } else if (t.is_ident("Vec") || t.is_ident("Box") || t.is_ident("String"))
-            && next(1).is_some_and(|n| n.is_punct(':'))
-            && next(2).is_some_and(|n| n.is_punct(':'))
-            && next(3).is_some_and(|n| {
-                n.is_ident("new") || n.is_ident("from") || n.is_ident("with_capacity")
-            })
-        {
-            Some(format!(
-                "{}::{}",
-                t.text,
-                next(3).map(|n| n.text.clone()).unwrap_or_default()
-            ))
-        } else if t.is_punct('.')
-            && next(1).is_some_and(|n| {
-                n.is_ident("collect")
-                    || n.is_ident("to_vec")
-                    || n.is_ident("to_string")
-                    || n.is_ident("to_owned")
-            })
-        {
-            next(1).map(|n| format!(".{}()", n.text))
-        } else {
-            None
-        };
-        if let Some(api) = hit {
+        if let Some(api) = alloc_site_hit(tokens, code, k) {
             out.push(Diagnostic {
                 rule: Rule::HotPath,
                 file: rel.to_string(),
@@ -349,21 +419,15 @@ fn rule_panic_policy(
         if f.test || f.panic_doc || ctx.allowed(i, t.line, Rule::PanicPolicy) {
             continue;
         }
-        let next = |n: usize| code.get(k + n).map(|&j| &tokens[j]);
-        let prev = || k.checked_sub(1).map(|p| &tokens[code[p]]);
 
         // `.unwrap()` / `.expect(` on any receiver.
-        if t.is_punct('.')
-            && next(1).is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
-            && next(2).is_some_and(|n| n.is_punct('('))
-        {
-            let name = next(1).map(|n| n.text.clone()).unwrap_or_default();
+        if let Some(name) = unwrap_site_hit(tokens, code, k) {
             out.push(Diagnostic {
                 rule: Rule::PanicPolicy,
                 file: rel.to_string(),
                 line: t.line,
                 message: format!(
-                    "`{name}()` in library code of `{crate_dir}`: return a Result, document \
+                    "`{name}` in library code of `{crate_dir}`: return a Result, document \
                      the contract with `# Panics`, or add `hbat-lint: allow(panic) <reason>`"
                 ),
             });
@@ -371,20 +435,14 @@ fn rule_panic_policy(
         }
 
         // panic!-family macros.
-        if (t.is_ident("panic")
-            || t.is_ident("unreachable")
-            || t.is_ident("todo")
-            || t.is_ident("unimplemented"))
-            && next(1).is_some_and(|n| n.is_punct('!'))
-        {
+        if let Some(mac) = panic_macro_hit(tokens, code, k) {
             out.push(Diagnostic {
                 rule: Rule::PanicPolicy,
                 file: rel.to_string(),
                 line: t.line,
                 message: format!(
-                    "`{}!` in library code of `{crate_dir}`: return a Result, document the \
-                     contract with `# Panics`, or add `hbat-lint: allow(panic) <reason>`",
-                    t.text
+                    "`{mac}` in library code of `{crate_dir}`: return a Result, document the \
+                     contract with `# Panics`, or add `hbat-lint: allow(panic) <reason>`"
                 ),
             });
             continue;
@@ -392,41 +450,17 @@ fn rule_panic_policy(
 
         // Computed slice/array indexing in a pub fn without a `# Panics`
         // doc: `xs[i]` panics on bad input and the API does not say so.
-        if f.pub_fn && t.is_punct('[') {
-            let indexable_receiver = prev().is_some_and(|p| {
-                (p.kind == TokenKind::Ident && !KEYWORDS.contains(&p.text.as_str()))
-                    || p.is_punct(')')
-                    || p.is_punct(']')
+        if f.pub_fn && computed_index_hit(tokens, code, k) {
+            out.push(Diagnostic {
+                rule: Rule::PanicPolicy,
+                file: rel.to_string(),
+                line: t.line,
+                message: format!(
+                    "computed index in a public function of `{crate_dir}` without a \
+                     `# Panics` doc: use get()/get_mut(), document the contract, or \
+                     add `hbat-lint: allow(panic) <reason>`"
+                ),
             });
-            if indexable_receiver {
-                let mut depth = 0i32;
-                let mut computed = false;
-                for &j in &code[k..] {
-                    let u = &tokens[j];
-                    if u.is_punct('[') {
-                        depth += 1;
-                    } else if u.is_punct(']') {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    } else if u.kind == TokenKind::Ident || u.kind == TokenKind::StrLit {
-                        computed = true;
-                    }
-                }
-                if computed {
-                    out.push(Diagnostic {
-                        rule: Rule::PanicPolicy,
-                        file: rel.to_string(),
-                        line: t.line,
-                        message: format!(
-                            "computed index in a public function of `{crate_dir}` without a \
-                             `# Panics` doc: use get()/get_mut(), document the contract, or \
-                             add `hbat-lint: allow(panic) <reason>`"
-                        ),
-                    });
-                }
-            }
         }
     }
 }

@@ -141,6 +141,117 @@ fn r4_dirty_fixture_fails() {
     );
 }
 
+/// The R5 fixtures are a two-file workspace: a hot caller in `cpu` and
+/// the callee under test in `mem` — a different file *and* crate.
+fn r5_workspace(callee: &str) -> Vec<Diagnostic> {
+    lint_workspace(
+        &[
+            (
+                "crates/cpu/src/fixture.rs".to_string(),
+                include_str!("fixtures/r5_caller.rs").to_string(),
+            ),
+            ("crates/mem/src/lib.rs".to_string(), callee.to_string()),
+        ],
+        &LintOptions::default(),
+    )
+}
+
+#[test]
+fn r5_clean_fixture_passes() {
+    let d = r5_workspace(include_str!("fixtures/r5_callee_clean.rs"));
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
+fn r5_dirty_fixture_fails() {
+    let d = r5_workspace(include_str!("fixtures/r5_callee_dirty.rs"));
+    assert_eq!(count(&d, Rule::HotProp), 1, "{d:#?}");
+    assert!(d[0].file.contains("mem"), "flagged in the callee: {d:#?}");
+    assert!(
+        d[0].message.contains("scan_loop -> build_index") || d[0].message.contains("build_index"),
+        "witness chain: {d:#?}"
+    );
+}
+
+/// The regression the tentpole exists for: a hot-region call into an
+/// allocating helper in a different crate. R2 only sees literal hot
+/// lines, so with R5 off the dirty workspace passes — proving the
+/// intraprocedural rule misses exactly what the propagation catches.
+#[test]
+fn r5_catches_cross_crate_allocation_that_r2_misses() {
+    let files = [
+        (
+            "crates/cpu/src/fixture.rs".to_string(),
+            include_str!("fixtures/r5_caller.rs").to_string(),
+        ),
+        (
+            "crates/mem/src/lib.rs".to_string(),
+            include_str!("fixtures/r5_callee_dirty.rs").to_string(),
+        ),
+    ];
+    let r2_only = LintOptions {
+        rule_mask: hbat_lint::diag::all_rules_mask() & !Rule::HotProp.bit(),
+    };
+    let d = lint_workspace(&files, &r2_only);
+    assert!(d.is_empty(), "R2 alone must miss the callee: {d:#?}");
+    let d = lint_workspace(&files, &LintOptions::default());
+    assert_eq!(count(&d, Rule::HotProp), 1, "R5 must catch it: {d:#?}");
+}
+
+#[test]
+fn r6_clean_fixture_passes() {
+    let d = lint_one(
+        "crates/cpu/src/fixture.rs",
+        include_str!("fixtures/r6_clean.rs"),
+    );
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
+fn r6_dirty_fixture_fails() {
+    let d = lint_one(
+        "crates/cpu/src/fixture.rs",
+        include_str!("fixtures/r6_dirty.rs"),
+    );
+    assert_eq!(count(&d, Rule::PanicReach), 1, "{d:#?}");
+    assert!(
+        d[0].message
+            .contains("Engine::run -> step_all -> translate_one"),
+        "two-hop witness chain: {d:#?}"
+    );
+}
+
+/// Findings (and therefore the written baseline) must not depend on the
+/// order files arrive from the walker — CI diffs baselines textually.
+#[test]
+fn findings_are_independent_of_file_order() {
+    let mut files = vec![
+        (
+            "crates/cpu/src/fixture.rs".to_string(),
+            include_str!("fixtures/r5_caller.rs").to_string(),
+        ),
+        (
+            "crates/mem/src/lib.rs".to_string(),
+            include_str!("fixtures/r5_callee_dirty.rs").to_string(),
+        ),
+        (
+            "crates/isa/src/fixture.rs".to_string(),
+            include_str!("fixtures/r3_dirty.rs").to_string(),
+        ),
+        (
+            "crates/core/src/fixture.rs".to_string(),
+            include_str!("fixtures/r1_dirty.rs").to_string(),
+        ),
+    ];
+    let golden = lint_workspace(&files, &LintOptions::default());
+    assert!(!golden.is_empty());
+    files.reverse();
+    assert_eq!(lint_workspace(&files, &LintOptions::default()), golden);
+    files.swap(0, 2);
+    files.swap(1, 3);
+    assert_eq!(lint_workspace(&files, &LintOptions::default()), golden);
+}
+
 #[test]
 fn dirty_fixtures_pass_with_their_rule_disabled() {
     for (rel, src, rule) in [
@@ -159,9 +270,14 @@ fn dirty_fixtures_pass_with_their_rule_disabled() {
             include_str!("fixtures/r3_dirty.rs"),
             Rule::PanicPolicy,
         ),
+        (
+            "crates/cpu/src/fixture.rs",
+            include_str!("fixtures/r6_dirty.rs"),
+            Rule::PanicReach,
+        ),
     ] {
         let opts = LintOptions {
-            rule_mask: 0b1111 & !rule.bit(),
+            rule_mask: hbat_lint::diag::all_rules_mask() & !rule.bit(),
         };
         let d = lint_workspace(&[(rel.to_string(), src.to_string())], &opts);
         assert!(

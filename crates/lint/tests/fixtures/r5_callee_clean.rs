@@ -1,0 +1,9 @@
+//! R5 fixture callee (clean): the same helper with its one deliberate
+//! allocation suppressed at the callee — the escape hatch works from
+//! the far side of the crate boundary.
+
+pub fn build_index(i: usize) -> usize {
+    // hbat-lint: allow(hot-prop) one-time setup, amortised over the scan
+    let v: Vec<usize> = (0..i).collect();
+    v.len()
+}

@@ -1,0 +1,9 @@
+//! R5 fixture callee (dirty): an allocating helper in a different crate
+//! than the hot caller. No `hbat-lint: hot` marker appears in this file,
+//! so the intraprocedural R2 provably cannot flag it — only R5's
+//! propagation through the call graph can.
+
+pub fn build_index(i: usize) -> usize {
+    let v: Vec<usize> = (0..i).collect();
+    v.len()
+}

@@ -1,0 +1,15 @@
+//! R5 fixture caller: a hot region whose loop calls into another crate.
+//! The caller itself is allocation-free — everything R2 can see is
+//! clean; whether the workspace passes depends entirely on the callee.
+
+use hbat_mem::build_index;
+
+pub fn scan_loop(n: usize) -> usize {
+    let mut acc = 0;
+    // hbat-lint: hot — the per-access loop
+    for i in 0..n {
+        acc += build_index(i);
+    }
+    // hbat-lint: cold
+    acc
+}

@@ -1,0 +1,32 @@
+//! R6 fixture (clean): the same reachable call chain with every panic
+//! site either documented (`# Panics`), suppressed with a reasoned
+//! allow, or rewritten to return an `Option`.
+
+const LOOKUP: [u64; 4] = [0, 1, 2, 3];
+
+struct Engine;
+
+impl Engine {
+    pub fn run(&mut self) -> u64 {
+        step_all(3).unwrap_or(0)
+    }
+}
+
+fn step_all(i: usize) -> Option<u64> {
+    checked(i).map(|v| v + documented(i) + allowed(i))
+}
+
+fn checked(i: usize) -> Option<u64> {
+    LOOKUP.get(i).copied()
+}
+
+/// # Panics
+/// If `i` is out of range — callers index within `LOOKUP` by contract.
+fn documented(i: usize) -> u64 {
+    LOOKUP[i]
+}
+
+fn allowed(i: usize) -> u64 {
+    // hbat-lint: allow(panic-reach) index clamped by every caller
+    LOOKUP[i.min(3)]
+}

@@ -1,0 +1,21 @@
+//! R6 fixture (dirty): a panic site two hops below `Engine::run`, with
+//! no `# Panics` doc and no allow — R3 never ran on this crate, but the
+//! reachability pass must still flag it.
+
+const LOOKUP: [u64; 4] = [0, 1, 2, 3];
+
+struct Engine;
+
+impl Engine {
+    pub fn run(&mut self) -> u64 {
+        step_all(3)
+    }
+}
+
+fn step_all(i: usize) -> u64 {
+    translate_one(i)
+}
+
+fn translate_one(i: usize) -> u64 {
+    LOOKUP[i]
+}

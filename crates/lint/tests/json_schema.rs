@@ -1,0 +1,229 @@
+//! The machine-readable surfaces are contracts: `--json` findings and
+//! `--graph` dumps are parsed by CI and external tooling. A golden test
+//! pins the findings schema byte-for-byte; a strict validator proves
+//! every emitted document is well-formed JSON; and the graph dump must
+//! cover every workspace crate.
+
+use std::path::Path;
+
+use hbat_lint::diag::{render_json, Diagnostic, Rule};
+use hbat_lint::graph::render_graph_json;
+use hbat_lint::{analyze_workspace, walk};
+
+// ---- a strict, dependency-free JSON validator --------------------------
+
+/// Validates that `s` is exactly one JSON value (RFC 8259 subset: no
+/// trailing garbage, strict literals). Returns the error position.
+fn validate_json(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i == b.len() {
+        Ok(())
+    } else {
+        Err(i)
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        _ => Err(*i),
+    }
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), usize> {
+    if b[*i..].starts_with(lit) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(*i)
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(*i);
+        }
+        *i += 1;
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(*i),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(*i),
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(*i);
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => *i += 2,
+            0x00..=0x1f => return Err(*i),
+            _ => *i += 1,
+        }
+    }
+    Err(*i)
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while b
+        .get(*i)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *i += 1;
+    }
+    if *i == start {
+        Err(start)
+    } else {
+        Ok(())
+    }
+}
+
+fn assert_valid(s: &str) {
+    if let Err(pos) = validate_json(s) {
+        let lo = pos.saturating_sub(40);
+        let hi = (pos + 40).min(s.len());
+        panic!("invalid JSON at byte {pos}: …{}…", &s[lo..hi]);
+    }
+}
+
+// ---- golden findings schema --------------------------------------------
+
+#[test]
+fn findings_json_matches_the_golden_schema() {
+    let findings = vec![
+        (
+            Diagnostic {
+                rule: Rule::HotProp,
+                file: "crates/mem/src/lib.rs".into(),
+                line: 7,
+                message: "allocation in `build_index`".into(),
+            },
+            true,
+        ),
+        (
+            Diagnostic {
+                rule: Rule::PanicReach,
+                file: "crates/cpu/src/engine.rs".into(),
+                line: 42,
+                message: "say \"no\"".into(),
+            },
+            false,
+        ),
+    ];
+    let expected = "{\n  \"findings\": [\n    \
+         {\"rule\": \"R5\", \"name\": \"hot-prop\", \"file\": \"crates/mem/src/lib.rs\", \
+         \"line\": 7, \"message\": \"allocation in `build_index`\", \"new\": true},\n    \
+         {\"rule\": \"R6\", \"name\": \"panic-reach\", \"file\": \"crates/cpu/src/engine.rs\", \
+         \"line\": 42, \"message\": \"say \\\"no\\\"\", \"new\": false}\n  \
+         ],\n  \"total\": 2,\n  \"new\": 1\n}";
+    let got = render_json(&findings);
+    assert_eq!(got, expected, "schema drift — update consumers first");
+    assert_valid(&got);
+}
+
+#[test]
+fn empty_findings_json_is_valid() {
+    assert_valid(&render_json(&[]));
+}
+
+// ---- graph dump over the real workspace --------------------------------
+
+#[test]
+fn graph_json_is_valid_and_covers_every_workspace_crate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels below the workspace root")
+        .to_path_buf();
+    let files = walk::collect_files(&root).expect("walk workspace");
+    let ws = analyze_workspace(&files);
+    let json = render_graph_json(&ws.files, &ws.graph, &ws.propagation);
+    assert_valid(&json);
+
+    // Every crates/<name> directory must appear in the "crates" list
+    // under its import name.
+    let mut missing = Vec::new();
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates dir") {
+        let name = entry.expect("dir entry").file_name();
+        let import = format!("\"hbat_{}\"", name.to_string_lossy());
+        if !json.contains(&import) {
+            missing.push(import);
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "crates absent from --graph: {missing:?}"
+    );
+
+    // The engine entry points must be present and panic-reachable, and
+    // the graph must be non-trivial.
+    assert!(json.contains("hbat_cpu::engine::Engine::run"));
+    assert!(json.contains("\"schema\": 1"));
+    let node_count = json.matches("\"crate\":").count();
+    assert!(node_count > 100, "suspiciously small graph: {node_count}");
+}

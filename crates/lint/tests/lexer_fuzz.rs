@@ -1,0 +1,95 @@
+//! Property tests: the lexer must terminate without panicking on
+//! arbitrary input, and its line numbers must stay consistent with the
+//! source. Lint tools see half-saved buffers, merge conflicts, and
+//! generated code — "degrade gracefully" has to hold for *any* bytes.
+
+use proptest::prelude::*;
+
+use hbat_lint::lexer::{lex, TokenKind};
+
+/// Every lexer invariant worth checking on arbitrary input.
+fn check_invariants(src: &str) -> Result<(), TestCaseError> {
+    let toks = lex(src);
+    let total_lines = src.lines().count().max(1) as u32;
+    let mut prev_line = 1u32;
+    for t in &toks {
+        prop_assert!(t.line >= 1, "line numbers are 1-based: {t:?}");
+        prop_assert!(
+            t.line <= total_lines,
+            "token line {} beyond the {} source lines",
+            t.line,
+            total_lines
+        );
+        prop_assert!(
+            t.line >= prev_line,
+            "token lines must be non-decreasing: {} after {}",
+            t.line,
+            prev_line
+        );
+        prev_line = t.line;
+        if t.kind == TokenKind::Ident {
+            prop_assert!(!t.text.is_empty(), "idents carry their lexeme");
+        }
+    }
+    Ok(())
+}
+
+/// Fragments that exercise every branch: literal prefixes, comment
+/// openers, escapes, and plain code, concatenated in random orders.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}",
+    "r#\"raw\"#",
+    "r##\"",
+    "br#",
+    "b'",
+    "b\"bytes",
+    "\"open",
+    "\\\n",
+    "'a",
+    "'x'",
+    "'\\u{41}'",
+    "'\\x",
+    "/* nest /*",
+    "*/",
+    "// line",
+    "1.5e-3",
+    "0x1F_u64",
+    "1..5",
+    "r#type",
+    "r#",
+    "#[derive(Debug)]",
+    "\n",
+    "\u{1F600}",
+    "█",
+    "\\",
+    "\"",
+    "'",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (lossily decoded — the walker reads files the
+    /// same way) never panic the lexer, and it always terminates.
+    #[test]
+    fn lexer_survives_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        check_invariants(&src)?;
+    }
+
+    /// Random concatenations of tricky Rust fragments — denser coverage
+    /// of the literal/comment branches than uniform bytes reach.
+    #[test]
+    fn lexer_survives_adversarial_fragments(
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..24),
+        sep in 0usize..3,
+    ) {
+        let sep = [" ", "", "\n"][sep];
+        let src: String = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(sep);
+        check_invariants(&src)?;
+    }
+}
