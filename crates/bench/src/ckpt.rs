@@ -1,0 +1,554 @@
+//! Crash-safe checkpointing for long-running sweeps.
+//!
+//! A checkpointed sweep splits every benchmark into a cheap functional
+//! *fast-forward* phase (Machine-only stepping to a fixed boundary `F`,
+//! publishing verified snapshots every `interval` committed
+//! instructions) and a detailed *timing* phase over the remaining trace
+//! tail with the warm micro-architectural state installed. A killed or
+//! faulted run restores from the newest snapshot that decodes,
+//! checksums, and identity-checks cleanly — corrupt snapshots are
+//! rejected with a typed [`CkptError`] and the restore falls back to the
+//! previous one (or a cold start), never to questionable state.
+//!
+//! The timing metrics of a checkpointed cell are a pure function of
+//! `(benchmark, configuration, F)`: the snapshot carries the *exact*
+//! warm-state accumulator, so a run restored at any intermediate index
+//! reaches the boundary with bit-identical state to a run that never
+//! crashed. [`verify_restore_equivalence`] proves that end to end, and
+//! `F` is folded into [`ckpt_fingerprint`] so journals and snapshots
+//! from different boundaries can never be mixed up.
+
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+
+use hbat_ckpt::format::checksum_of;
+use hbat_ckpt::{fast_forward, CheckpointStore, CkptError, Snapshot};
+use hbat_core::designs::spec::DesignSpec;
+use hbat_cpu::{simulate_uops_warm, RunMetrics, WarmAccumulator, WarmState};
+use hbat_isa::uop::PredecodedTrace;
+use hbat_isa::Machine;
+use hbat_workloads::{Benchmark, Workload};
+
+use crate::experiment::ExperimentConfig;
+use crate::faults::{CkptFault, FaultPlan};
+use crate::journal::fnv1a_hex;
+
+/// Where and how a checkpointed sweep snapshots.
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Snapshot directory (shared by all benchmarks; files are
+    /// content-addressed by benchmark + fingerprint + index).
+    pub dir: PathBuf,
+    /// Committed instructions between snapshots during fast-forward.
+    pub interval: u64,
+    /// The fast-forward boundary `F`: every benchmark executes
+    /// functionally to `min(F, program end)` before detailed timing
+    /// begins.
+    pub boundary: u64,
+}
+
+/// The checkpoint identity fingerprint: the experiment fingerprint with
+/// the fast-forward boundary folded in. Metrics depend on both, so two
+/// runs share snapshots (and journal records) only when the whole
+/// configuration *and* the boundary match.
+pub fn ckpt_fingerprint(cfg: &ExperimentConfig, boundary: u64) -> String {
+    fnv1a_hex(&format!("{cfg:?}/ff={boundary}"))
+}
+
+/// One benchmark's warm timing input: the detailed-timing tail of the
+/// trace plus the warm state to install before replaying it.
+#[derive(Debug, Clone)]
+pub struct WarmTrace {
+    /// Predecoded committed-path tail, from the boundary to the end.
+    pub tail: PredecodedTrace,
+    /// Warm micro-architectural state at the boundary.
+    pub warm: WarmState,
+    /// Where timing starts: `min(F, halt point)`.
+    pub start: u64,
+    /// The snapshot index this build restored from (`None` = cold start).
+    pub restored_from: Option<u64>,
+    /// Snapshots rejected during the restore scan, newest first, with
+    /// their typed errors rendered — evidence of detection-plus-recovery.
+    pub rejected: Vec<(PathBuf, String)>,
+}
+
+/// Fast-forwards `machine` to `target` (or the halt point), then runs it
+/// to completion collecting the timing tail.
+fn finish(
+    workload: &Workload,
+    machine: &mut Machine,
+    acc: &WarmAccumulator,
+    tail_guard: u64,
+) -> Result<(PredecodedTrace, WarmState), CkptError> {
+    let tail = machine.run_to_vec(tail_guard);
+    if !machine.is_halted() {
+        return Err(CkptError::Malformed(format!(
+            "workload {} did not halt within {tail_guard} tail steps",
+            workload.name
+        )));
+    }
+    Ok((PredecodedTrace::predecode(&tail), acc.warm_state()))
+}
+
+/// Builds a benchmark's warm trace with *no* disk involvement: a pure
+/// in-memory fast-forward to `boundary`. This is the differential
+/// reference the checkpointed path must match bit for bit.
+///
+/// # Errors
+///
+/// Fails only if the workload misbehaves (does not halt within its step
+/// budget).
+pub fn build_warm_trace_cold(
+    bench: Benchmark,
+    cfg: &ExperimentConfig,
+    boundary: u64,
+) -> Result<WarmTrace, CkptError> {
+    let workload = bench.build(&cfg.workload);
+    let mut machine = workload.instantiate();
+    let mut acc = WarmAccumulator::new(&cfg.sim, cfg.geometry);
+    let out = fast_forward(
+        &mut machine,
+        &mut acc,
+        0,
+        boundary,
+        boundary.max(1),
+        None,
+        |_, _, _| Ok(()),
+    )?;
+    let (tail, warm) = finish(&workload, &mut machine, &acc, workload.max_steps)?;
+    Ok(WarmTrace {
+        tail,
+        warm,
+        start: out.index,
+        restored_from: None,
+        rejected: Vec::new(),
+    })
+}
+
+/// Re-signs a snapshot image so only the deliberately-wrong field can be
+/// blamed when the decoder rejects it.
+fn resign(bytes: &mut [u8]) {
+    if bytes.len() < 28 {
+        return;
+    }
+    let body_end = bytes.len() - 8;
+    let sum = checksum_of(&bytes[..body_end]);
+    bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Applies a checkpoint corruption fault to the newest on-disk snapshot
+/// (no-op when the store is empty or the fault is [`CkptFault::FfPanic`],
+/// which targets the fast-forward itself). The write is deliberately
+/// *not* atomic — it simulates external corruption, which the restore
+/// scan must detect and recover from.
+fn corrupt_newest(store: &CheckpointStore, fault: CkptFault) -> Result<(), CkptError> {
+    if fault == CkptFault::FfPanic {
+        return Ok(());
+    }
+    let Some(&idx) = store.indices()?.last() else {
+        return Ok(());
+    };
+    let path = store.path_for(idx);
+    let mut bytes = std::fs::read(&path)?;
+    match fault {
+        // hbat-lint: allow(panic) FfPanic returned early above
+        CkptFault::FfPanic => unreachable!("handled above"),
+        CkptFault::Torn => {
+            let cut = bytes.len() * 2 / 3;
+            bytes.truncate(cut);
+        }
+        CkptFault::BitFlip => {
+            let at = bytes.len() / 2;
+            bytes[at] ^= 0x10;
+        }
+        CkptFault::Truncate => bytes.truncate(20.min(bytes.len())),
+        CkptFault::VersionMismatch => {
+            bytes[8] = 0x7F;
+            resign(&mut bytes);
+        }
+        CkptFault::FingerprintMismatch => {
+            let mut snap = Snapshot::decode(&bytes)?;
+            snap.fingerprint = "feedfacefeedface".to_owned();
+            bytes = snap.encode();
+        }
+    }
+    std::fs::write(&path, &bytes)?;
+    Ok(())
+}
+
+/// Builds a benchmark's warm trace through the checkpoint store:
+/// restores from the newest valid snapshot at or below the boundary
+/// (cold-starting past any rejected ones), fast-forwards the remainder
+/// while publishing snapshots every `opts.interval` instructions, and
+/// returns the timing tail plus warm state. Bit-identical to
+/// [`build_warm_trace_cold`] wherever it restores from, which
+/// [`verify_restore_equivalence`] checks.
+///
+/// `attempt` is the executor's 1-based retry attempt; an armed
+/// [`CkptFault::FfPanic`] panics the first attempt right after its first
+/// snapshot lands, so the retry must resume from it. Corruption faults
+/// sabotage the newest on-disk snapshot *before* the restore scan.
+///
+/// # Errors
+///
+/// Disk and decode errors on the snapshot path, [`CkptError::Cancelled`]
+/// when the executor's watchdog fires, or a malformed workload.
+///
+/// # Panics
+///
+/// Panics when an armed `FfPanic` fault fires (the injected fault — the
+/// executor's cell isolation catches it) or if the restored snapshot
+/// carries arch state the workload's program rejects, which the decode
+/// and identity layers make unreachable short of a bug.
+pub fn build_warm_trace(
+    bench: Benchmark,
+    bi: usize,
+    cfg: &ExperimentConfig,
+    opts: &CheckpointOptions,
+    faults: &FaultPlan,
+    attempt: u32,
+    cancel: Option<&AtomicBool>,
+) -> Result<WarmTrace, CkptError> {
+    let fingerprint = ckpt_fingerprint(cfg, opts.boundary);
+    let store = CheckpointStore::new(&opts.dir, bench.name(), &fingerprint);
+    if let Some(fault) = faults.ckpt_fault_for(bi) {
+        corrupt_newest(&store, fault)?;
+    }
+
+    let scan = store.latest_valid(opts.boundary)?;
+    let workload = bench.build(&cfg.workload);
+    let mut machine = workload.instantiate();
+    let (mut acc, from, restored_from) = match scan.snapshot {
+        Some(snap) => {
+            machine
+                .restore_arch_state(&snap.arch)
+                .map_err(CkptError::Malformed)?;
+            machine.memory_mut().clear();
+            for (base, bytes) in &snap.mem_chunks {
+                machine
+                    .memory_mut()
+                    .import_chunk(*base, bytes)
+                    .map_err(CkptError::Malformed)?;
+            }
+            let acc = WarmAccumulator::import(&cfg.sim, cfg.geometry, &snap.warm);
+            (acc, snap.index, Some(snap.index))
+        }
+        None => (WarmAccumulator::new(&cfg.sim, cfg.geometry), 0, None),
+    };
+
+    let ff_panic = faults.ckpt_fault_for(bi) == Some(CkptFault::FfPanic) && attempt <= 1;
+    let mut saved = 0u64;
+    let out = fast_forward(
+        &mut machine,
+        &mut acc,
+        from,
+        opts.boundary,
+        opts.interval,
+        cancel,
+        |m, a, i| {
+            let snap = Snapshot {
+                bench: bench.name().to_owned(),
+                fingerprint: fingerprint.clone(),
+                index: i,
+                arch: m.arch_state(),
+                mem_chunks: m
+                    .memory()
+                    .export_chunks()
+                    .into_iter()
+                    .map(|(base, bytes)| (base, bytes.to_vec()))
+                    .collect(),
+                warm: a.export(),
+            };
+            store.save(&snap)?;
+            saved += 1;
+            assert!(
+                !(ff_panic && saved >= 1),
+                "injected fault: fast-forward for {} panicked after checkpoint {i}",
+                bench.name()
+            );
+            Ok(())
+        },
+    )?;
+
+    let (tail, warm) = finish(&workload, &mut machine, &acc, workload.max_steps)?;
+    Ok(WarmTrace {
+        tail,
+        warm,
+        start: out.index,
+        restored_from,
+        rejected: scan
+            .rejected
+            .into_iter()
+            .map(|(path, e)| (path, e.to_string()))
+            .collect(),
+    })
+}
+
+/// Runs one (warm trace, design) timing cell: installs the warm state,
+/// then replays the tail. The checkpointed counterpart of
+/// [`crate::experiment::run_cell_uops`].
+pub fn run_warm_cell(wt: &WarmTrace, design: DesignSpec, cfg: &ExperimentConfig) -> RunMetrics {
+    let mut translator = design.build(cfg.geometry, cfg.design_seed);
+    simulate_uops_warm(&cfg.sim, wt.tail.ops(), translator.as_mut(), &wt.warm)
+}
+
+/// [`run_warm_cell`] under a [`hbat_obs::TraceRecorder`] — the observed
+/// sweep's checkpointed cell path. Metrics stay bit-identical to the
+/// unobserved run (the observability contract).
+pub fn run_warm_cell_traced(
+    wt: &WarmTrace,
+    design: DesignSpec,
+    cfg: &ExperimentConfig,
+) -> (RunMetrics, hbat_obs::TraceRecorder) {
+    let mut translator = design.build(cfg.geometry, cfg.design_seed);
+    let mut rec = hbat_obs::TraceRecorder::new();
+    let metrics = hbat_cpu::simulate_uops_warm_with_recorder(
+        &cfg.sim,
+        wt.tail.ops(),
+        translator.as_mut(),
+        &wt.warm,
+        &mut rec,
+    );
+    (metrics, rec)
+}
+
+/// What [`verify_restore_equivalence`] proved.
+#[derive(Debug)]
+pub struct EquivalenceReport {
+    /// The snapshot index the restored run resumed from.
+    pub restored_from: u64,
+    /// Designs whose metrics were compared (all bit-identical).
+    pub designs_checked: usize,
+}
+
+/// Differential proof that restore is exact: builds the benchmark's warm
+/// trace cold (pure in-memory) and through the checkpoint store with a
+/// forced mid-stream restore, then runs both against every design in
+/// `designs` and demands bit-identical [`RunMetrics`].
+///
+/// The checkpointed side is populated by a first (cold) checkpointing
+/// pass; the boundary snapshot is then deleted so the verification pass
+/// *must* restore from an interior snapshot and re-execute the remainder
+/// — exercising restore, not just replay.
+///
+/// # Errors
+///
+/// A human-readable explanation of the first divergence (or of a
+/// checkpoint-layer failure). `Ok` carries proof of what was checked.
+pub fn verify_restore_equivalence(
+    bench: Benchmark,
+    cfg: &ExperimentConfig,
+    opts: &CheckpointOptions,
+    designs: &[DesignSpec],
+) -> Result<EquivalenceReport, String> {
+    let err = |stage: &str, e: CkptError| format!("{}: {stage}: {e}", bench.name());
+
+    let cold =
+        build_warm_trace_cold(bench, cfg, opts.boundary).map_err(|e| err("cold build", e))?;
+
+    // Pass 1: populate the store (itself a cold start).
+    let first = build_warm_trace(bench, 0, cfg, opts, &FaultPlan::none(), 1, None)
+        .map_err(|e| err("checkpointing pass", e))?;
+    if first.restored_from.is_some() {
+        return Err(format!(
+            "{}: store was expected to start empty (restored from {:?})",
+            bench.name(),
+            first.restored_from
+        ));
+    }
+
+    // Delete the newest snapshot so pass 2 must restore mid-stream and
+    // actually re-execute instructions up to the boundary.
+    let fingerprint = ckpt_fingerprint(cfg, opts.boundary);
+    let store = CheckpointStore::new(&opts.dir, bench.name(), &fingerprint);
+    let indices = store.indices().map_err(|e| err("index scan", e))?;
+    let Some((&newest, earlier)) = indices.split_last() else {
+        return Err(format!("{}: no snapshots were written", bench.name()));
+    };
+    if !earlier.is_empty() {
+        std::fs::remove_file(store.path_for(newest))
+            .map_err(|e| err("snapshot removal", CkptError::Io(e)))?;
+    }
+
+    // Pass 2: restore and resume.
+    let restored = build_warm_trace(bench, 0, cfg, opts, &FaultPlan::none(), 1, None)
+        .map_err(|e| err("restore pass", e))?;
+    let Some(restored_from) = restored.restored_from else {
+        return Err(format!(
+            "{}: restore pass cold-started instead of restoring",
+            bench.name()
+        ));
+    };
+
+    if cold.start != restored.start || cold.warm != restored.warm {
+        return Err(format!(
+            "{}: warm state diverged (cold start {} vs restored start {})",
+            bench.name(),
+            cold.start,
+            restored.start
+        ));
+    }
+    for design in designs {
+        let a = run_warm_cell(&cold, *design, cfg);
+        let b = run_warm_cell(&restored, *design, cfg);
+        if a != b {
+            return Err(format!(
+                "{}: {} metrics diverged after restore from {restored_from}:\n  cold:     {a:?}\n  restored: {b:?}",
+                bench.name(),
+                design.mnemonic()
+            ));
+        }
+    }
+    Ok(EquivalenceReport {
+        restored_from,
+        designs_checked: designs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbat_workloads::Scale;
+
+    fn tdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("hbat-bench-ckpt-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn opts(dir: PathBuf) -> CheckpointOptions {
+        CheckpointOptions {
+            dir,
+            interval: 400,
+            boundary: 1_000,
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_boundaries() {
+        let cfg = ExperimentConfig::baseline(Scale::Test);
+        assert_ne!(ckpt_fingerprint(&cfg, 100), ckpt_fingerprint(&cfg, 200));
+        assert_ne!(
+            ckpt_fingerprint(&cfg, 100),
+            crate::experiment::config_fingerprint(&cfg)
+        );
+    }
+
+    #[test]
+    fn checkpointed_build_matches_cold_build() {
+        let cfg = ExperimentConfig::baseline(Scale::Test);
+        let dir = tdir("match");
+        let o = opts(dir.clone());
+        let cold = build_warm_trace_cold(Benchmark::Compress, &cfg, o.boundary).unwrap();
+        let ck = build_warm_trace(
+            Benchmark::Compress,
+            0,
+            &cfg,
+            &o,
+            &FaultPlan::none(),
+            1,
+            None,
+        )
+        .unwrap();
+        assert_eq!(cold.start, ck.start);
+        assert_eq!(cold.warm, ck.warm);
+        assert_eq!(cold.tail.ops(), ck.tail.ops());
+        assert!(ck.restored_from.is_none(), "first pass cold-starts");
+
+        // A second pass restores from the boundary snapshot and skips
+        // straight to the tail.
+        let again = build_warm_trace(
+            Benchmark::Compress,
+            0,
+            &cfg,
+            &o,
+            &FaultPlan::none(),
+            1,
+            None,
+        )
+        .unwrap();
+        assert_eq!(again.restored_from, Some(cold.start.min(o.boundary)));
+        assert_eq!(again.warm, cold.warm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn equivalence_verifier_passes_and_restores_midstream() {
+        let cfg = ExperimentConfig::baseline(Scale::Test);
+        let dir = tdir("equiv");
+        let o = opts(dir.clone());
+        let report = verify_restore_equivalence(
+            Benchmark::Compress,
+            &cfg,
+            &o,
+            &[DesignSpec::MultiPorted { ports: 4 }],
+        )
+        .unwrap();
+        assert!(report.restored_from < o.boundary, "restored mid-stream");
+        assert_eq!(report.designs_checked, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_corruption_kind_is_detected_and_recovered() {
+        let cfg = ExperimentConfig::baseline(Scale::Test);
+        for (fault, tag) in [
+            (CkptFault::Torn, "torn"),
+            (CkptFault::BitFlip, "flip"),
+            (CkptFault::Truncate, "trunc"),
+            (CkptFault::VersionMismatch, "version"),
+            (CkptFault::FingerprintMismatch, "fp"),
+        ] {
+            let dir = tdir(&format!("corrupt-{tag}"));
+            let o = opts(dir.clone());
+            let clean = build_warm_trace(
+                Benchmark::Compress,
+                0,
+                &cfg,
+                &o,
+                &FaultPlan::none(),
+                1,
+                None,
+            )
+            .unwrap();
+            let plan = FaultPlan::none().with_ckpt_fault(0, fault);
+            let recovered =
+                build_warm_trace(Benchmark::Compress, 0, &cfg, &o, &plan, 1, None).unwrap();
+            assert!(
+                !recovered.rejected.is_empty(),
+                "{fault:?}: corruption must be detected"
+            );
+            assert_eq!(
+                recovered.warm, clean.warm,
+                "{fault:?}: recovery must reach identical state"
+            );
+            assert!(
+                recovered.restored_from.unwrap_or(0) < o.boundary
+                    || recovered.restored_from.is_none(),
+                "{fault:?}: must not restore from the corrupted boundary snapshot"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn ff_panic_fault_fires_then_retry_restores() {
+        let cfg = ExperimentConfig::baseline(Scale::Test);
+        let dir = tdir("ffpanic");
+        let o = opts(dir.clone());
+        let plan = FaultPlan::none().with_ckpt_fault(0, CkptFault::FfPanic);
+        let attempt1 = std::panic::catch_unwind(|| {
+            build_warm_trace(Benchmark::Compress, 0, &cfg, &o, &plan, 1, None)
+        });
+        assert!(attempt1.is_err(), "attempt 1 must panic after a snapshot");
+
+        // The panic landed after a checkpoint was durably published, so
+        // attempt 2 restores instead of cold-starting.
+        let attempt2 = build_warm_trace(Benchmark::Compress, 0, &cfg, &o, &plan, 2, None).unwrap();
+        assert!(attempt2.restored_from.is_some(), "retry must restore");
+
+        let cold = build_warm_trace_cold(Benchmark::Compress, &cfg, o.boundary).unwrap();
+        assert_eq!(attempt2.warm, cold.warm, "retry reaches identical state");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

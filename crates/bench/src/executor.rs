@@ -133,8 +133,18 @@ impl RunPolicy {
 }
 
 /// Renders one heartbeat line: progress, failure/retry counts,
-/// throughput, and the ETA extrapolated from the current rate.
-fn heartbeat_line(done: usize, n: usize, failed: usize, retried: usize, elapsed: f64) -> String {
+/// throughput, and the ETA extrapolated from the current rate. The
+/// checkpoint counters (process-wide, from [`hbat_ckpt::events`]) are
+/// appended only when a checkpointed sweep has actually used them, so
+/// plain sweeps keep the historical format.
+fn heartbeat_line(
+    done: usize,
+    n: usize,
+    failed: usize,
+    retried: usize,
+    elapsed: f64,
+    ckpt: CkptCounters,
+) -> String {
     let rate = if elapsed > 0.0 {
         done as f64 / elapsed
     } else {
@@ -145,9 +155,46 @@ fn heartbeat_line(done: usize, n: usize, failed: usize, retried: usize, elapsed:
     } else {
         "?".to_owned()
     };
-    format!(
+    let mut line = format!(
         "heartbeat: {done}/{n} cells ({failed} failed, {retried} retried), {rate:.1} cells/s, ETA {eta}"
-    )
+    );
+    if ckpt != CkptCounters::default() {
+        line.push_str(&format!(
+            ", ckpt {} written/{} restored/{} rejected",
+            ckpt.written, ckpt.restored, ckpt.rejected
+        ));
+    }
+    line
+}
+
+/// Checkpoint event deltas for one sweep's heartbeat (counts since the
+/// sweep started, not process lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct CkptCounters {
+    written: u64,
+    restored: u64,
+    rejected: u64,
+}
+
+impl CkptCounters {
+    /// The process-wide counters right now (a baseline to diff against).
+    fn now() -> CkptCounters {
+        CkptCounters {
+            written: hbat_ckpt::events::written(),
+            restored: hbat_ckpt::events::restored(),
+            rejected: hbat_ckpt::events::rejected(),
+        }
+    }
+
+    /// Events since `base`.
+    fn since(base: CkptCounters) -> CkptCounters {
+        let now = CkptCounters::now();
+        CkptCounters {
+            written: now.written.saturating_sub(base.written),
+            restored: now.restored.saturating_sub(base.restored),
+            rejected: now.rejected.saturating_sub(base.rejected),
+        }
+    }
 }
 
 /// Per-attempt execution context handed to fault-tolerant jobs.
@@ -258,6 +305,7 @@ where
             // once the pool drains, prints every full interval.
             let poll = interval.min(Duration::from_millis(50));
             let (done, failed, retried) = (&done, &failed, &retried);
+            let ckpt_base = CkptCounters::now();
             scope.spawn(move || {
                 let mut last_report = Instant::now();
                 while done.load(Ordering::SeqCst) < n {
@@ -276,6 +324,7 @@ where
                                 failed.load(Ordering::SeqCst),
                                 retried.load(Ordering::SeqCst),
                                 epoch.elapsed().as_secs_f64(),
+                                CkptCounters::since(ckpt_base),
                             )
                         );
                     }
@@ -748,15 +797,29 @@ mod tests {
 
     #[test]
     fn heartbeat_line_reports_progress_and_eta() {
-        let s = heartbeat_line(25, 100, 2, 3, 5.0);
+        let s = heartbeat_line(25, 100, 2, 3, 5.0, CkptCounters::default());
         assert_eq!(
             s,
             "heartbeat: 25/100 cells (2 failed, 3 retried), 5.0 cells/s, ETA 15s"
         );
         // Before any cell completes the ETA is unknown, not a panic.
-        let s0 = heartbeat_line(0, 100, 0, 0, 0.0);
+        let s0 = heartbeat_line(0, 100, 0, 0, 0.0, CkptCounters::default());
         assert!(s0.contains("0/100"), "{s0}");
         assert!(s0.ends_with("ETA ?"), "{s0}");
+    }
+
+    #[test]
+    fn heartbeat_line_appends_ckpt_counters_only_when_active() {
+        let ck = CkptCounters {
+            written: 7,
+            restored: 2,
+            rejected: 1,
+        };
+        let s = heartbeat_line(25, 100, 2, 3, 5.0, ck);
+        assert!(
+            s.ends_with("ETA 15s, ckpt 7 written/2 restored/1 rejected"),
+            "{s}"
+        );
     }
 
     #[test]

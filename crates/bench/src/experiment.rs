@@ -30,6 +30,10 @@ use hbat_stats::chart::BarChart;
 use hbat_stats::table::{fnum, fnum_opt, percent_opt, TextTable};
 use hbat_workloads::{Benchmark, Scale, WorkloadConfig};
 
+use crate::ckpt::{
+    build_warm_trace, ckpt_fingerprint, run_warm_cell, run_warm_cell_traced, CheckpointOptions,
+    WarmTrace,
+};
 use crate::executor::{
     parallel_map, parallel_map_outcomes, timed, worker_threads, RunPolicy, SweepTelemetry,
     TraceCache,
@@ -378,6 +382,13 @@ pub struct SweepOptions {
     /// `.obs.jsonl` sidecar (requires `journal`; the main journal stays
     /// byte-identical to an unobserved sweep).
     pub observe: bool,
+    /// Checkpointed mode: fast-forward each benchmark functionally to
+    /// the boundary, publishing crash-safe snapshots, then run detailed
+    /// timing on the tail with warm state installed. A killed or
+    /// faulted run restores from the newest valid snapshot (see
+    /// [`crate::ckpt`]). Changes the cells' metrics — and therefore the
+    /// journal fingerprint — because timing starts at the boundary.
+    pub checkpoint: Option<CheckpointOptions>,
 }
 
 /// The sidecar path that an observed sweep writes its per-cell
@@ -579,6 +590,16 @@ impl FtSweepResult {
     }
 }
 
+/// What phase 1 built for one benchmark: the full trace (normal sweeps)
+/// or a checkpointed warm trace (timing tail + warm state).
+enum BenchInput {
+    /// Full trace from program start; timing covers every instruction.
+    Full(BuiltTrace),
+    /// Fast-forwarded through the checkpoint layer; timing covers the
+    /// tail past the boundary with warm state installed.
+    Warm(Box<WarmTrace>),
+}
+
 /// What one phase-2 cell job produced (before outcome classification).
 enum CellJob {
     /// Executed this run (journalled if a journal is configured).
@@ -649,7 +670,14 @@ pub fn sweep_ft_on(
         opts.threads
     };
     let n_cells = benches.len() * designs.len();
-    let fingerprint = config_fingerprint(cfg);
+    // Checkpointed sweeps fold the fast-forward boundary into the cell
+    // identity: their metrics start timing at the boundary, so they must
+    // never share journal records (or snapshots) with full sweeps or
+    // with a different boundary.
+    let fingerprint = match &opts.checkpoint {
+        Some(ck) => ckpt_fingerprint(cfg, ck.boundary),
+        None => config_fingerprint(cfg),
+    };
     let (hits0, misses0) = (cache.hits(), cache.misses());
 
     // Resume: restore completed cells from the journal. Records keyed
@@ -676,18 +704,40 @@ pub fn sweep_ft_on(
     // of aborting the sweep.
     // hbat-lint: allow(panic) bi < benches.len() by parallel_map_outcomes' contract; an escaped panic here is caught per-cell anyway
     let (trace_outcomes, trace_build) = timed(|| {
-        parallel_map_outcomes(benches.len(), threads, &opts.policy, |bi, _ctx| {
+        parallel_map_outcomes(benches.len(), threads, &opts.policy, |bi, ctx| {
             assert!(
                 !opts.faults.trace_fault_for(bi),
                 "injected fault: trace build for {} panicked",
                 benches[bi].name()
             );
-            cache.get_or_build_uops(benches[bi], &cfg.workload)
+            match &opts.checkpoint {
+                // Checkpointed: restore from the newest valid snapshot
+                // (retries resume from whatever the crashed attempt
+                // published), fast-forward the remainder, snapshot as we
+                // go. A checkpoint-layer error fails this benchmark's
+                // cells cleanly via the isolation layer.
+                Some(ck) => {
+                    let wt = build_warm_trace(
+                        benches[bi],
+                        bi,
+                        cfg,
+                        ck,
+                        &opts.faults,
+                        ctx.attempt,
+                        Some(ctx.cancel_flag()),
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!("checkpointed build for {}: {e}", benches[bi].name())
+                    });
+                    BenchInput::Warm(Box::new(wt))
+                }
+                None => BenchInput::Full(cache.get_or_build_uops(benches[bi], &cfg.workload)),
+            }
         })
     });
     // The raw trace stays available for the corrupt-trace fault path,
     // which serialises `TraceInst` records; cells run on the micro-ops.
-    let mut traces: Vec<Option<BuiltTrace>> = Vec::with_capacity(benches.len());
+    let mut traces: Vec<Option<BenchInput>> = Vec::with_capacity(benches.len());
     let mut trace_errs: Vec<String> = Vec::with_capacity(benches.len());
     for outcome in trace_outcomes {
         trace_errs.push(match &outcome {
@@ -713,7 +763,7 @@ pub fn sweep_ft_on(
             if let Some(metrics) = restored.get(&key) {
                 return CellJob::Restored(metrics.clone());
             }
-            let Some((trace, uops)) = &traces[bi] else {
+            let Some(input) = &traces[bi] else {
                 return CellJob::NoTrace(trace_errs[bi].clone());
             };
             opts.faults.arm(i, ctx.attempt, ctx.cancel_flag());
@@ -722,13 +772,29 @@ pub fn sweep_ft_on(
                 "injected fault: cell {i} stalled past its deadline"
             );
             if opts.faults.fault_for(i) == Some(FaultKind::CorruptTrace) {
+                let decoded_tail;
+                let trace: &[TraceInst] = match input {
+                    BenchInput::Full((trace, _)) => trace,
+                    BenchInput::Warm(wt) => {
+                        decoded_tail = wt.tail.decode();
+                        &decoded_tail
+                    }
+                };
                 run_with_corrupt_trace(i, trace, &opts.faults);
             }
-            let (metrics, rec) = if opts.observe {
-                let (metrics, rec) = run_cell_uops_traced(uops, designs[di], cfg);
-                (metrics, Some(rec))
-            } else {
-                (run_cell_uops(uops, designs[di], cfg), None)
+            let (metrics, rec) = match (input, opts.observe) {
+                (BenchInput::Full((_, uops)), false) => {
+                    (run_cell_uops(uops, designs[di], cfg), None)
+                }
+                (BenchInput::Full((_, uops)), true) => {
+                    let (metrics, rec) = run_cell_uops_traced(uops, designs[di], cfg);
+                    (metrics, Some(rec))
+                }
+                (BenchInput::Warm(wt), false) => (run_warm_cell(wt, designs[di], cfg), None),
+                (BenchInput::Warm(wt), true) => {
+                    let (metrics, rec) = run_warm_cell_traced(wt, designs[di], cfg);
+                    (metrics, Some(rec))
+                }
             };
             if let Some(w) = &writer {
                 if let Err(e) = w.append(&JournalRecord {

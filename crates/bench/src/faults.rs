@@ -15,6 +15,18 @@
 //! HBAT_FAULT_PLAN="seed=7,panic=3,stall=1,corrupt=2"   seeded random cells
 //! HBAT_FAULT_PLAN="panic@4,stall@9,corrupt@12"          explicit cells
 //! ```
+//!
+//! Checkpoint faults target the snapshot subsystem instead of cells and
+//! are keyed by *benchmark* index (checkpoints are per-benchmark):
+//!
+//! ```text
+//! HBAT_FAULT_PLAN="ff_panic@0"       fast-forward panics after its first checkpoint
+//! HBAT_FAULT_PLAN="ckpt_torn@1"      newest snapshot torn mid-body
+//! HBAT_FAULT_PLAN="ckpt_flip@2"      one body bit flipped
+//! HBAT_FAULT_PLAN="ckpt_trunc@3"     snapshot cut to a bare header
+//! HBAT_FAULT_PLAN="ckpt_version@4"   version patched, file re-signed
+//! HBAT_FAULT_PLAN="ckpt_fp@5"        alien fingerprint, file re-signed
+//! ```
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,6 +49,29 @@ pub enum FaultKind {
     CorruptTrace,
 }
 
+/// Faults against the checkpoint subsystem, keyed by *benchmark* index
+/// (snapshots are per-benchmark, shared by that benchmark's cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptFault {
+    /// The fast-forward phase panics on its first attempt, after at
+    /// least one checkpoint has been published — the retry must restore
+    /// from the snapshot instead of cold-starting.
+    FfPanic,
+    /// The newest snapshot is torn mid-body, as if a write bypassed the
+    /// atomic publisher and was killed partway.
+    Torn,
+    /// One bit of the newest snapshot's body is flipped.
+    BitFlip,
+    /// The newest snapshot is cut down to a bare header prefix.
+    Truncate,
+    /// The newest snapshot's version field is patched and the file
+    /// re-signed, so only the version check (not the checksum) can fire.
+    VersionMismatch,
+    /// The newest snapshot's contents are re-encoded under an alien
+    /// config fingerprint (checksum-valid, identity-invalid).
+    FingerprintMismatch,
+}
+
 /// A deterministic assignment of faults to sweep cell indices.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
@@ -44,6 +79,8 @@ pub struct FaultPlan {
     /// Benchmark indices whose trace build panics (exercises the
     /// skip-dependent-cells path).
     trace_faults: BTreeMap<usize, ()>,
+    /// Benchmark indices whose checkpoint pipeline is sabotaged.
+    ckpt_faults: BTreeMap<usize, CkptFault>,
     seed: u64,
 }
 
@@ -65,7 +102,7 @@ impl FaultPlan {
 
     /// True when the plan injects no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty() && self.trace_faults.is_empty()
+        self.faults.is_empty() && self.trace_faults.is_empty() && self.ckpt_faults.is_empty()
     }
 
     /// Number of cell faults in the plan.
@@ -124,6 +161,13 @@ impl FaultPlan {
         self
     }
 
+    /// Arms a checkpoint fault for benchmark index `bi`.
+    #[must_use]
+    pub fn with_ckpt_fault(mut self, bi: usize, fault: CkptFault) -> Self {
+        self.ckpt_faults.insert(bi, fault);
+        self
+    }
+
     /// The fault (if any) armed on cell `index`.
     pub fn fault_for(&self, index: usize) -> Option<FaultKind> {
         self.faults.get(&index).copied()
@@ -132,6 +176,11 @@ impl FaultPlan {
     /// Is benchmark index `bi`'s trace build armed to fail?
     pub fn trace_fault_for(&self, bi: usize) -> bool {
         self.trace_faults.contains_key(&bi)
+    }
+
+    /// The checkpoint fault (if any) armed on benchmark index `bi`.
+    pub fn ckpt_fault_for(&self, bi: usize) -> Option<CkptFault> {
+        self.ckpt_faults.get(&bi).copied()
     }
 
     /// The faulted cell indices, ascending.
@@ -196,6 +245,7 @@ impl FaultPlan {
         let mut seed = 0u64;
         let mut counts = [0usize; 3]; // panic, stall, corrupt
         let mut explicit: Vec<(usize, FaultKind)> = Vec::new();
+        let mut explicit_ckpt: Vec<(usize, CkptFault)> = Vec::new();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             if let Some((key, value)) = part.split_once('=') {
                 match (key.trim(), value.trim().parse::<u64>()) {
@@ -206,15 +256,25 @@ impl FaultPlan {
                     _ => eprintln!("warning: ignoring fault-plan term {part:?}"),
                 }
             } else if let Some((kind, at)) = part.split_once('@') {
-                let kind = match kind.trim() {
+                let cell_kind = match kind.trim() {
                     "panic" => Some(FaultKind::Panic { failures: u32::MAX }),
                     "panic_once" => Some(FaultKind::Panic { failures: 1 }),
                     "stall" => Some(FaultKind::Stall),
                     "corrupt" => Some(FaultKind::CorruptTrace),
                     _ => None,
                 };
-                match (kind, at.trim().parse::<usize>()) {
-                    (Some(k), Ok(idx)) => explicit.push((idx, k)),
+                let ckpt_kind = match kind.trim() {
+                    "ff_panic" => Some(CkptFault::FfPanic),
+                    "ckpt_torn" => Some(CkptFault::Torn),
+                    "ckpt_flip" => Some(CkptFault::BitFlip),
+                    "ckpt_trunc" => Some(CkptFault::Truncate),
+                    "ckpt_version" => Some(CkptFault::VersionMismatch),
+                    "ckpt_fp" => Some(CkptFault::FingerprintMismatch),
+                    _ => None,
+                };
+                match (cell_kind, ckpt_kind, at.trim().parse::<usize>()) {
+                    (Some(k), _, Ok(idx)) => explicit.push((idx, k)),
+                    (_, Some(f), Ok(bi)) => explicit_ckpt.push((bi, f)),
                     _ => eprintln!("warning: ignoring fault-plan term {part:?}"),
                 }
             } else {
@@ -229,6 +289,9 @@ impl FaultPlan {
         let mut plan = FaultPlan::seeded(seed, bound, counts[0], counts[1], counts[2]);
         for (idx, kind) in explicit {
             plan = plan.with(idx, kind);
+        }
+        for (bi, fault) in explicit_ckpt {
+            plan = plan.with_ckpt_fault(bi, fault);
         }
         plan
     }
@@ -306,5 +369,26 @@ mod tests {
         assert!(!p.trace_fault_for(0));
         assert!(!p.is_empty());
         assert_eq!(p.len(), 0, "trace faults are not cell faults");
+    }
+
+    #[test]
+    fn ckpt_faults_tracked_separately_and_parse() {
+        let p = FaultPlan::none().with_ckpt_fault(3, CkptFault::Torn);
+        assert_eq!(p.ckpt_fault_for(3), Some(CkptFault::Torn));
+        assert_eq!(p.ckpt_fault_for(0), None);
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), 0, "ckpt faults are not cell faults");
+
+        let q = FaultPlan::parse(
+            "ff_panic@0, ckpt_torn@1, ckpt_flip@2, ckpt_trunc@3, ckpt_version@4, ckpt_fp@5",
+            200,
+        );
+        assert_eq!(q.ckpt_fault_for(0), Some(CkptFault::FfPanic));
+        assert_eq!(q.ckpt_fault_for(1), Some(CkptFault::Torn));
+        assert_eq!(q.ckpt_fault_for(2), Some(CkptFault::BitFlip));
+        assert_eq!(q.ckpt_fault_for(3), Some(CkptFault::Truncate));
+        assert_eq!(q.ckpt_fault_for(4), Some(CkptFault::VersionMismatch));
+        assert_eq!(q.ckpt_fault_for(5), Some(CkptFault::FingerprintMismatch));
+        assert_eq!(q.len(), 0, "no cell faults from ckpt terms");
     }
 }

@@ -68,34 +68,18 @@ pub fn fnv1a_hex(s: &str) -> String {
     format!("{h:016x}")
 }
 
-/// Writes `contents` to `path` atomically: the bytes land in a unique
-/// temp file in the target directory, then a `rename` publishes them,
-/// so concurrent readers (and a kill at any instant) observe either the
-/// old complete file or the new complete file, never a torn prefix.
+/// Writes `contents` to `path` atomically *and durably*, via
+/// [`hbat_ckpt::write_atomic_bytes`]: the bytes are fsynced into a
+/// unique temp file in the target directory, a `rename` publishes them,
+/// and the parent directory is fsynced so the rename itself survives a
+/// power cut. Concurrent readers (and a kill at any instant) observe
+/// either the old complete file or the new complete file, never a torn
+/// prefix. An earlier version of this function synced only the temp
+/// file, leaving the rename in the directory's page cache — the
+/// checkpoint layer closed that gap and everything now shares its
+/// writer.
 pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
-    let dir = match path.parent() {
-        Some(d) if !d.as_os_str().is_empty() => {
-            std::fs::create_dir_all(d)?;
-            d.to_path_buf()
-        }
-        _ => std::path::PathBuf::from("."),
-    };
-    let base = path
-        .file_name()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
-        .to_string_lossy()
-        .into_owned();
-    let tmp = dir.join(format!(".{base}.tmp{}", std::process::id()));
-    let result = (|| {
-        let mut f = File::create(&tmp)?;
-        f.write_all(contents.as_bytes())?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    result
+    hbat_ckpt::write_atomic_bytes(path, contents.as_bytes())
 }
 
 // ---- serialization -------------------------------------------------------
@@ -653,6 +637,23 @@ mod tests {
         assert_eq!(a, fnv1a_hex("config-a"));
         assert_ne!(a, fnv1a_hex("config-b"));
         assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn write_atomic_is_durable() {
+        // The durability seam: one write_atomic must fsync both the temp
+        // file (contents) and the parent directory (the rename). The
+        // counters are process-wide, so assert deltas, not absolutes.
+        let dir = std::env::temp_dir().join(format!("hbat-durable-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (f0, d0) = (
+            hbat_ckpt::atomic::file_syncs(),
+            hbat_ckpt::atomic::dir_syncs(),
+        );
+        write_atomic(&dir.join("r.json"), "{}\n").unwrap();
+        assert!(hbat_ckpt::atomic::file_syncs() > f0, "contents fsynced");
+        assert!(hbat_ckpt::atomic::dir_syncs() > d0, "rename fsynced");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

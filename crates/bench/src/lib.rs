@@ -32,6 +32,7 @@
 //! the recovery paths ([`faults`]). DESIGN.md §9 documents the failure
 //! model.
 
+pub mod ckpt;
 pub mod executor;
 pub mod experiment;
 pub mod faults;
@@ -39,6 +40,10 @@ pub mod journal;
 pub mod missrate;
 pub mod outcome;
 
+pub use ckpt::{
+    build_warm_trace, build_warm_trace_cold, ckpt_fingerprint, run_warm_cell,
+    verify_restore_equivalence, CheckpointOptions, EquivalenceReport, WarmTrace,
+};
 pub use executor::{
     parallel_map, parallel_map_outcomes, worker_threads, CellCtx, JsonReport, RunPolicy,
     SweepTelemetry, TraceCache,
@@ -48,6 +53,6 @@ pub use experiment::{
     scale_from_args, sweep, sweep_ft, sweep_ft_on, sweep_on, sweep_serial, sweep_table2, trace_for,
     CellResult, ExperimentConfig, FtSweepResult, SweepOptions, SweepResult,
 };
-pub use faults::{FaultKind, FaultPlan};
+pub use faults::{CkptFault, FaultKind, FaultPlan};
 pub use journal::{read_journal, write_atomic, CellKey, JournalRecord, JournalWriter};
 pub use outcome::{CellFailure, CellOutcome, FailureManifest};

@@ -1,0 +1,31 @@
+//! # hbat-ckpt — crash-safe checkpoint/restore for long simulations
+//!
+//! Long sweep campaigns fast-forward hundreds of millions of functional
+//! instructions before the detailed timing window even starts; a crash
+//! near the end used to mean starting over. This crate snapshots the
+//! complete resumable state of a fast-forward run — the functional
+//! [`Machine`](hbat_isa::Machine)'s architectural registers and memory,
+//! plus the exact warm-state accumulator (`hbat_cpu::WarmAccumulator`)
+//! that distils TLB/cache/branch-predictor locality for the timing
+//! engine — into a versioned, checksummed, dependency-free binary format
+//! ([`format::Snapshot`]) published atomically ([`atomic`]) and
+//! content-addressed by `(benchmark, config fingerprint, instruction
+//! index)` ([`store::CheckpointStore`]).
+//!
+//! The integrity model is belt and braces: a length-prefixed header that
+//! rejects truncation and trailing bytes, an FNV-1a-64 trailer that
+//! rejects any flipped bit, and identity fields that reject snapshots
+//! from a different benchmark or configuration. Every rejection is a
+//! typed [`format::CkptError`]; restore falls back to the previous
+//! checkpoint or a cold start, never to silently wrong state.
+
+pub mod atomic;
+pub mod events;
+pub mod ff;
+pub mod format;
+pub mod store;
+
+pub use atomic::write_atomic_bytes;
+pub use ff::{fast_forward, FastForward};
+pub use format::{CkptError, Snapshot, CKPT_VERSION};
+pub use store::CheckpointStore;

@@ -204,6 +204,17 @@ impl AddressTranslator for InterleavedTlb {
         self.in_flight.iter().filter(|s| s.is_some()).count()
     }
 
+    fn warm_insert(&mut self, entry: crate::entry::TlbEntry) {
+        // Route through the bank-selection function, exactly like a fill.
+        let bank = self.select.bank_of_vpn(entry.vpn, self.banks.len());
+        if self.banks[bank].lookup(entry.vpn).is_some() {
+            return;
+        }
+        if let Some(victim) = self.banks[bank].insert(entry) {
+            super::write_back_status(&mut self.pt, &victim);
+        }
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

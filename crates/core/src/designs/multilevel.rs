@@ -205,6 +205,24 @@ impl AddressTranslator for MultiLevelTlb {
         self.l2_port.busy_at(now)
     }
 
+    fn warm_insert(&mut self, entry: crate::entry::TlbEntry) {
+        // Mirror `fill_both` (inclusion invalidations included) without
+        // touching statistics or port timelines.
+        if self.l1.lookup(entry.vpn).is_some() && self.l2.lookup(entry.vpn).is_some() {
+            return;
+        }
+        if self.l2.peek(entry.vpn).is_none() {
+            if let Some(victim) = self.l2.insert(entry) {
+                self.l1.invalidate(victim.vpn);
+                super::write_back_status(&mut self.pt, &victim);
+            }
+        }
+        if self.l1.peek(entry.vpn).is_none() {
+            // Inclusion holds: L1 victims remain replicated in the L2.
+            self.l1.insert(entry);
+        }
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

@@ -122,6 +122,15 @@ impl AddressTranslator for MultiPortedTlb {
         }
     }
 
+    fn warm_insert(&mut self, entry: crate::entry::TlbEntry) {
+        if self.bank.lookup(entry.vpn).is_some() {
+            return;
+        }
+        if let Some(victim) = self.bank.insert(entry) {
+            super::write_back_status(&mut self.pt, &victim);
+        }
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

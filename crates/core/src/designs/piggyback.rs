@@ -164,6 +164,15 @@ impl AddressTranslator for PiggybackTlb {
         }
     }
 
+    fn warm_insert(&mut self, entry: crate::entry::TlbEntry) {
+        if self.bank.lookup(entry.vpn).is_some() {
+            return;
+        }
+        if let Some(victim) = self.bank.insert(entry) {
+            super::write_back_status(&mut self.pt, &victim);
+        }
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

@@ -382,6 +382,19 @@ impl AddressTranslator for PretranslationTlb {
         self.base_port.busy_at(now)
     }
 
+    fn warm_insert(&mut self, entry: crate::entry::TlbEntry) {
+        // Warm only the base TLB. Register-attached pretranslations start
+        // cold on every run, so both sides of a differential comparison see
+        // the same (empty) PTC; no flush is needed because nothing can be
+        // attached before the first translate.
+        if self.base.lookup(entry.vpn).is_some() {
+            return;
+        }
+        if let Some(victim) = self.base.insert(entry) {
+            super::write_back_status(&mut self.pt, &victim);
+        }
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

@@ -107,6 +107,10 @@ impl AddressTranslator for UnlimitedTlb {
         }
     }
 
+    fn warm_insert(&mut self, entry: crate::entry::TlbEntry) {
+        self.entries.entry(entry.vpn).or_insert(entry);
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

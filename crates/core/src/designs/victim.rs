@@ -163,6 +163,19 @@ impl AddressTranslator for VictimTlb {
         }
     }
 
+    fn warm_insert(&mut self, entry: crate::entry::TlbEntry) {
+        if self.bank.lookup(entry.vpn).is_some() || self.victims.lookup(entry.vpn).is_some() {
+            return;
+        }
+        // Mirror the full-miss fill path: install in the base bank, spill
+        // any displaced entry into the victim buffer.
+        if let Some(victim) = self.bank.insert(entry) {
+            if let Some(old) = self.victims.insert(victim) {
+                super::write_back_status(&mut self.pt, &old);
+            }
+        }
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

@@ -68,6 +68,19 @@ pub trait AddressTranslator {
         0
     }
 
+    /// Installs one page-table entry into the design's TLB state as if a
+    /// fill had occurred, without charging ports, latency, or statistics
+    /// — the checkpoint-restore path replays a snapshot's warm TLB
+    /// contents through this, oldest entry first, so replacement
+    /// recency (and any replacement-RNG churn from evictions) is
+    /// reproduced identically on every restore. Evicted victims write
+    /// their status bits back to the page table exactly like a real
+    /// fill's eviction. The default is a no-op: a design with no
+    /// TLB-resident state (or none worth warming) simply starts cold.
+    fn warm_insert(&mut self, entry: crate::entry::TlbEntry) {
+        let _ = entry;
+    }
+
     /// Event counters accumulated so far.
     fn stats(&self) -> &TranslatorStats;
 

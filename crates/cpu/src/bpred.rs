@@ -86,6 +86,33 @@ impl BranchPredictor {
         self.predictions
     }
 
+    /// Current global history register contents.
+    pub fn ghr(&self) -> u32 {
+        self.ghr
+    }
+
+    /// The pattern history table (2-bit counters, one byte each).
+    pub fn pht(&self) -> &[u8] {
+        &self.pht
+    }
+
+    /// Restores learned state (GHR and PHT counters) captured from another
+    /// predictor of the same shape. Accuracy bookkeeping is left untouched:
+    /// it counts only predictions made by *this* run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pht.len()` differs from this predictor's table size.
+    pub fn restore_tables(&mut self, ghr: u32, pht: &[u8]) {
+        assert_eq!(
+            pht.len(),
+            self.pht.len(),
+            "restored PHT must match the configured table size"
+        );
+        self.ghr = ghr;
+        self.pht.copy_from_slice(pht);
+    }
+
     /// Fraction predicted correctly.
     pub fn accuracy(&self) -> f64 {
         if self.predictions == 0 {

@@ -35,7 +35,7 @@
 
 use std::collections::VecDeque;
 
-use hbat_core::addr::Ppn;
+use hbat_core::addr::{PhysAddr, Ppn, VirtAddr, Vpn};
 use hbat_core::cycle::Cycle;
 use hbat_core::request::{TranslateRequest, WritebackKind};
 use hbat_core::translator::AddressTranslator;
@@ -448,6 +448,34 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
             rec,
             obs: ObsFlags::default(),
         }
+    }
+
+    /// Installs warm state captured at a checkpoint boundary before the
+    /// detailed run starts: pre-walks pages in first-touch order (pinning
+    /// the page table's deterministic frame allocation), replays TLB
+    /// entries and cache blocks oldest-first through the stat-free warm
+    /// paths, and restores the branch-predictor tables. Deterministic for
+    /// a given `warm`, so cold and restored differential runs that install
+    /// the same state stay bit-identical.
+    pub fn install_warm(&mut self, warm: &crate::warm::WarmState) {
+        for &vpn in &warm.pages {
+            let _ = self.translator.page_table_mut().walk(Vpn(vpn));
+        }
+        for &vpn in &warm.tlb {
+            let mut e = self.translator.page_table_mut().walk(Vpn(vpn));
+            e.referenced = true;
+            self.translator.warm_insert(e);
+        }
+        for &va in &warm.dblocks {
+            let vpn = self.translator.geometry().vpn(VirtAddr(va));
+            let ppn = self.translator.page_table_mut().walk(vpn).ppn;
+            let pa = self.translator.geometry().splice(ppn, VirtAddr(va));
+            self.dcache.warm_insert(pa);
+        }
+        for &pa in &warm.iblocks {
+            self.icache.warm_insert(PhysAddr(pa));
+        }
+        self.bpred.restore_tables(warm.ghr, &warm.pht);
     }
 
     // hbat-lint: hot — the per-cycle engine loop: run/commit/issue/dispatch must stay allocation-free

@@ -39,11 +39,13 @@ pub mod engine;
 pub mod fu;
 pub mod metrics;
 pub mod uop;
+pub mod warm;
 
 pub use bpred::BranchPredictor;
 pub use config::{IssueModel, SimConfig};
 pub use metrics::RunMetrics;
 pub use uop::EngineOp;
+pub use warm::{WarmAccumulator, WarmExport, WarmState};
 
 use hbat_core::translator::AddressTranslator;
 use hbat_isa::trace::TraceInst;
@@ -143,4 +145,33 @@ pub fn simulate_uops_with_recorder<R: hbat_obs::Recorder>(
     rec: R,
 ) -> RunMetrics {
     engine::Engine::with_recorder(cfg, uops, translator, rec).run()
+}
+
+/// Like [`simulate_uops`], but installing checkpointed warm state (TLB
+/// entries, cache blocks, branch-predictor tables — see [`warm`]) before
+/// the detailed run starts. Passing an empty [`WarmState`] is equivalent
+/// to [`simulate_uops`].
+pub fn simulate_uops_warm(
+    cfg: &SimConfig,
+    uops: &[MicroOp],
+    translator: &mut dyn AddressTranslator,
+    warm: &WarmState,
+) -> RunMetrics {
+    let mut e = engine::Engine::new(cfg, uops, translator);
+    e.install_warm(warm);
+    e.run()
+}
+
+/// Like [`simulate_uops_warm`], but reporting cycle-level observations to
+/// `rec` (see [`simulate_with_recorder`]).
+pub fn simulate_uops_warm_with_recorder<R: hbat_obs::Recorder>(
+    cfg: &SimConfig,
+    uops: &[MicroOp],
+    translator: &mut dyn AddressTranslator,
+    warm: &WarmState,
+    rec: R,
+) -> RunMetrics {
+    let mut e = engine::Engine::with_recorder(cfg, uops, translator, rec);
+    e.install_warm(warm);
+    e.run()
 }

@@ -1,0 +1,307 @@
+//! Warm microarchitectural state carried across a checkpoint boundary.
+//!
+//! A long fast-forward run accumulates, per committed instruction, the
+//! locality state a detailed run starting at the boundary would otherwise
+//! have to rediscover: which pages were touched (and in what first-touch
+//! order, which pins down the page table's deterministic frame
+//! allocation), the most-recently-used TLB entries and cache blocks, and
+//! the trained branch-predictor tables.
+//!
+//! Two forms exist:
+//!
+//! * [`WarmExport`] is the *exact* accumulator state — every key with its
+//!   last-touch stamp plus the stamp counter itself. This is what a
+//!   checkpoint serialises, so that an accumulator restored from a
+//!   snapshot and advanced to the boundary is bit-identical to one that
+//!   accumulated the whole prefix cold.
+//! * [`WarmState`] is the *install* form handed to the timing engine:
+//!   recency-ordered key lists truncated to fixed caps. Both the cold and
+//!   the restored path derive it from their (identical) accumulators, so
+//!   the caps never threaten restore equivalence.
+
+use std::collections::{HashMap, HashSet};
+
+use hbat_core::addr::PageGeometry;
+use hbat_isa::trace::TraceInst;
+
+use crate::bpred::BranchPredictor;
+use crate::config::SimConfig;
+
+/// Most-recent TLB entries replayed into a translator at install time.
+pub const WARM_TLB_CAP: usize = 1024;
+/// Most-recent data-cache blocks replayed at install time.
+pub const WARM_DBLOCK_CAP: usize = 4096;
+/// Most-recent instruction-cache blocks replayed at install time.
+pub const WARM_IBLOCK_CAP: usize = 4096;
+
+/// Warm state in install form: what [`crate::engine::Engine::install_warm`]
+/// replays before the detailed run starts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WarmState {
+    /// All distinct data VPNs in first-touch order (reproduces frame
+    /// allocation when pre-walked in order).
+    pub pages: Vec<u64>,
+    /// Data VPNs to warm the TLB with, oldest touch first.
+    pub tlb: Vec<u64>,
+    /// Virtual block addresses to warm the data cache with, oldest first.
+    pub dblocks: Vec<u64>,
+    /// Physical block addresses to warm the instruction cache with,
+    /// oldest first.
+    pub iblocks: Vec<u64>,
+    /// Trained global history register.
+    pub ghr: u32,
+    /// Trained pattern history table.
+    pub pht: Vec<u8>,
+}
+
+/// Exact accumulator state, as serialised in a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WarmExport {
+    /// All distinct data VPNs in first-touch order.
+    pub pages: Vec<u64>,
+    /// `(vpn, last-touch stamp)` for every page referenced, stamp
+    /// ascending.
+    pub tlb: Vec<(u64, u64)>,
+    /// `(virtual block address, last-touch stamp)`, stamp ascending.
+    pub dblocks: Vec<(u64, u64)>,
+    /// `(physical block address, last-touch stamp)`, stamp ascending.
+    pub iblocks: Vec<(u64, u64)>,
+    /// Next stamp the accumulator would hand out.
+    pub stamp: u64,
+    /// Global history register.
+    pub ghr: u32,
+    /// Pattern history table counters.
+    pub pht: Vec<u8>,
+}
+
+impl WarmExport {
+    /// Derives the install form: recency-ordered keys truncated to the
+    /// warm caps (newest survive), oldest-first so LRU replay leaves the
+    /// most recent touches youngest.
+    pub fn to_warm_state(&self) -> WarmState {
+        fn newest(pairs: &[(u64, u64)], cap: usize) -> Vec<u64> {
+            let skip = pairs.len().saturating_sub(cap);
+            pairs[skip..].iter().map(|&(k, _)| k).collect()
+        }
+        WarmState {
+            pages: self.pages.clone(),
+            tlb: newest(&self.tlb, WARM_TLB_CAP),
+            dblocks: newest(&self.dblocks, WARM_DBLOCK_CAP),
+            iblocks: newest(&self.iblocks, WARM_IBLOCK_CAP),
+            ghr: self.ghr,
+            pht: self.pht.clone(),
+        }
+    }
+}
+
+/// Streams committed instructions during fast-forward and distils the warm
+/// state a detailed run would have built up.
+#[derive(Debug, Clone)]
+pub struct WarmAccumulator {
+    geom: PageGeometry,
+    dblock_mask: u64,
+    iblock_mask: u64,
+    pages: Vec<u64>,
+    seen_pages: HashSet<u64>,
+    tlb: HashMap<u64, u64>,
+    dblocks: HashMap<u64, u64>,
+    iblocks: HashMap<u64, u64>,
+    stamp: u64,
+    bpred: BranchPredictor,
+}
+
+impl WarmAccumulator {
+    /// Creates an empty accumulator for the given machine configuration
+    /// (block sizes come from the cache configs; the predictor mirrors the
+    /// engine's Table 1 shape).
+    pub fn new(cfg: &SimConfig, geom: PageGeometry) -> Self {
+        WarmAccumulator {
+            geom,
+            dblock_mask: !(cfg.dcache.block_bytes - 1),
+            iblock_mask: !(cfg.icache.block_bytes - 1),
+            pages: Vec::new(),
+            seen_pages: HashSet::new(),
+            tlb: HashMap::new(),
+            dblocks: HashMap::new(),
+            iblocks: HashMap::new(),
+            stamp: 0,
+            bpred: BranchPredictor::table1(),
+        }
+    }
+
+    /// Notes one committed instruction.
+    pub fn note(&mut self, t: &TraceInst) {
+        // Instruction fetch: the engine's icache is physically addressed at
+        // `pc * 4` (one word per instruction slot).
+        let iblock = (u64::from(t.pc) * 4) & self.iblock_mask;
+        self.iblocks.insert(iblock, self.stamp);
+        self.stamp += 1;
+
+        if let Some(m) = &t.mem {
+            let vpn = self.geom.vpn(m.vaddr).0;
+            if self.seen_pages.insert(vpn) {
+                self.pages.push(vpn);
+            }
+            self.tlb.insert(vpn, self.stamp);
+            self.dblocks
+                .insert(m.vaddr.0 & self.dblock_mask, self.stamp);
+            self.stamp += 1;
+        }
+
+        if let Some(b) = &t.branch {
+            if b.conditional {
+                self.bpred.update(t.pc, b.taken);
+            }
+        }
+    }
+
+    /// Exports the exact accumulator state (for checkpointing).
+    pub fn export(&self) -> WarmExport {
+        // Stamps are unique (one counter, bumped per insert), so sorting by
+        // stamp is a total order: the HashMaps never leak iteration order.
+        fn by_stamp(map: &HashMap<u64, u64>) -> Vec<(u64, u64)> {
+            let mut v: Vec<(u64, u64)> = map.iter().map(|(&k, &s)| (k, s)).collect();
+            v.sort_unstable_by_key(|&(_, s)| s);
+            v
+        }
+        WarmExport {
+            pages: self.pages.clone(),
+            tlb: by_stamp(&self.tlb),
+            dblocks: by_stamp(&self.dblocks),
+            iblocks: by_stamp(&self.iblocks),
+            stamp: self.stamp,
+            ghr: self.bpred.ghr(),
+            pht: self.bpred.pht().to_vec(),
+        }
+    }
+
+    /// The install form of the current state.
+    pub fn warm_state(&self) -> WarmState {
+        self.export().to_warm_state()
+    }
+
+    /// Rebuilds an accumulator from an export so that continuing to
+    /// [`note`](Self::note) from the snapshot point produces exactly the
+    /// state a cold accumulation of the full prefix would.
+    pub fn import(cfg: &SimConfig, geom: PageGeometry, e: &WarmExport) -> Self {
+        let mut acc = WarmAccumulator::new(cfg, geom);
+        acc.pages = e.pages.clone();
+        acc.seen_pages = e.pages.iter().copied().collect();
+        // The export vectors are stamp-sorted Vecs, not hash maps.
+        acc.tlb = e.tlb.iter().copied().collect(); // hbat-lint: allow(determinism) Vec source
+        acc.dblocks = e.dblocks.iter().copied().collect(); // hbat-lint: allow(determinism) Vec source
+        acc.iblocks = e.iblocks.iter().copied().collect(); // hbat-lint: allow(determinism) Vec source
+        acc.stamp = e.stamp;
+        acc.bpred.restore_tables(e.ghr, &e.pht);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbat_core::addr::VirtAddr;
+    use hbat_core::request::AccessKind;
+    use hbat_isa::inst::Width;
+    use hbat_isa::reg::Reg;
+    use hbat_isa::trace::{BranchRec, MemRef, OpClass};
+
+    fn load(serial: u64, pc: u32, va: u64) -> TraceInst {
+        let mut t = TraceInst::blank(serial, pc, OpClass::Load);
+        t.mem = Some(MemRef {
+            vaddr: VirtAddr(va),
+            kind: AccessKind::Load,
+            width: Width::B8,
+            base_reg: Reg::int(1),
+            index_reg: None,
+            offset: 0,
+        });
+        t
+    }
+
+    fn branch(serial: u64, pc: u32, taken: bool) -> TraceInst {
+        let mut t = TraceInst::blank(serial, pc, OpClass::Branch);
+        t.branch = Some(BranchRec {
+            taken,
+            target: 0,
+            conditional: true,
+        });
+        t
+    }
+
+    fn accumulate(insts: &[TraceInst]) -> WarmAccumulator {
+        let mut acc = WarmAccumulator::new(&SimConfig::baseline(), PageGeometry::KB4);
+        for t in insts {
+            acc.note(t);
+        }
+        acc
+    }
+
+    #[test]
+    fn pages_record_first_touch_order() {
+        let acc = accumulate(&[
+            load(0, 0, 0x3000),
+            load(1, 1, 0x1000),
+            load(2, 2, 0x3008),
+            load(3, 3, 0x2000),
+        ]);
+        assert_eq!(acc.export().pages, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn tlb_entries_ordered_by_recency() {
+        let acc = accumulate(&[
+            load(0, 0, 0x1000),
+            load(1, 1, 0x2000),
+            load(2, 2, 0x1000), // re-touch: page 1 is now newest
+        ]);
+        let keys: Vec<u64> = acc.export().tlb.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![2, 1]);
+        assert_eq!(acc.warm_state().tlb, vec![2, 1]);
+    }
+
+    #[test]
+    fn export_import_round_trips_exactly() {
+        let mut insts = Vec::new();
+        for i in 0..200u64 {
+            insts.push(load(i * 2, i as u32, 0x1000 + (i % 7) * 0x1000 + i * 8));
+            insts.push(branch(i * 2 + 1, (i % 13) as u32, i % 3 != 0));
+        }
+        let acc = accumulate(&insts);
+        let e = acc.export();
+        let imported = WarmAccumulator::import(&SimConfig::baseline(), PageGeometry::KB4, &e);
+        assert_eq!(imported.export(), e);
+
+        // Continuing from the import matches continuing from the original.
+        let mut a = acc.clone();
+        let mut b = imported;
+        for i in 0..50u64 {
+            let t = load(400 + i, i as u32, 0x9000 + i * 64);
+            a.note(&t);
+            b.note(&t);
+        }
+        assert_eq!(a.export(), b.export());
+        assert_eq!(a.warm_state(), b.warm_state());
+    }
+
+    #[test]
+    fn warm_state_truncates_to_caps_keeping_newest() {
+        let e = WarmExport {
+            tlb: (0..2000u64).map(|i| (i, i)).collect(),
+            ..WarmExport::default()
+        };
+        let w = e.to_warm_state();
+        assert_eq!(w.tlb.len(), WARM_TLB_CAP);
+        assert_eq!(w.tlb[0], 2000 - WARM_TLB_CAP as u64);
+        assert_eq!(*w.tlb.last().unwrap(), 1999);
+    }
+
+    #[test]
+    fn predictor_tables_survive_export() {
+        let acc = accumulate(&(0..100).map(|i| branch(i, 7, true)).collect::<Vec<_>>());
+        let w = acc.warm_state();
+        let mut p = BranchPredictor::table1();
+        p.restore_tables(w.ghr, &w.pht);
+        assert!(p.predict(7), "trained always-taken branch");
+    }
+}

@@ -15,6 +15,25 @@ use crate::reg::Reg;
 use crate::trace::TraceInst;
 use crate::uop::{AddrKind, DecodedInst, Handler, PredecodedProgram};
 
+/// A complete export of a [`Machine`]'s architectural register and
+/// control state (everything except memory and the static program),
+/// produced by [`Machine::arch_state`] and consumed by
+/// [`Machine::restore_arch_state`] — the checkpoint crate serialises
+/// this verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    /// Integer register file.
+    pub iregs: [i64; 32],
+    /// FP register file as raw IEEE-754 bit patterns (exact round-trip).
+    pub freg_bits: [u64; 32],
+    /// Program counter (instruction index).
+    pub pc: u32,
+    /// Dynamic instructions retired.
+    pub serial: u64,
+    /// Has a `Halt` executed?
+    pub halted: bool,
+}
+
 /// Architectural machine state plus the trace generator.
 ///
 /// The program is predecoded once at construction into a flat
@@ -100,6 +119,48 @@ impl Machine {
     /// Current program counter (instruction index).
     pub fn pc(&self) -> u32 {
         self.pc
+    }
+
+    /// The complete architectural register/control state, for
+    /// checkpointing. FP registers are exported as raw IEEE-754 bits so
+    /// a snapshot round-trip is exact even for NaN payloads.
+    pub fn arch_state(&self) -> ArchState {
+        let mut freg_bits = [0u64; 32];
+        for (bits, f) in freg_bits.iter_mut().zip(&self.fregs) {
+            *bits = f.to_bits();
+        }
+        ArchState {
+            iregs: self.iregs,
+            freg_bits,
+            pc: self.pc,
+            serial: self.serial,
+            halted: self.halted,
+        }
+    }
+
+    /// Restores previously exported architectural state onto this
+    /// machine (the program itself is not part of a snapshot — the
+    /// caller reconstructs the machine from the workload first).
+    ///
+    /// Returns `Err` if the snapshot's program counter does not name an
+    /// instruction of this machine's program — the telltale of a
+    /// snapshot taken from a different workload.
+    pub fn restore_arch_state(&mut self, s: &ArchState) -> Result<(), String> {
+        if !s.halted && (s.pc as usize) >= self.code.code().len() {
+            return Err(format!(
+                "snapshot pc {} out of range for a {}-instruction program",
+                s.pc,
+                self.code.code().len()
+            ));
+        }
+        self.iregs = s.iregs;
+        for (f, bits) in self.fregs.iter_mut().zip(&s.freg_bits) {
+            *f = f64::from_bits(*bits);
+        }
+        self.pc = s.pc;
+        self.serial = s.serial;
+        self.halted = s.halted;
+        Ok(())
     }
 
     // hbat-lint: hot — predecoded handler dispatch, one table access per step

@@ -110,6 +110,55 @@ impl Memory {
             self.write_u8(VirtAddr(addr.0.wrapping_add(i as u64)), b);
         }
     }
+
+    /// The storage-chunk granule in bytes (checkpoint snapshots
+    /// serialise memory as whole chunks of this size).
+    pub const fn chunk_bytes() -> usize {
+        CHUNK_SIZE
+    }
+
+    /// Every materialised chunk as `(base virtual address, bytes)`,
+    /// sorted by base address — a deterministic export for snapshots
+    /// regardless of hash-map iteration order.
+    pub fn export_chunks(&self) -> Vec<(u64, &[u8])> {
+        let mut out: Vec<(u64, &[u8])> = self
+            .chunks // hbat-lint: allow(determinism) sorted by base address below
+            .iter()
+            .map(|(&key, data)| (key << CHUNK_BITS, data.as_slice()))
+            .collect();
+        out.sort_unstable_by_key(|&(base, _)| base);
+        out
+    }
+
+    /// Installs one exported chunk at `base` (a chunk-aligned virtual
+    /// address). Restoring writes whole chunks, so the materialised
+    /// chunk set after a restore matches the exporting machine's
+    /// exactly.
+    ///
+    /// Returns `Err` when `base` is not chunk-aligned or `bytes` is not
+    /// exactly one chunk — a malformed snapshot, not a caller bug.
+    pub fn import_chunk(&mut self, base: u64, bytes: &[u8]) -> Result<(), String> {
+        if base & (CHUNK_SIZE as u64 - 1) != 0 {
+            return Err(format!(
+                "chunk base {base:#x} is not {CHUNK_SIZE}-byte aligned"
+            ));
+        }
+        if bytes.len() != CHUNK_SIZE {
+            return Err(format!(
+                "chunk at {base:#x} has {} bytes (expected {CHUNK_SIZE})",
+                bytes.len()
+            ));
+        }
+        let chunk = self.chunk_mut(base);
+        chunk.copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Drops every materialised chunk (restore replaces memory
+    /// wholesale; the snapshot's chunk set is authoritative).
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +206,34 @@ mod tests {
         let mut m = Memory::new();
         m.write_f64(VirtAddr(8), -1234.5678);
         assert_eq!(m.read_f64(VirtAddr(8)), -1234.5678);
+    }
+
+    #[test]
+    fn chunk_export_import_round_trips() {
+        let mut m = Memory::new();
+        m.write_u64(VirtAddr(0x100), 0x1111);
+        m.write_u64(VirtAddr(0x5000), 0x2222);
+        m.write_u8(VirtAddr(0xffc), 7); // straddles nothing, chunk 0
+        let exported: Vec<(u64, Vec<u8>)> = m
+            .export_chunks()
+            .into_iter()
+            .map(|(b, s)| (b, s.to_vec()))
+            .collect();
+        assert_eq!(exported.len(), 2);
+        assert!(exported.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        let mut r = Memory::new();
+        for (base, bytes) in &exported {
+            r.import_chunk(*base, bytes).unwrap();
+        }
+        assert_eq!(r.read_u64(VirtAddr(0x100)), 0x1111);
+        assert_eq!(r.read_u64(VirtAddr(0x5000)), 0x2222);
+        assert_eq!(r.read_u8(VirtAddr(0xffc)), 7);
+        assert_eq!(r.chunk_count(), m.chunk_count());
+        // Malformed imports are typed errors, not panics.
+        assert!(r.import_chunk(0x10, &[0; 4096]).is_err(), "misaligned");
+        assert!(r.import_chunk(0x1000, &[0; 64]).is_err(), "short chunk");
+        r.clear();
+        assert_eq!(r.chunk_count(), 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! hbat anatomy <bench> [opts]           trace-anatomy ceilings
 //! hbat dump <bench> <file> [opts]       write a binary trace file
 //! hbat replay <file> <design> [opts]    simulate a dumped trace
+//! hbat ckpt <file> [--json]             inspect and verify a snapshot
 //!
 //! options: --scale test|small|reference   (default small)
 //!          --inorder                      in-order issue
@@ -27,15 +28,26 @@
 //!          --heartbeat <secs>             progress line interval, 0 = off
 //!                                         (HBAT_HEARTBEAT; default: off at test
 //!                                         scale, 30 s otherwise)
+//!
+//! sweep checkpointing (see DESIGN.md § 13):
+//!          --ff <n>                       fast-forward each benchmark n committed
+//!                                         instructions functionally before timing
+//!          --ckpt-dir <path>              publish crash-safe snapshots during
+//!                                         fast-forward; restore from the newest
+//!                                         valid one on restart (needs --ff)
+//!          --ckpt-interval <n>            instructions between snapshots
+//!                                         (default: --ff / 4)
 //! ```
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use hbat_suite::analysis::{AdjacencyProfile, PointerProfile, ReuseProfile};
+use hbat_suite::bench::ckpt::CheckpointOptions;
 use hbat_suite::bench::executor::RunPolicy;
 use hbat_suite::bench::experiment::{sweep_ft, ExperimentConfig, SweepOptions};
 use hbat_suite::bench::faults::FaultPlan;
+use hbat_suite::ckpt::Snapshot;
 use hbat_suite::isa::tracefile;
 use hbat_suite::obs::PortResource;
 use hbat_suite::prelude::*;
@@ -55,6 +67,10 @@ struct Options {
     observe: bool,
     heartbeat: Option<f64>,
     out: Option<std::path::PathBuf>,
+    ckpt_dir: Option<std::path::PathBuf>,
+    ckpt_interval: Option<u64>,
+    ff: Option<u64>,
+    json: bool,
     positional: Vec<String>,
 }
 
@@ -72,6 +88,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         observe: false,
         heartbeat: None,
         out: None,
+        ckpt_dir: None,
+        ckpt_interval: None,
+        ff: None,
+        json: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -123,6 +143,28 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--out needs a path")?;
                 o.out = Some(v.into());
             }
+            "--ckpt-dir" => {
+                let v = it.next().ok_or("--ckpt-dir needs a path")?;
+                o.ckpt_dir = Some(v.into());
+            }
+            "--ckpt-interval" => {
+                let v = it
+                    .next()
+                    .ok_or("--ckpt-interval needs an instruction count")?;
+                let n: u64 = v.parse().map_err(|e| format!("bad ckpt interval: {e}"))?;
+                if n == 0 {
+                    return Err("bad ckpt interval `0` (need at least 1 instruction)".to_owned());
+                }
+                o.ckpt_interval = Some(n);
+            }
+            "--ff" => {
+                let v = it.next().ok_or("--ff needs an instruction count")?;
+                o.ff = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad fast-forward count: {e}"))?,
+                );
+            }
+            "--json" => o.json = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown option `{flag}`"));
             }
@@ -189,7 +231,7 @@ fn print_metrics(design: DesignSpec, m: &RunMetrics) {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: hbat <list|run|trace|sweep|anatomy|dump|replay> …");
+        eprintln!("usage: hbat <list|run|trace|sweep|anatomy|dump|replay|ckpt> …");
         return ExitCode::FAILURE;
     };
     let opts = match parse_args(rest) {
@@ -310,6 +352,17 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                     "--observe needs --journal <path> (the sidecar lives next to it)".to_owned(),
                 );
             }
+            if opts.ckpt_dir.is_some() && opts.ff.is_none() {
+                return Err("--ckpt-dir needs --ff <n> (the fast-forward boundary)".to_owned());
+            }
+            if opts.ff.is_some() && opts.ckpt_dir.is_none() {
+                return Err(
+                    "--ff needs --ckpt-dir <path> (fast-forward runs checkpointed)".to_owned(),
+                );
+            }
+            if opts.ckpt_interval.is_some() && opts.ckpt_dir.is_none() {
+                return Err("--ckpt-interval needs --ckpt-dir <path>".to_owned());
+            }
             let cfg = opts.experiment();
             let mut policy = RunPolicy::from_env();
             if let Some(secs) = opts.timeout {
@@ -326,6 +379,14 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             if policy.heartbeat.is_none() && opts.scale != Scale::Test {
                 policy.heartbeat = Some(Duration::from_secs(30));
             }
+            let checkpoint = match (&opts.ckpt_dir, opts.ff) {
+                (Some(dir), Some(boundary)) => Some(CheckpointOptions {
+                    dir: dir.clone(),
+                    interval: opts.ckpt_interval.unwrap_or((boundary / 4).max(1)),
+                    boundary,
+                }),
+                _ => None,
+            };
             let sweep_opts = SweepOptions {
                 threads: 0,
                 policy,
@@ -333,6 +394,7 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 journal: opts.journal.clone(),
                 resume: opts.resume,
                 observe: opts.observe,
+                checkpoint,
             };
             let r = sweep_ft(&DesignSpec::TABLE2, &cfg, &sweep_opts).map_err(|e| e.to_string())?;
             println!("{}", r.render_figure("design sweep"));
@@ -390,6 +452,60 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 std::io::BufWriter::new(std::fs::File::create(path).map_err(|e| e.to_string())?);
             tracefile::write_trace(&mut f, &trace).map_err(|e| e.to_string())?;
             println!("wrote {} records to {path}", trace.len());
+            Ok(())
+        }
+        "ckpt" => {
+            let path = opts.positional.first().ok_or("missing snapshot path")?;
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            // Decode performs the full integrity check (magic, version,
+            // length, checksum, structure); any corruption is a typed
+            // error and a non-zero exit.
+            let snap = Snapshot::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            let mem_bytes: usize = snap.mem_chunks.iter().map(|(_, c)| c.len()).sum();
+            let stored =
+                u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8-byte trailer"));
+            if opts.json {
+                println!(
+                    "{{\"v\":{},\"bench\":\"{}\",\"fingerprint\":\"{}\",\"index\":{},\
+                     \"bytes\":{},\"checksum\":\"{stored:016x}\",\"mem_chunks\":{},\
+                     \"mem_bytes\":{mem_bytes},\"warm_pages\":{},\"warm_tlb\":{},\
+                     \"warm_dblocks\":{},\"warm_iblocks\":{},\"bpred_pht\":{},\
+                     \"halted\":{}}}",
+                    hbat_suite::ckpt::CKPT_VERSION,
+                    snap.bench,
+                    snap.fingerprint,
+                    snap.index,
+                    bytes.len(),
+                    snap.mem_chunks.len(),
+                    snap.warm.pages.len(),
+                    snap.warm.tlb.len(),
+                    snap.warm.dblocks.len(),
+                    snap.warm.iblocks.len(),
+                    snap.warm.pht.len(),
+                    snap.arch.halted,
+                );
+            } else {
+                println!("snapshot          : {path}");
+                println!("version           : {}", hbat_suite::ckpt::CKPT_VERSION);
+                println!("benchmark         : {}", snap.bench);
+                println!("fingerprint       : {}", snap.fingerprint);
+                println!("instruction index : {}", snap.index);
+                println!("file size         : {} bytes", bytes.len());
+                println!("checksum          : {stored:016x} (verified)");
+                println!(
+                    "memory            : {} chunk(s), {mem_bytes} bytes",
+                    snap.mem_chunks.len()
+                );
+                println!(
+                    "warm state        : {} pages / {} tlb / {} dblocks / {} iblocks",
+                    snap.warm.pages.len(),
+                    snap.warm.tlb.len(),
+                    snap.warm.dblocks.len(),
+                    snap.warm.iblocks.len()
+                );
+                println!("branch predictor  : {} PHT entries", snap.warm.pht.len());
+                println!("status            : valid");
+            }
             Ok(())
         }
         "replay" => {

@@ -18,6 +18,8 @@
 //!   [`Recorder`](hbat_obs::Recorder) probes, stall attribution, and
 //!   occupancy histograms;
 //! * `stats` — aggregation and table rendering;
+//! * `ckpt` — crash-safe checkpointing: versioned, checksummed
+//!   warm-state snapshots with verified restore (DESIGN.md § 13);
 //! * `bench` — the harness that regenerates every table and
 //!   figure;
 //! * `analysis` — trace anatomy: reuse distance,
@@ -39,6 +41,7 @@
 
 pub use hbat_analysis as analysis;
 pub use hbat_bench as bench;
+pub use hbat_ckpt as ckpt;
 pub use hbat_core as core;
 pub use hbat_cpu as cpu;
 pub use hbat_isa as isa;

@@ -233,6 +233,140 @@ fn observed_sweep_writes_sidecar_and_heartbeat_is_controllable() {
 }
 
 #[test]
+fn checkpointed_sweep_snapshots_inspect_and_recover() {
+    use hbat_suite::bench::journal::parse_json_object;
+
+    let dir = std::env::temp_dir().join("hbat-cli-ckpt");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let snaps = dir.join("snapshots");
+    let snaps_s = snaps.to_str().unwrap().to_owned();
+    let journal = dir.join("sweep.journal");
+    let journal_s = journal.to_str().unwrap().to_owned();
+
+    // A checkpointed sweep with one injected cell panic: snapshots land
+    // on disk, the failed cell is journalled as missing.
+    let (ok, _, stderr) = hbat_env(
+        &[
+            "sweep",
+            "--scale",
+            "test",
+            "--ff",
+            "1000",
+            "--ckpt-dir",
+            &snaps_s,
+            "--ckpt-interval",
+            "400",
+            "--journal",
+            &journal_s,
+        ],
+        &[("HBAT_FAULT_PLAN", "panic@7")],
+    );
+    assert!(!ok, "a sweep with a failed cell must exit nonzero");
+    assert!(stderr.contains("1 of 130 cell(s) failed"), "{stderr}");
+
+    let mut files: Vec<_> = std::fs::read_dir(&snaps)
+        .expect("snapshot dir created")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "fast-forward must publish snapshots");
+
+    // `hbat ckpt` inspects and integrity-checks a snapshot.
+    let snap_s = files[0].to_str().unwrap();
+    let (ok, stdout, stderr) = hbat(&["ckpt", snap_s]);
+    assert!(ok, "{stderr}");
+    for needle in [
+        "benchmark",
+        "fingerprint",
+        "instruction index",
+        "checksum",
+        "status            : valid",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
+    }
+
+    // --json emits one strict JSON object.
+    let (ok, stdout, stderr) = hbat(&["ckpt", snap_s, "--json"]);
+    assert!(ok, "{stderr}");
+    let keys = parse_json_object(stdout.trim()).expect("ckpt --json is strict JSON");
+    for key in [
+        "v",
+        "bench",
+        "fingerprint",
+        "index",
+        "checksum",
+        "mem_chunks",
+    ] {
+        assert!(
+            keys.contains(&key.to_owned()),
+            "missing key {key}: {stdout}"
+        );
+    }
+
+    // A flipped bit is a typed error and a nonzero exit, not a panic.
+    let mut bytes = std::fs::read(&files[0]).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    let bad = dir.join("bad.ckpt");
+    std::fs::write(&bad, &bytes).unwrap();
+    let (ok, _, stderr) = hbat(&["ckpt", bad.to_str().unwrap()]);
+    assert!(!ok, "corrupt snapshot must be rejected");
+    assert!(stderr.contains("checksum mismatch"), "{stderr}");
+
+    // Resume completes only the missing cell — while an injected
+    // fast-forward crash on its benchmark forces the retry to restore
+    // from the snapshots the first run published.
+    let (ok, stdout, stderr) = hbat_env(
+        &[
+            "sweep",
+            "--scale",
+            "test",
+            "--ff",
+            "1000",
+            "--ckpt-dir",
+            &snaps_s,
+            "--ckpt-interval",
+            "400",
+            "--journal",
+            &journal_s,
+            "--resume",
+            "--retries",
+            "1",
+        ],
+        &[("HBAT_FAULT_PLAN", "ff_panic@0")],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("resumed 129 cell(s)"), "{stderr}");
+    assert!(!stdout.contains("n/a"), "no cells missing after resume");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_flags_are_validated() {
+    let (ok, _, stderr) = hbat(&["sweep", "--scale", "test", "--ckpt-dir", "/tmp/x"]);
+    assert!(!ok);
+    assert!(stderr.contains("--ff"), "{stderr}");
+
+    let (ok, _, stderr) = hbat(&["sweep", "--scale", "test", "--ff", "1000"]);
+    assert!(!ok);
+    assert!(stderr.contains("--ckpt-dir"), "{stderr}");
+
+    let (ok, _, stderr) = hbat(&["sweep", "--scale", "test", "--ckpt-interval", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("--ckpt-dir"), "{stderr}");
+
+    let (ok, _, stderr) = hbat(&["ckpt"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing snapshot path"), "{stderr}");
+
+    let (ok, _, stderr) = hbat(&["ckpt", "/nonexistent/snap.ckpt"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+}
+
+#[test]
 fn anatomy_prints_ceilings() {
     let (ok, stdout, _) = hbat(&["anatomy", "Tomcatv", "--scale", "test"]);
     assert!(ok);
