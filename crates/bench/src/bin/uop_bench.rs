@@ -17,9 +17,13 @@ use hbat_workloads::{Benchmark, Scale};
 /// small scale), read back from `results/BENCH_obs.json` so the report
 /// can state the speedup against the recorded baseline rather than a
 /// number re-measured on whatever the current host happens to be.
+/// (`null_ms` itself became a uop-path measurement when obs_bench moved
+/// to the predecoded engine; the pre-rewrite figure is carried forward
+/// under `prepredecode_null_ms`.)
 fn frozen_baseline_ms() -> Option<f64> {
     let s = std::fs::read_to_string("results/BENCH_obs.json").ok()?;
-    let rest = &s[s.find("\"null_ms\":")? + "\"null_ms\":".len()..];
+    let key = "\"prepredecode_null_ms\":";
+    let rest = &s[s.find(key)? + key.len()..];
     let rest = rest.trim_start();
     let end = rest.find([',', '\n', '}'])?;
     rest[..end].trim().parse().ok()

@@ -103,6 +103,7 @@ pub fn build_warm_trace_cold(
     cfg: &ExperimentConfig,
     boundary: u64,
 ) -> Result<WarmTrace, CkptError> {
+    let _prof = hbat_obs::prof::scope("warm-build");
     let workload = bench.build(&cfg.workload);
     let mut machine = workload.instantiate();
     let mut acc = WarmAccumulator::new(&cfg.sim, cfg.geometry);
@@ -209,12 +210,14 @@ pub fn build_warm_trace(
     attempt: u32,
     cancel: Option<&AtomicBool>,
 ) -> Result<WarmTrace, CkptError> {
+    let _prof = hbat_obs::prof::scope("warm-build");
     let fingerprint = ckpt_fingerprint(cfg, opts.boundary);
     let store = CheckpointStore::new(&opts.dir, bench.name(), &fingerprint);
     if let Some(fault) = faults.ckpt_fault_for(bi) {
         corrupt_newest(&store, fault)?;
     }
 
+    let restore = hbat_obs::prof::scope("warm-restore");
     let scan = store.latest_valid(opts.boundary)?;
     let workload = bench.build(&cfg.workload);
     let mut machine = workload.instantiate();
@@ -235,6 +238,7 @@ pub fn build_warm_trace(
         }
         None => (WarmAccumulator::new(&cfg.sim, cfg.geometry), 0, None),
     };
+    drop(restore);
 
     let ff_panic = faults.ckpt_fault_for(bi) == Some(CkptFault::FfPanic) && attempt <= 1;
     let mut saved = 0u64;
@@ -300,16 +304,28 @@ pub fn run_warm_cell_traced(
     design: DesignSpec,
     cfg: &ExperimentConfig,
 ) -> (RunMetrics, hbat_obs::TraceRecorder) {
-    let mut translator = design.build(cfg.geometry, cfg.design_seed);
     let mut rec = hbat_obs::TraceRecorder::new();
-    let metrics = hbat_cpu::simulate_uops_warm_with_recorder(
+    let metrics = run_warm_cell_with(wt, design, cfg, &mut rec);
+    (metrics, rec)
+}
+
+/// [`run_warm_cell`] under any recorder — the checkpointed counterpart
+/// of [`crate::experiment::run_cell_uops_with`], used by the interval
+/// sweep paths. Metrics are bit-identical whatever `R` is.
+pub fn run_warm_cell_with<R: hbat_obs::Recorder>(
+    wt: &WarmTrace,
+    design: DesignSpec,
+    cfg: &ExperimentConfig,
+    rec: R,
+) -> RunMetrics {
+    let mut translator = design.build(cfg.geometry, cfg.design_seed);
+    hbat_cpu::simulate_uops_warm_with_recorder(
         &cfg.sim,
         wt.tail.ops(),
         translator.as_mut(),
         &wt.warm,
-        &mut rec,
-    );
-    (metrics, rec)
+        rec,
+    )
 }
 
 /// What [`verify_restore_equivalence`] proved.

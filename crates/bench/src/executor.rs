@@ -133,16 +133,21 @@ impl RunPolicy {
 }
 
 /// Renders one heartbeat line: progress, failure/retry counts,
-/// throughput, and the ETA extrapolated from the current rate. The
-/// checkpoint counters (process-wide, from [`hbat_ckpt::events`]) are
-/// appended only when a checkpointed sweep has actually used them, so
-/// plain sweeps keep the historical format.
+/// throughput, and the ETA extrapolated from the current rate. When a
+/// sliding-window rate is available (`recent`), it is shown alongside
+/// the since-start rate and the ETA uses it — so the estimate recovers
+/// after a stalled or retried cell instead of staying skewed by old
+/// history for the rest of the sweep. The checkpoint counters
+/// (process-wide, from [`hbat_ckpt::events`]) are appended only when a
+/// checkpointed sweep has actually used them, so plain sweeps keep the
+/// historical format.
 fn heartbeat_line(
     done: usize,
     n: usize,
     failed: usize,
     retried: usize,
     elapsed: f64,
+    recent: Option<f64>,
     ckpt: CkptCounters,
 ) -> String {
     let rate = if elapsed > 0.0 {
@@ -150,13 +155,18 @@ fn heartbeat_line(
     } else {
         0.0
     };
-    let eta = if done > 0 && rate > 0.0 {
-        format!("{:.0}s", (n - done) as f64 / rate)
+    let eta_rate = recent.filter(|r| *r > 0.0).unwrap_or(rate);
+    let eta = if done > 0 && eta_rate > 0.0 {
+        format!("{:.0}s", (n - done) as f64 / eta_rate)
     } else {
         "?".to_owned()
     };
+    let recent = match recent {
+        Some(r) => format!(" (recent {r:.1})"),
+        None => String::new(),
+    };
     let mut line = format!(
-        "heartbeat: {done}/{n} cells ({failed} failed, {retried} retried), {rate:.1} cells/s, ETA {eta}"
+        "heartbeat: {done}/{n} cells ({failed} failed, {retried} retried), {rate:.1} cells/s{recent}, ETA {eta}"
     );
     if ckpt != CkptCounters::default() {
         line.push_str(&format!(
@@ -308,6 +318,12 @@ where
             let ckpt_base = CkptCounters::now();
             scope.spawn(move || {
                 let mut last_report = Instant::now();
+                // Sliding window for the recent cells/s rate: the last
+                // few (elapsed, done) samples, one per printed line.
+                const WINDOW: usize = 8;
+                let mut samples: std::collections::VecDeque<(f64, usize)> =
+                    std::collections::VecDeque::with_capacity(WINDOW + 1);
+                samples.push_back((0.0, 0));
                 while done.load(Ordering::SeqCst) < n {
                     std::thread::sleep(poll);
                     if last_report.elapsed() >= interval {
@@ -316,17 +332,28 @@ where
                         if d >= n {
                             break;
                         }
-                        eprintln!(
-                            "{}",
-                            heartbeat_line(
-                                d,
-                                n,
-                                failed.load(Ordering::SeqCst),
-                                retried.load(Ordering::SeqCst),
-                                epoch.elapsed().as_secs_f64(),
-                                CkptCounters::since(ckpt_base),
-                            )
+                        let elapsed = epoch.elapsed().as_secs_f64();
+                        let recent = samples.front().and_then(|&(t0, d0)| {
+                            let dt = elapsed - t0;
+                            (dt > 0.0 && d >= d0).then(|| (d - d0) as f64 / dt)
+                        });
+                        let mut line = heartbeat_line(
+                            d,
+                            n,
+                            failed.load(Ordering::SeqCst),
+                            retried.load(Ordering::SeqCst),
+                            elapsed,
+                            recent,
+                            CkptCounters::since(ckpt_base),
                         );
+                        if let Some(top) = hbat_obs::prof::busiest_root() {
+                            line.push_str(&format!(", busiest {top}"));
+                        }
+                        eprintln!("{line}");
+                        samples.push_back((elapsed, d));
+                        if samples.len() > WINDOW {
+                            samples.pop_front();
+                        }
                     }
                 }
             });
@@ -466,7 +493,10 @@ impl TraceCache {
     /// uninitialized, so the next requester retries the build (see the
     /// builder-panic regression test).
     pub fn get_or_build(&self, bench: Benchmark, cfg: &WorkloadConfig) -> Arc<[TraceInst]> {
-        self.get_or_build_with(bench, cfg, || bench.build(cfg).trace().into())
+        self.get_or_build_with(bench, cfg, || {
+            let _prof = hbat_obs::prof::scope("workload-build");
+            bench.build(cfg).trace().into()
+        })
     }
 
     /// [`TraceCache::get_or_build`] with an explicit builder — the form
@@ -526,7 +556,10 @@ impl TraceCache {
             slots.entry((bench, *cfg)).or_default().clone()
         };
         let uops = slot
-            .get_or_init(|| Arc::new(PredecodedTrace::predecode(&raw)))
+            .get_or_init(|| {
+                let _prof = hbat_obs::prof::scope("predecode");
+                Arc::new(PredecodedTrace::predecode(&raw))
+            })
             .clone();
         (raw, uops)
     }
@@ -797,15 +830,34 @@ mod tests {
 
     #[test]
     fn heartbeat_line_reports_progress_and_eta() {
-        let s = heartbeat_line(25, 100, 2, 3, 5.0, CkptCounters::default());
+        let s = heartbeat_line(25, 100, 2, 3, 5.0, None, CkptCounters::default());
         assert_eq!(
             s,
             "heartbeat: 25/100 cells (2 failed, 3 retried), 5.0 cells/s, ETA 15s"
         );
         // Before any cell completes the ETA is unknown, not a panic.
-        let s0 = heartbeat_line(0, 100, 0, 0, 0.0, CkptCounters::default());
+        let s0 = heartbeat_line(0, 100, 0, 0, 0.0, None, CkptCounters::default());
         assert!(s0.contains("0/100"), "{s0}");
         assert!(s0.ends_with("ETA ?"), "{s0}");
+    }
+
+    #[test]
+    fn heartbeat_line_shows_recent_rate_and_bases_eta_on_it() {
+        // Since-start: 25 cells in 25 s = 1.0 cells/s. Recent window:
+        // 5.0 cells/s — the stall that produced the slow average is
+        // over, so the ETA must extrapolate from the recent rate:
+        // 75 remaining / 5.0 = 15 s, not 75 s.
+        let s = heartbeat_line(25, 100, 2, 3, 25.0, Some(5.0), CkptCounters::default());
+        assert_eq!(
+            s,
+            "heartbeat: 25/100 cells (2 failed, 3 retried), 1.0 cells/s (recent 5.0), ETA 15s"
+        );
+        // A zero recent rate (window saw no completions — mid-stall)
+        // cannot produce an ETA division by zero: fall back to the
+        // since-start rate.
+        let stalled = heartbeat_line(25, 100, 0, 0, 25.0, Some(0.0), CkptCounters::default());
+        assert!(stalled.contains("(recent 0.0)"), "{stalled}");
+        assert!(stalled.ends_with("ETA 75s"), "{stalled}");
     }
 
     #[test]
@@ -815,10 +867,15 @@ mod tests {
             restored: 2,
             rejected: 1,
         };
-        let s = heartbeat_line(25, 100, 2, 3, 5.0, ck);
+        let s = heartbeat_line(25, 100, 2, 3, 5.0, None, ck);
         assert!(
             s.ends_with("ETA 15s, ckpt 7 written/2 restored/1 rejected"),
             "{s}"
+        );
+        let r = heartbeat_line(25, 100, 2, 3, 5.0, Some(10.0), ck);
+        assert!(
+            r.ends_with("(recent 10.0), ETA 8s, ckpt 7 written/2 restored/1 rejected"),
+            "{r}"
         );
     }
 

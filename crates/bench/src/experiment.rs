@@ -24,14 +24,14 @@ use hbat_cpu::{
 use hbat_isa::trace::TraceInst;
 use hbat_isa::tracefile::{read_trace, write_trace};
 use hbat_isa::uop::{MicroOp, PredecodedTrace};
-use hbat_obs::{PortResource, TraceRecorder};
+use hbat_obs::{prof, IntervalRecorder, PortResource, Tee, TraceRecorder};
 use hbat_stats::agg::runtime_weighted_ipc;
 use hbat_stats::chart::BarChart;
 use hbat_stats::table::{fnum, fnum_opt, percent_opt, TextTable};
 use hbat_workloads::{Benchmark, Scale, WorkloadConfig};
 
 use crate::ckpt::{
-    build_warm_trace, ckpt_fingerprint, run_warm_cell, run_warm_cell_traced, CheckpointOptions,
+    build_warm_trace, ckpt_fingerprint, run_warm_cell, run_warm_cell_with, CheckpointOptions,
     WarmTrace,
 };
 use crate::executor::{
@@ -233,10 +233,23 @@ pub fn run_cell_uops_traced(
     design: DesignSpec,
     cfg: &ExperimentConfig,
 ) -> (RunMetrics, TraceRecorder) {
-    let mut translator = design.build(cfg.geometry, cfg.design_seed);
     let mut rec = TraceRecorder::new();
-    let metrics = simulate_uops_with_recorder(&cfg.sim, uops, translator.as_mut(), &mut rec);
+    let metrics = run_cell_uops_with(uops, design, cfg, &mut rec);
     (metrics, rec)
+}
+
+/// [`run_cell_uops`] under any recorder — the form the interval paths
+/// use (an [`hbat_obs::IntervalRecorder`], or a [`hbat_obs::Tee`] of
+/// trace + interval). Metrics are bit-identical whatever `R` is; the
+/// recorder only reads.
+pub fn run_cell_uops_with<R: hbat_obs::Recorder>(
+    uops: &[MicroOp],
+    design: DesignSpec,
+    cfg: &ExperimentConfig,
+    rec: R,
+) -> RunMetrics {
+    let mut translator = design.build(cfg.geometry, cfg.design_seed);
+    simulate_uops_with_recorder(&cfg.sim, uops, translator.as_mut(), rec)
 }
 
 /// Runs one (trace, design) cell under a [`TraceRecorder`] and returns
@@ -277,26 +290,32 @@ pub fn sweep_on(
     let (hits0, misses0) = (cache.hits(), cache.misses());
 
     // Phase 1: every distinct trace, built and predecoded in parallel.
-    let (traces, trace_build) = timed(|| {
-        parallel_map(benches.len(), threads, |bi| {
-            let (_raw, uops) = cache.get_or_build_uops(benches[bi], &cfg.workload);
-            uops
+    let (traces, trace_build) = {
+        let _prof = prof::scope("trace-build");
+        timed(|| {
+            parallel_map(benches.len(), threads, |bi| {
+                let (_raw, uops) = cache.get_or_build_uops(benches[bi], &cfg.workload);
+                uops
+            })
         })
-    });
+    };
 
     // Phase 2: one queue of benchmark × design cells; workers claim the
     // next cell until the queue drains.
     let n_cells = benches.len() * designs.len();
-    let (flat, cell_exec) = timed(|| {
-        parallel_map(n_cells, threads, |i| {
-            let (bi, di) = (i / designs.len(), i % designs.len());
-            CellResult {
-                bench: benches[bi],
-                design: designs[di],
-                metrics: run_cell_uops(&traces[bi], designs[di], cfg),
-            }
+    let (flat, cell_exec) = {
+        let _prof = prof::scope("detailed-run");
+        timed(|| {
+            parallel_map(n_cells, threads, |i| {
+                let (bi, di) = (i / designs.len(), i % designs.len());
+                CellResult {
+                    bench: benches[bi],
+                    design: designs[di],
+                    metrics: run_cell_uops(&traces[bi], designs[di], cfg),
+                }
+            })
         })
-    });
+    };
 
     let mut cells: Vec<Vec<CellResult>> = Vec::with_capacity(benches.len());
     let mut flat = flat.into_iter();
@@ -382,6 +401,12 @@ pub struct SweepOptions {
     /// `.obs.jsonl` sidecar (requires `journal`; the main journal stays
     /// byte-identical to an unobserved sweep).
     pub observe: bool,
+    /// Bucket every executed cell into fixed-width cycle windows of
+    /// this many cycles (≥ 2) and append one record per window to the
+    /// journal's `.iv.jsonl` sidecar (requires `journal`; composes
+    /// with `observe` through a [`hbat_obs::Tee`]; the main journal
+    /// stays byte-identical).
+    pub intervals: Option<u64>,
     /// Checkpointed mode: fast-forward each benchmark functionally to
     /// the boundary, publishing crash-safe snapshots, then run detailed
     /// timing on the tail with warm state installed. A killed or
@@ -399,6 +424,30 @@ pub fn obs_sidecar_path(journal: &std::path::Path) -> PathBuf {
     let mut os = journal.as_os_str().to_owned();
     os.push(".obs.jsonl");
     PathBuf::from(os)
+}
+
+/// The sidecar path an interval sweep writes its per-window records
+/// to: `<journal>.iv.jsonl`, same convention as [`obs_sidecar_path`].
+pub fn iv_sidecar_path(journal: &std::path::Path) -> PathBuf {
+    let mut os = journal.as_os_str().to_owned();
+    os.push(".iv.jsonl");
+    PathBuf::from(os)
+}
+
+/// Renders one interval sidecar record: the cell's identity plus one
+/// window's counters, as a single JSON line (schema-versioned, like
+/// every JSONL stream in the repo).
+pub fn render_interval_record(key: &CellKey, window: &hbat_obs::IntervalRecord) -> String {
+    use crate::executor::escape_json;
+    format!(
+        "{{\"v\":{},\"bench\":{},\"design\":{},\"config\":{},\"seed\":{},\"window\":{{{}}}}}",
+        hbat_obs::INTERVAL_SCHEMA_VERSION,
+        escape_json(&key.bench),
+        escape_json(&key.design),
+        escape_json(&key.config),
+        key.seed,
+        window.render_fields(),
+    )
 }
 
 /// Renders one observability sidecar record: the cell's identity plus
@@ -669,6 +718,17 @@ pub fn sweep_ft_on(
     } else {
         opts.threads
     };
+    // Reject bad interval widths here, with an error, rather than
+    // letting the recorder's constructor panic inside every isolated
+    // cell job.
+    if let Some(w) = opts.intervals {
+        if w < 2 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("interval width must be >= 2 cycles, got {w}"),
+            ));
+        }
+    }
     let n_cells = benches.len() * designs.len();
     // Checkpointed sweeps fold the fast-forward boundary into the cell
     // identity: their metrics start timing at the boundary, so they must
@@ -698,10 +758,15 @@ pub fn sweep_ft_on(
         (Some(path), true) => Some(JournalWriter::append_to(&obs_sidecar_path(path))?),
         _ => None,
     };
+    let iv_writer = match (&opts.journal, opts.intervals) {
+        (Some(path), Some(_)) => Some(JournalWriter::append_to(&iv_sidecar_path(path))?),
+        _ => None,
+    };
 
     // Phase 1: every distinct trace, built in parallel, isolated per
     // benchmark — a failed build skips that benchmark's cells instead
     // of aborting the sweep.
+    let phase_trace_build = prof::scope("trace-build");
     // hbat-lint: allow(panic) bi < benches.len() by parallel_map_outcomes' contract; an escaped panic here is caught per-cell anyway
     let (trace_outcomes, trace_build) = timed(|| {
         parallel_map_outcomes(benches.len(), threads, &opts.policy, |bi, ctx| {
@@ -735,6 +800,7 @@ pub fn sweep_ft_on(
             }
         })
     });
+    drop(phase_trace_build);
     // The raw trace stays available for the corrupt-trace fault path,
     // which serialises `TraceInst` records; cells run on the micro-ops.
     let mut traces: Vec<Option<BenchInput>> = Vec::with_capacity(benches.len());
@@ -750,6 +816,7 @@ pub fn sweep_ft_on(
     // Phase 2: one queue of benchmark × design cells. Restored cells
     // return without executing (and without re-journalling); fresh
     // completions journal themselves before returning.
+    let phase_detailed = prof::scope("detailed-run");
     // hbat-lint: allow(panic) bi/di derive from i < n_cells, and a panic inside a cell job is exactly what the isolation layer catches
     let (flat, cell_exec) = timed(|| {
         parallel_map_outcomes(n_cells, threads, &opts.policy, |i, ctx| {
@@ -782,21 +849,52 @@ pub fn sweep_ft_on(
                 };
                 run_with_corrupt_trace(i, trace, &opts.faults);
             }
-            let (metrics, rec) = match (input, opts.observe) {
-                (BenchInput::Full((_, uops)), false) => {
-                    (run_cell_uops(uops, designs[di], cfg), None)
+            // One generic execution path per input form; the recorder
+            // combination (none / trace / interval / both via Tee) is
+            // picked here with static dispatch, so the unobserved arm
+            // stays the NullRecorder hot loop.
+            fn exec<R: hbat_obs::Recorder>(
+                input: &BenchInput,
+                design: DesignSpec,
+                cfg: &ExperimentConfig,
+                rec: R,
+            ) -> RunMetrics {
+                match input {
+                    BenchInput::Full((_, uops)) => run_cell_uops_with(uops, design, cfg, rec),
+                    BenchInput::Warm(wt) => run_warm_cell_with(wt, design, cfg, rec),
                 }
-                (BenchInput::Full((_, uops)), true) => {
-                    let (metrics, rec) = run_cell_uops_traced(uops, designs[di], cfg);
-                    (metrics, Some(rec))
-                }
-                (BenchInput::Warm(wt), false) => (run_warm_cell(wt, designs[di], cfg), None),
-                (BenchInput::Warm(wt), true) => {
-                    let (metrics, rec) = run_warm_cell_traced(wt, designs[di], cfg);
-                    (metrics, Some(rec))
+            }
+            let (metrics, rec, windows) = {
+                let _cell = prof::scope("cell-run");
+                match (opts.observe, opts.intervals) {
+                    (false, None) => {
+                        let metrics = match input {
+                            BenchInput::Full((_, uops)) => run_cell_uops(uops, designs[di], cfg),
+                            BenchInput::Warm(wt) => run_warm_cell(wt, designs[di], cfg),
+                        };
+                        (metrics, None, None)
+                    }
+                    (true, None) => {
+                        let mut rec = TraceRecorder::new();
+                        let metrics = exec(input, designs[di], cfg, &mut rec);
+                        (metrics, Some(rec), None)
+                    }
+                    (false, Some(width)) => {
+                        let mut iv = IntervalRecorder::new(width);
+                        let metrics = exec(input, designs[di], cfg, &mut iv);
+                        iv.finish();
+                        (metrics, None, Some(iv))
+                    }
+                    (true, Some(width)) => {
+                        let mut tee = Tee::new(TraceRecorder::new(), IntervalRecorder::new(width));
+                        let metrics = exec(input, designs[di], cfg, &mut tee);
+                        tee.b.finish();
+                        (metrics, Some(tee.a), Some(tee.b))
+                    }
                 }
             };
             if let Some(w) = &writer {
+                let _journal = prof::scope("journal-append");
                 if let Err(e) = w.append(&JournalRecord {
                     key: key.clone(),
                     metrics: metrics.clone(),
@@ -809,9 +907,28 @@ pub fn sweep_ft_on(
                     eprintln!("warning: obs sidecar append failed: {e}");
                 }
             }
+            if let (Some(w), Some(iv)) = (&iv_writer, &windows) {
+                let mut block = String::new();
+                for win in iv.windows() {
+                    block.push_str(&render_interval_record(&key, win));
+                    block.push('\n');
+                }
+                if iv.dropped_windows() > 0 {
+                    eprintln!(
+                        "warning: {}/{}: {} interval windows dropped (buffer full); widen --intervals",
+                        key.bench,
+                        key.design,
+                        iv.dropped_windows()
+                    );
+                }
+                if let Err(e) = w.append_block(&block) {
+                    eprintln!("warning: interval sidecar append failed: {e}");
+                }
+            }
             CellJob::Ran(metrics)
         })
     });
+    drop(phase_detailed);
 
     // Classify the flat outcomes into rows, the manifest, and the
     // resumed count.

@@ -383,6 +383,65 @@ pub fn parse_json_object(s: &str) -> Result<Vec<String>, String> {
     Ok(top.keys().cloned().collect())
 }
 
+/// One scalar value from a flat JSON object — the perf-database record
+/// shape (see [`crate::perfdb`]), which deliberately has no nesting so
+/// baseline comparisons stay line-oriented.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A JSON string.
+    Str(String),
+    /// A non-negative integer (JSON numbers that fit `u64`).
+    Int(u64),
+    /// Any other JSON number.
+    Num(f64),
+    /// A JSON boolean.
+    Bool(bool),
+    /// JSON `null`.
+    Null,
+}
+
+impl Scalar {
+    /// The value as `f64` when it is numeric (`Int` or `Num`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Int(v) => Some(*v as f64),
+            Scalar::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Strictly parses a standalone *flat* JSON object — string, number,
+/// boolean, or null values only. Nested objects (and trailing bytes)
+/// are errors: the perf database stores one flat record per line so a
+/// baseline check never has to address into substructure.
+pub fn parse_scalars(s: &str) -> Result<BTreeMap<String, Scalar>, String> {
+    let mut cur = Cursor {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let Val::Obj(top) = cur.parse_object()? else {
+        return Err("not a JSON object".to_owned());
+    };
+    cur.skip_ws();
+    if cur.pos != cur.bytes.len() {
+        return Err("trailing bytes after JSON object".to_owned());
+    }
+    top.into_iter()
+        .map(|(k, v)| {
+            let scalar = match v {
+                Val::Str(s) => Scalar::Str(s),
+                Val::Int(i) => Scalar::Int(i),
+                Val::Num(n) => Scalar::Num(n),
+                Val::Bool(b) => Scalar::Bool(b),
+                Val::Null => Scalar::Null,
+                Val::Obj(_) => return Err(format!("field {k:?} is nested, not a scalar")),
+            };
+            Ok((k, scalar))
+        })
+        .collect()
+}
+
 /// Parses one journal line back into a record.
 pub fn parse_record(line: &str) -> Result<JournalRecord, String> {
     let mut cur = Cursor {
@@ -470,6 +529,18 @@ impl JournalWriter {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         writeln!(f, "{line}")?;
+        f.flush()
+    }
+
+    /// Appends a pre-rendered block of `\n`-terminated lines under one
+    /// lock, flushed once — so a multi-line group (one cell's interval
+    /// windows, say) stays contiguous even when writers race.
+    pub fn append_block(&self, block: &str) -> io::Result<()> {
+        let mut f = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f.write_all(block.as_bytes())?;
         f.flush()
     }
 }
@@ -629,6 +700,26 @@ mod tests {
         rec.key.design = "weird \"name\"\\with\nescapes\tand unicode é".into();
         let back = parse_record(&render_record(&rec)).unwrap();
         assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn parse_scalars_accepts_flat_objects_and_rejects_nesting() {
+        let m =
+            parse_scalars(r#"{"bench":"obs","ok":true,"ratio":0.125,"n":7,"gap":null}"#).unwrap();
+        assert_eq!(m.get("bench"), Some(&Scalar::Str("obs".into())));
+        assert_eq!(m.get("ok"), Some(&Scalar::Bool(true)));
+        assert_eq!(m.get("ratio"), Some(&Scalar::Num(0.125)));
+        assert_eq!(m.get("n"), Some(&Scalar::Int(7)));
+        assert_eq!(m.get("gap"), Some(&Scalar::Null));
+        assert_eq!(m["ratio"].as_f64(), Some(0.125));
+        assert_eq!(m["n"].as_f64(), Some(7.0));
+        assert_eq!(m["bench"].as_f64(), None);
+
+        let nested = parse_scalars(r#"{"a":{"b":1}}"#);
+        assert!(nested.unwrap_err().contains("nested"));
+        assert!(parse_scalars(r#"{"a":1} "#.trim_end()).is_ok());
+        assert!(parse_scalars(r#"{"a":1}x"#).is_err(), "trailing bytes");
+        assert!(parse_scalars("[1,2]").is_err(), "not an object");
     }
 
     #[test]

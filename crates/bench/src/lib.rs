@@ -39,9 +39,10 @@ pub mod faults;
 pub mod journal;
 pub mod missrate;
 pub mod outcome;
+pub mod perfdb;
 
 pub use ckpt::{
-    build_warm_trace, build_warm_trace_cold, ckpt_fingerprint, run_warm_cell,
+    build_warm_trace, build_warm_trace_cold, ckpt_fingerprint, run_warm_cell, run_warm_cell_with,
     verify_restore_equivalence, CheckpointOptions, EquivalenceReport, WarmTrace,
 };
 pub use executor::{
@@ -49,10 +50,11 @@ pub use executor::{
     SweepTelemetry, TraceCache,
 };
 pub use experiment::{
-    config_fingerprint, obs_sidecar_path, render_obs_record, run_cell, run_cell_traced,
+    config_fingerprint, iv_sidecar_path, obs_sidecar_path, render_interval_record,
+    render_obs_record, run_cell, run_cell_traced, run_cell_uops, run_cell_uops_with,
     scale_from_args, sweep, sweep_ft, sweep_ft_on, sweep_on, sweep_serial, sweep_table2, trace_for,
     CellResult, ExperimentConfig, FtSweepResult, SweepOptions, SweepResult,
 };
 pub use faults::{CkptFault, FaultKind, FaultPlan};
-pub use journal::{read_journal, write_atomic, CellKey, JournalRecord, JournalWriter};
+pub use journal::{read_journal, write_atomic, CellKey, JournalRecord, JournalWriter, Scalar};
 pub use outcome::{CellFailure, CellOutcome, FailureManifest};

@@ -1073,7 +1073,11 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
                     .geometry()
                     .splice(head.ppn, head.t.mem_vaddr());
                 match self.dcache.access(pa, true) {
-                    CacheAccess::Served { .. } => {}
+                    CacheAccess::Served { was_miss, .. } => {
+                        if R::ENABLED {
+                            self.rec.dcache_access(self.now.0, !was_miss);
+                        }
+                    }
                     CacheAccess::NoPort => {
                         if R::ENABLED {
                             self.obs.dcache_noport = true;
@@ -1100,6 +1104,9 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
             self.asleep >>= 1;
             self.walk_sleepers >>= 1;
             n += 1;
+        }
+        if R::ENABLED && n > 0 {
+            self.rec.commit_cycle(self.now.0, n as u32);
         }
         n > 0
     }
@@ -1258,10 +1265,16 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
                 return false;
             }
             Outcome::Hit { ppn, extra_latency } => {
+                if R::ENABLED {
+                    self.rec.tlb_lookup(self.now.0, true);
+                }
                 self.slot_mut(idx).ppn = ppn;
                 self.now + extra_latency
             }
             Outcome::Miss { ppn, ready_at } => {
+                if R::ENABLED {
+                    self.rec.tlb_lookup(self.now.0, false);
+                }
                 self.slot_mut(idx).ppn = ppn;
                 if phantom {
                     // Speculative TLB misses are not permitted: dispatch
@@ -1491,6 +1504,9 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
                     .splice(slot.ppn, slot.t.mem_vaddr());
                 match self.dcache.access(pa, false) {
                     CacheAccess::Served { data_at, was_miss } => {
+                        if R::ENABLED {
+                            self.rec.dcache_access(self.now.0, !was_miss);
+                        }
                         let finish = data_at + addr_ready.since(self.now);
                         let s = self.slot_mut(idx);
                         s.state = State::Complete;

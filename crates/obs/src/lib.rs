@@ -13,7 +13,14 @@
 //! * a [`TraceRecorder`] that collects the cycle-stamped
 //!   stall-attribution taxonomy ([`StallCause`]), bounded-bucket
 //!   occupancy histograms ([`Histogram`]), port-conflict counts, and a
-//!   bounded buffer of cycle-stamped [`Event`]s renderable as JSONL.
+//!   bounded buffer of cycle-stamped [`Event`]s renderable as JSONL;
+//! * an [`IntervalRecorder`] that buckets the same probe stream into
+//!   fixed-width cycle windows — IPC, hit rates, the stall mix, and
+//!   occupancy means over *time* instead of end-of-run totals — with
+//!   [`Tee`] to run it alongside a [`TraceRecorder`];
+//! * a scoped wall-clock self-profiler ([`prof`]) for the simulator's
+//!   own phases (trace build, predecode, warm restore, detailed run),
+//!   `HBAT_PROF`-gated and off by default.
 //!
 //! The determinism contract: enabling a recorder never changes the
 //! simulation. Probes only *read* engine state; `RunMetrics` and sweep
@@ -26,9 +33,12 @@
 //! mem, cpu, bench, the CLI) can use it without coupling.
 
 pub mod histogram;
+pub mod interval;
+pub mod prof;
 pub mod recorder;
 pub mod trace;
 
 pub use histogram::Histogram;
-pub use recorder::{NullRecorder, OccupancySample, PortResource, Recorder, StallCause};
-pub use trace::{Event, TraceRecorder};
+pub use interval::{IntervalRecord, IntervalRecorder, INTERVAL_SCHEMA_VERSION};
+pub use recorder::{NullRecorder, OccupancySample, PortResource, Recorder, StallCause, Tee};
+pub use trace::{Event, TraceRecorder, EVENT_SCHEMA_VERSION};

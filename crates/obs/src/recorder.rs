@@ -173,6 +173,24 @@ pub trait Recorder {
         let _ = (now, occupancy);
     }
 
+    /// A cycle in which `committed` (> 0) operations retired.
+    fn commit_cycle(&mut self, now: u64, committed: u32) {
+        let _ = (now, committed);
+    }
+
+    /// A translation request was served (`Outcome::Hit`/`Outcome::Miss`).
+    /// Port rejects are *not* lookups; they arrive via
+    /// [`port_conflict`](Recorder::port_conflict) instead.
+    fn tlb_lookup(&mut self, now: u64, hit: bool) {
+        let _ = (now, hit);
+    }
+
+    /// A data-cache access was served (hit or fill started). Port
+    /// rejects arrive via [`port_conflict`](Recorder::port_conflict).
+    fn dcache_access(&mut self, now: u64, hit: bool) {
+        let _ = (now, hit);
+    }
+
     /// Cycles between occupancy samples; 0 disables sampling.
     fn sample_interval(&self) -> u64 {
         0
@@ -215,8 +233,93 @@ impl<R: Recorder> Recorder for &mut R {
         (**self).sample(now, occupancy);
     }
 
+    fn commit_cycle(&mut self, now: u64, committed: u32) {
+        (**self).commit_cycle(now, committed);
+    }
+
+    fn tlb_lookup(&mut self, now: u64, hit: bool) {
+        (**self).tlb_lookup(now, hit);
+    }
+
+    fn dcache_access(&mut self, now: u64, hit: bool) {
+        (**self).dcache_access(now, hit);
+    }
+
     fn sample_interval(&self) -> u64 {
         (**self).sample_interval()
+    }
+}
+
+/// Fans every probe out to two recorders, so one run can feed e.g. a
+/// [`TraceRecorder`](crate::TraceRecorder) and an
+/// [`IntervalRecorder`](crate::IntervalRecorder) at once
+/// (`hbat trace --intervals`). Statically on iff either side is.
+#[derive(Debug, Default)]
+pub struct Tee<A, B> {
+    /// First sink (probed first).
+    pub a: A,
+    /// Second sink.
+    pub b: B,
+}
+
+impl<A, B> Tee<A, B> {
+    /// Combines two recorders into one.
+    pub fn new(a: A, b: B) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl<A: Recorder, B: Recorder> Recorder for Tee<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn issue_cycle(&mut self, now: u64, issued: u32) {
+        self.a.issue_cycle(now, issued);
+        self.b.issue_cycle(now, issued);
+    }
+
+    fn stall_cycle(&mut self, now: u64, cause: StallCause) {
+        self.a.stall_cycle(now, cause);
+        self.b.stall_cycle(now, cause);
+    }
+
+    fn port_conflict(&mut self, now: u64, resource: PortResource) {
+        self.a.port_conflict(now, resource);
+        self.b.port_conflict(now, resource);
+    }
+
+    fn walk(&mut self, now: u64, vpn: u64, latency: u64) {
+        self.a.walk(now, vpn, latency);
+        self.b.walk(now, vpn, latency);
+    }
+
+    fn sample(&mut self, now: u64, occupancy: &OccupancySample) {
+        self.a.sample(now, occupancy);
+        self.b.sample(now, occupancy);
+    }
+
+    fn commit_cycle(&mut self, now: u64, committed: u32) {
+        self.a.commit_cycle(now, committed);
+        self.b.commit_cycle(now, committed);
+    }
+
+    fn tlb_lookup(&mut self, now: u64, hit: bool) {
+        self.a.tlb_lookup(now, hit);
+        self.b.tlb_lookup(now, hit);
+    }
+
+    fn dcache_access(&mut self, now: u64, hit: bool) {
+        self.a.dcache_access(now, hit);
+        self.b.dcache_access(now, hit);
+    }
+
+    /// The finer of the two sides' sampling cadences (a disabled side,
+    /// interval 0, defers to the other).
+    fn sample_interval(&self) -> u64 {
+        match (self.a.sample_interval(), self.b.sample_interval()) {
+            (0, b) => b,
+            (a, 0) => a,
+            (a, b) => a.min(b),
+        }
     }
 }
 
@@ -249,7 +352,85 @@ mod tests {
         r.port_conflict(2, PortResource::Tlb);
         r.walk(3, 7, 30);
         r.sample(4, &OccupancySample::default());
+        r.commit_cycle(5, 2);
+        r.tlb_lookup(6, true);
+        r.dcache_access(7, false);
         assert_eq!(r.sample_interval(), 0);
+    }
+
+    // Compile-time: a tee of two null recorders stays statically off;
+    // one enabled side turns the tee on.
+    struct On;
+    impl Recorder for On {
+        const ENABLED: bool = true;
+        fn sample_interval(&self) -> u64 {
+            96
+        }
+    }
+    const _: () = assert!(!<Tee<NullRecorder, NullRecorder> as Recorder>::ENABLED);
+    const _: () = assert!(<Tee<NullRecorder, On> as Recorder>::ENABLED);
+    const _: () = assert!(<Tee<On, NullRecorder> as Recorder>::ENABLED);
+
+    #[test]
+    fn tee_forwards_to_both_sides_and_picks_finer_sampling() {
+        #[derive(Default)]
+        struct Counting {
+            probes: u32,
+            interval: u64,
+        }
+        impl Recorder for Counting {
+            const ENABLED: bool = true;
+            fn issue_cycle(&mut self, _now: u64, _issued: u32) {
+                self.probes += 1;
+            }
+            fn stall_cycle(&mut self, _now: u64, _cause: StallCause) {
+                self.probes += 1;
+            }
+            fn commit_cycle(&mut self, _now: u64, _committed: u32) {
+                self.probes += 1;
+            }
+            fn tlb_lookup(&mut self, _now: u64, _hit: bool) {
+                self.probes += 1;
+            }
+            fn dcache_access(&mut self, _now: u64, _hit: bool) {
+                self.probes += 1;
+            }
+            fn sample_interval(&self) -> u64 {
+                self.interval
+            }
+        }
+
+        let mut tee = Tee::new(
+            Counting {
+                interval: 64,
+                ..Counting::default()
+            },
+            Counting {
+                interval: 32,
+                ..Counting::default()
+            },
+        );
+        tee.issue_cycle(0, 4);
+        tee.stall_cycle(1, StallCause::TlbWalk);
+        tee.commit_cycle(1, 2);
+        tee.tlb_lookup(2, true);
+        tee.dcache_access(2, false);
+        assert_eq!(tee.a.probes, 5);
+        assert_eq!(tee.b.probes, 5);
+        assert_eq!(tee.sample_interval(), 32, "finer cadence wins");
+
+        // A disabled (interval 0) side defers to the other.
+        let zero = Tee::new(
+            Counting {
+                interval: 0,
+                ..Counting::default()
+            },
+            Counting {
+                interval: 64,
+                ..Counting::default()
+            },
+        );
+        assert_eq!(zero.sample_interval(), 64);
     }
 
     #[test]

@@ -4,6 +4,11 @@
 use crate::histogram::Histogram;
 use crate::recorder::{OccupancySample, PortResource, Recorder, StallCause};
 
+/// Schema version stamped as the first key (`"v"`) of every rendered
+/// event record (the `hbat trace --out` JSONL stream). Bump on any key
+/// change; the golden test below pins the byte-exact layout.
+pub const EVENT_SCHEMA_VERSION: u32 = 1;
+
 /// Default capacity of the bounded event buffer.
 pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 16;
 
@@ -47,34 +52,36 @@ pub enum Event {
 
 impl Event {
     /// Append this event as one JSON object (no trailing newline) to
-    /// `out`. Keys are stable; cycle is always first.
+    /// `out`. Keys are stable; the schema version (`"v"`) is always
+    /// first, then the cycle.
     pub fn render_json(&self, out: &mut String) {
         use std::fmt::Write as _;
+        let _ = write!(out, "{{\"v\":{EVENT_SCHEMA_VERSION},");
         match *self {
             Event::Stall { now, cause } => {
                 let _ = write!(
                     out,
-                    "{{\"cycle\":{now},\"event\":\"stall\",\"cause\":\"{}\"}}",
+                    "\"cycle\":{now},\"event\":\"stall\",\"cause\":\"{}\"}}",
                     cause.name()
                 );
             }
             Event::PortConflict { now, resource } => {
                 let _ = write!(
                     out,
-                    "{{\"cycle\":{now},\"event\":\"port-conflict\",\"resource\":\"{}\"}}",
+                    "\"cycle\":{now},\"event\":\"port-conflict\",\"resource\":\"{}\"}}",
                     resource.name()
                 );
             }
             Event::Walk { now, vpn, latency } => {
                 let _ = write!(
                     out,
-                    "{{\"cycle\":{now},\"event\":\"walk\",\"vpn\":{vpn},\"latency\":{latency}}}"
+                    "\"cycle\":{now},\"event\":\"walk\",\"vpn\":{vpn},\"latency\":{latency}}}"
                 );
             }
             Event::Sample { now, occupancy } => {
                 let _ = write!(
                     out,
-                    "{{\"cycle\":{now},\"event\":\"sample\",\"rob\":{},\"lsq\":{},\"mshrs\":{},\"tlb_queue\":{}}}",
+                    "\"cycle\":{now},\"event\":\"sample\",\"rob\":{},\"lsq\":{},\"mshrs\":{},\"tlb_queue\":{}}}",
                     occupancy.rob, occupancy.lsq, occupancy.mshrs, occupancy.tlb_queue
                 );
             }
@@ -406,23 +413,66 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert_eq!(
             lines[0],
-            "{\"cycle\":7,\"event\":\"stall\",\"cause\":\"dcache-port\"}"
+            "{\"v\":1,\"cycle\":7,\"event\":\"stall\",\"cause\":\"dcache-port\"}"
         );
         assert_eq!(
             lines[1],
-            "{\"cycle\":8,\"event\":\"port-conflict\",\"resource\":\"tlb\"}"
+            "{\"v\":1,\"cycle\":8,\"event\":\"port-conflict\",\"resource\":\"tlb\"}"
         );
         assert_eq!(
             lines[2],
-            "{\"cycle\":9,\"event\":\"walk\",\"vpn\":42,\"latency\":30}"
+            "{\"v\":1,\"cycle\":9,\"event\":\"walk\",\"vpn\":42,\"latency\":30}"
         );
         assert_eq!(
             lines[3],
-            "{\"cycle\":64,\"event\":\"sample\",\"rob\":1,\"lsq\":2,\"mshrs\":3,\"tlb_queue\":4}"
+            "{\"v\":1,\"cycle\":64,\"event\":\"sample\",\"rob\":1,\"lsq\":2,\"mshrs\":3,\"tlb_queue\":4}"
         );
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    // The golden byte-for-byte schema pin (same discipline as the
+    // `hbat-lint --graph` dump): every event kind's exact serialized
+    // form, including the leading schema version. A change here is a
+    // schema change and must bump EVENT_SCHEMA_VERSION.
+    #[test]
+    fn golden_event_stream_schema() {
+        let mut r = TraceRecorder::new();
+        for cause in StallCause::ALL {
+            r.stall_cycle(100, cause);
+        }
+        for resource in PortResource::ALL {
+            r.port_conflict(101, resource);
+        }
+        r.walk(102, 0xdead, 30);
+        r.sample(
+            128,
+            &OccupancySample {
+                rob: 64,
+                lsq: 32,
+                mshrs: 16,
+                tlb_queue: 8,
+            },
+        );
+        assert_eq!(
+            r.render_jsonl(),
+            concat!(
+                "{\"v\":1,\"cycle\":100,\"event\":\"stall\",\"cause\":\"tlb-port\"}\n",
+                "{\"v\":1,\"cycle\":100,\"event\":\"stall\",\"cause\":\"tlb-walk\"}\n",
+                "{\"v\":1,\"cycle\":100,\"event\":\"stall\",\"cause\":\"dcache-port\"}\n",
+                "{\"v\":1,\"cycle\":100,\"event\":\"stall\",\"cause\":\"dcache-miss\"}\n",
+                "{\"v\":1,\"cycle\":100,\"event\":\"stall\",\"cause\":\"rob-full\"}\n",
+                "{\"v\":1,\"cycle\":100,\"event\":\"stall\",\"cause\":\"lsq-full\"}\n",
+                "{\"v\":1,\"cycle\":100,\"event\":\"stall\",\"cause\":\"fetch-starved\"}\n",
+                "{\"v\":1,\"cycle\":100,\"event\":\"stall\",\"cause\":\"no-ready-op\"}\n",
+                "{\"v\":1,\"cycle\":101,\"event\":\"port-conflict\",\"resource\":\"tlb\"}\n",
+                "{\"v\":1,\"cycle\":101,\"event\":\"port-conflict\",\"resource\":\"dcache\"}\n",
+                "{\"v\":1,\"cycle\":101,\"event\":\"port-conflict\",\"resource\":\"icache\"}\n",
+                "{\"v\":1,\"cycle\":102,\"event\":\"walk\",\"vpn\":57005,\"latency\":30}\n",
+                "{\"v\":1,\"cycle\":128,\"event\":\"sample\",\"rob\":64,\"lsq\":32,\"mshrs\":16,\"tlb_queue\":8}\n",
+            )
+        );
     }
 
     #[test]

@@ -33,13 +33,18 @@ pub fn runtime_weighted_ipc(ipcs: &[f64], t4_cycles: &[u64]) -> f64 {
     weighted_average(ipcs, &weights)
 }
 
-/// An accumulator for min/max/mean summaries.
+/// An accumulator for min/max/mean/stddev summaries.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Summary {
     n: u64,
     sum: f64,
     min: f64,
     max: f64,
+    // Welford's online algorithm for the second moment: numerically
+    // stable even when observations are large and nearly equal
+    // (per-window cycle counts, say), unlike a Σv² accumulator.
+    w_mean: f64,
+    m2: f64,
 }
 
 impl Summary {
@@ -50,6 +55,8 @@ impl Summary {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            w_mean: 0.0,
+            m2: 0.0,
         }
     }
 
@@ -59,6 +66,9 @@ impl Summary {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        let delta = v - self.w_mean;
+        self.w_mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.w_mean);
     }
 
     /// Number of observations.
@@ -83,6 +93,13 @@ impl Summary {
     /// Largest observation (`None` if empty).
     pub fn max(&self) -> Option<f64> {
         (self.n > 0).then_some(self.max)
+    }
+
+    /// Sample standard deviation (Bessel-corrected, the estimator a
+    /// confidence interval wants); `None` with fewer than two
+    /// observations.
+    pub fn stddev(&self) -> Option<f64> {
+        (self.n > 1).then(|| (self.m2 / (self.n - 1) as f64).max(0.0).sqrt())
     }
 }
 
@@ -123,5 +140,34 @@ mod tests {
         assert!((s.mean() - 5.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.min(), Some(-1.0));
         assert_eq!(s.max(), Some(4.0));
+    }
+
+    #[test]
+    fn stddev_is_sample_corrected_and_gated_on_two_observations() {
+        let mut s = Summary::new();
+        assert_eq!(s.stddev(), None);
+        s.push(5.0);
+        assert_eq!(s.stddev(), None, "one observation has no spread");
+        s.push(5.0);
+        assert_eq!(s.stddev(), Some(0.0));
+
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(v);
+        }
+        // Known dataset: population σ = 2, sample s = sqrt(32/7).
+        let expect = (32.0f64 / 7.0).sqrt();
+        assert!((s.stddev().unwrap() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_is_stable_for_large_nearly_equal_observations() {
+        // A Σv² accumulator loses all significant digits here; Welford
+        // must not.
+        let mut s = Summary::new();
+        for v in [1e9 + 1.0, 1e9 + 2.0, 1e9 + 3.0] {
+            s.push(v);
+        }
+        assert!((s.stddev().unwrap() - 1.0).abs() < 1e-6);
     }
 }

@@ -9,15 +9,22 @@
 //! hbat dump <bench> <file> [opts]       write a binary trace file
 //! hbat replay <file> <design> [opts]    simulate a dumped trace
 //! hbat ckpt <file> [--json]             inspect and verify a snapshot
+//! hbat perfdb add [reports…] [opts]     append BENCH reports to the perf DB
+//! hbat perfdb check [reports…] [opts]   gate reports against the frozen baseline
 //!
 //! options: --scale test|small|reference   (default small)
 //!          --inorder                      in-order issue
 //!          --pages-8k                     8 KB pages
 //!          --small-regs                   8 int / 8 fp registers
 //!          --seed N                       design replacement seed
+//!          --prof                         self-profile phases to stderr
+//!                                         (equivalent to HBAT_PROF=1)
 //!
-//! trace observability (see DESIGN.md § 10):
-//!          --out <path>                   write the JSONL event stream
+//! trace observability (see DESIGN.md § 10 and § 14):
+//!          --out <path>                   write the JSONL event stream (with
+//!                                         --intervals: the interval stream)
+//!          --intervals <n>                bucket the run into n-cycle windows:
+//!                                         table, IPC-over-time chart, summary
 //!
 //! sweep fault tolerance (see DESIGN.md § 9) and observability:
 //!          --journal <path>               append completed cells (JSONL)
@@ -25,9 +32,17 @@
 //!          --timeout <secs>               per-cell deadline (HBAT_CELL_TIMEOUT)
 //!          --retries <n>                  per-cell retries (HBAT_CELL_RETRIES)
 //!          --observe                      per-cell obs sidecar (<journal>.obs.jsonl)
+//!          --intervals <n>                per-cell interval sidecar
+//!                                         (<journal>.iv.jsonl, needs --journal)
 //!          --heartbeat <secs>             progress line interval, 0 = off
 //!                                         (HBAT_HEARTBEAT; default: off at test
 //!                                         scale, 30 s otherwise)
+//!
+//! perf database (see DESIGN.md § 14):
+//!          --db <path>                    database file (default results/perf.jsonl)
+//!          --baseline <path>              frozen baseline for `check`
+//!                                         (default results/perf_baseline.jsonl)
+//!          --host <tag>                   host tag for `add` (HBAT_HOST)
 //!
 //! sweep checkpointing (see DESIGN.md § 13):
 //!          --ff <n>                       fast-forward each benchmark n committed
@@ -47,12 +62,14 @@ use hbat_suite::bench::ckpt::CheckpointOptions;
 use hbat_suite::bench::executor::RunPolicy;
 use hbat_suite::bench::experiment::{sweep_ft, ExperimentConfig, SweepOptions};
 use hbat_suite::bench::faults::FaultPlan;
+use hbat_suite::bench::perfdb;
 use hbat_suite::ckpt::Snapshot;
 use hbat_suite::isa::tracefile;
-use hbat_suite::obs::PortResource;
+use hbat_suite::obs::{prof, IntervalRecorder, PortResource, Tee};
 use hbat_suite::prelude::*;
 use hbat_suite::stats::chart::BarChart;
 use hbat_suite::stats::table::TextTable;
+use hbat_suite::stats::Summary;
 
 struct Options {
     scale: Scale,
@@ -65,11 +82,16 @@ struct Options {
     timeout: Option<f64>,
     retries: Option<u32>,
     observe: bool,
+    intervals: Option<u64>,
+    prof: bool,
     heartbeat: Option<f64>,
     out: Option<std::path::PathBuf>,
     ckpt_dir: Option<std::path::PathBuf>,
     ckpt_interval: Option<u64>,
     ff: Option<u64>,
+    db: Option<std::path::PathBuf>,
+    baseline: Option<std::path::PathBuf>,
+    host: Option<String>,
     json: bool,
     positional: Vec<String>,
 }
@@ -86,11 +108,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         timeout: None,
         retries: None,
         observe: false,
+        intervals: None,
+        prof: false,
         heartbeat: None,
         out: None,
         ckpt_dir: None,
         ckpt_interval: None,
         ff: None,
+        db: None,
+        baseline: None,
+        host: None,
         json: false,
         positional: Vec::new(),
     };
@@ -131,6 +158,31 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 o.retries = Some(v.parse().map_err(|e| format!("bad retries: {e}"))?);
             }
             "--observe" => o.observe = true,
+            "--intervals" => {
+                let v = it
+                    .next()
+                    .ok_or("--intervals needs a window width in cycles")?;
+                let n: u64 = v.parse().map_err(|e| format!("bad interval width: {e}"))?;
+                if n < 2 {
+                    return Err(format!(
+                        "bad interval width `{n}` (need at least 2 cycles per window)"
+                    ));
+                }
+                o.intervals = Some(n);
+            }
+            "--prof" => o.prof = true,
+            "--db" => {
+                let v = it.next().ok_or("--db needs a path")?;
+                o.db = Some(v.into());
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a path")?;
+                o.baseline = Some(v.into());
+            }
+            "--host" => {
+                let v = it.next().ok_or("--host needs a tag")?;
+                o.host = Some(v.clone());
+            }
             "--heartbeat" => {
                 let v = it.next().ok_or("--heartbeat needs seconds (0 = off)")?;
                 let secs: f64 = v.parse().map_err(|e| format!("bad heartbeat: {e}"))?;
@@ -228,10 +280,87 @@ fn print_metrics(design: DesignSpec, m: &RunMetrics) {
     println!("wrong-path xlat   : {}", m.wrong_path_translations);
 }
 
+/// Renders a finished interval recorder: per-window table (capped),
+/// IPC-over-time chart (downsampled), and summary statistics.
+fn print_intervals(iv: &IntervalRecorder) {
+    let windows = iv.windows();
+    println!(
+        "\ninterval telemetry: {} window(s) of {} cycles",
+        windows.len(),
+        iv.width()
+    );
+    let opt = |v: Option<f64>, unit: &str| match v {
+        Some(v) if unit == "%" => format!("{:5.1}%", v * 100.0),
+        Some(v) => format!("{v:.1}"),
+        None => "-".to_owned(),
+    };
+    const MAX_ROWS: usize = 20;
+    let mut t = TextTable::new(vec![
+        "window", "start", "cycles", "IPC", "tlb hit", "dc hit", "rob avg",
+    ]);
+    t.numeric();
+    for (i, w) in windows.iter().take(MAX_ROWS).enumerate() {
+        t.row(vec![
+            i.to_string(),
+            w.start.to_string(),
+            w.cycles.to_string(),
+            format!("{:.3}", w.ipc()),
+            opt(w.tlb_hit_rate(), "%"),
+            opt(w.dcache_hit_rate(), "%"),
+            opt(w.rob_mean(), ""),
+        ]);
+    }
+    println!("{}", t.render());
+    if windows.len() > MAX_ROWS {
+        println!("… ({} more windows)", windows.len() - MAX_ROWS);
+    }
+
+    if !windows.is_empty() {
+        // At most ~40 bars: a long run strides across its windows.
+        let stride = windows.len().div_ceil(40).max(1);
+        let mut chart = BarChart::new("IPC over time", 50);
+        for w in windows.iter().step_by(stride) {
+            chart.bar(&format!("@{}", w.start), w.ipc());
+        }
+        println!("{}", chart.render());
+    }
+
+    let mut ipc = Summary::new();
+    let mut tlb = Summary::new();
+    for w in windows {
+        ipc.push(w.ipc());
+        if let Some(h) = w.tlb_hit_rate() {
+            tlb.push(h);
+        }
+    }
+    let sum = |s: &Summary, scale: f64, unit: &str| {
+        format!(
+            "mean {:.3}{unit} stddev {} min {:.3}{unit} max {:.3}{unit}",
+            s.mean() * scale,
+            match s.stddev() {
+                Some(d) => format!("{:.3}{unit}", d * scale),
+                None => "-".to_owned(),
+            },
+            s.min().unwrap_or(0.0) * scale,
+            s.max().unwrap_or(0.0) * scale,
+        )
+    };
+    println!("IPC per window    : {}", sum(&ipc, 1.0, ""));
+    if tlb.count() > 0 {
+        println!("TLB hit rate      : {}", sum(&tlb, 100.0, "%"));
+    }
+    if iv.dropped_windows() > 0 {
+        eprintln!(
+            "warning: {} window(s) dropped past the buffer (widen --intervals)",
+            iv.dropped_windows()
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: hbat <list|run|trace|sweep|anatomy|dump|replay|ckpt> …");
+        eprintln!("usage: hbat <list|run|trace|sweep|anatomy|dump|replay|ckpt|perfdb> …");
         return ExitCode::FAILURE;
     };
     let opts = match parse_args(rest) {
@@ -241,7 +370,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run_command(cmd, &opts) {
+    if opts.prof {
+        hbat_suite::obs::prof::set_enabled(true);
+    }
+    let result = run_command(cmd, &opts);
+    if hbat_suite::obs::prof::enabled() {
+        eprint!("{}", hbat_suite::obs::prof::render_report());
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -267,9 +403,15 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             let bench = opts.bench(0)?;
             let design = opts.design(1)?;
             let cfg = opts.experiment();
-            let trace = bench.build(&cfg.workload).trace();
+            let trace = {
+                let _p = prof::scope("trace-build");
+                bench.build(&cfg.workload).trace()
+            };
             let mut tlb = design.build(cfg.geometry, cfg.design_seed);
-            let m = simulate(&cfg.sim, &trace, tlb.as_mut());
+            let m = {
+                let _p = prof::scope("detailed-run");
+                simulate(&cfg.sim, &trace, tlb.as_mut())
+            };
             println!("{bench}: {} instructions\n", trace.len());
             print_metrics(design, &m);
             Ok(())
@@ -278,10 +420,29 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             let bench = opts.bench(0)?;
             let design = opts.design(1)?;
             let cfg = opts.experiment();
-            let trace = bench.build(&cfg.workload).trace();
+            let trace = {
+                let _p = prof::scope("trace-build");
+                bench.build(&cfg.workload).trace()
+            };
             let mut tlb = design.build(cfg.geometry, cfg.design_seed);
-            let mut rec = TraceRecorder::new();
-            let m = simulate_with_recorder(&cfg.sim, &trace, tlb.as_mut(), &mut rec);
+            // With --intervals the run is recorded twice at once: the
+            // event/stall recorder feeds the summary below, the interval
+            // recorder the time series — one simulation, statically teed.
+            let phase = prof::scope("detailed-run");
+            let (m, rec, iv) = match opts.intervals {
+                None => {
+                    let mut rec = TraceRecorder::new();
+                    let m = simulate_with_recorder(&cfg.sim, &trace, tlb.as_mut(), &mut rec);
+                    (m, rec, None)
+                }
+                Some(width) => {
+                    let mut tee = Tee::new(TraceRecorder::new(), IntervalRecorder::new(width));
+                    let m = simulate_with_recorder(&cfg.sim, &trace, tlb.as_mut(), &mut tee);
+                    tee.b.finish();
+                    (m, tee.a, Some(tee.b))
+                }
+            };
+            drop(phase);
             println!(
                 "{bench} on {} ({}): {} instructions, {} cycles, IPC {:.3}\n",
                 design.mnemonic(),
@@ -332,14 +493,30 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 rec.mshr_occupancy().max_seen(),
                 rec.tlb_queue_occupancy().max_seen()
             );
+            if let Some(iv) = &iv {
+                print_intervals(iv);
+            }
             if let Some(path) = &opts.out {
-                std::fs::write(path, rec.render_jsonl()).map_err(|e| e.to_string())?;
-                println!(
-                    "wrote {} events to {} ({} dropped past the buffer)",
-                    rec.events().len(),
-                    path.display(),
-                    rec.dropped_events()
-                );
+                match &iv {
+                    Some(iv) => {
+                        std::fs::write(path, iv.render_jsonl()).map_err(|e| e.to_string())?;
+                        println!(
+                            "wrote {} interval windows to {} ({} dropped past the buffer)",
+                            iv.windows().len(),
+                            path.display(),
+                            iv.dropped_windows()
+                        );
+                    }
+                    None => {
+                        std::fs::write(path, rec.render_jsonl()).map_err(|e| e.to_string())?;
+                        println!(
+                            "wrote {} events to {} ({} dropped past the buffer)",
+                            rec.events().len(),
+                            path.display(),
+                            rec.dropped_events()
+                        );
+                    }
+                }
             }
             Ok(())
         }
@@ -350,6 +527,11 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             if opts.observe && opts.journal.is_none() {
                 return Err(
                     "--observe needs --journal <path> (the sidecar lives next to it)".to_owned(),
+                );
+            }
+            if opts.intervals.is_some() && opts.journal.is_none() {
+                return Err(
+                    "--intervals needs --journal <path> (the sidecar lives next to it)".to_owned(),
                 );
             }
             if opts.ckpt_dir.is_some() && opts.ff.is_none() {
@@ -394,6 +576,7 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 journal: opts.journal.clone(),
                 resume: opts.resume,
                 observe: opts.observe,
+                intervals: opts.intervals,
                 checkpoint,
             };
             let r = sweep_ft(&DesignSpec::TABLE2, &cfg, &sweep_opts).map_err(|e| e.to_string())?;
@@ -520,6 +703,84 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             println!("{path}: {} instructions\n", trace.len());
             print_metrics(design, &m);
             Ok(())
+        }
+        "perfdb" => {
+            let action = opts
+                .positional
+                .first()
+                .ok_or("usage: hbat perfdb <add|check> [reports…]")?;
+            // Explicit report paths, or every results/BENCH_*.json.
+            let reports: Vec<std::path::PathBuf> = if opts.positional.len() > 1 {
+                opts.positional[1..].iter().map(Into::into).collect()
+            } else {
+                let mut found: Vec<std::path::PathBuf> = std::fs::read_dir("results")
+                    .map_err(|e| format!("results/: {e} (pass report paths explicitly)"))?
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                    })
+                    .collect();
+                found.sort();
+                found
+            };
+            if reports.is_empty() {
+                return Err("no BENCH_*.json reports found".to_owned());
+            }
+            match action.as_str() {
+                "add" => {
+                    let db = opts
+                        .db
+                        .clone()
+                        .unwrap_or_else(|| "results/perf.jsonl".into());
+                    let host = perfdb::host_tag(opts.host.as_deref());
+                    for report in &reports {
+                        perfdb::add_report(report, &db, &host)
+                            .map_err(|e| format!("{}: {e}", report.display()))?;
+                        println!(
+                            "added {} to {} (host {host})",
+                            report.display(),
+                            db.display()
+                        );
+                    }
+                    Ok(())
+                }
+                "check" => {
+                    let baseline = opts
+                        .baseline
+                        .clone()
+                        .unwrap_or_else(|| "results/perf_baseline.jsonl".into());
+                    let checks = perfdb::read_baseline(&baseline)
+                        .map_err(|e| format!("{}: {e}", baseline.display()))?;
+                    let mut ran = 0usize;
+                    let mut failed = 0usize;
+                    for report in &reports {
+                        let r = perfdb::read_report(report)
+                            .map_err(|e| format!("{}: {e}", report.display()))?;
+                        for outcome in perfdb::check_report(&r, &checks) {
+                            ran += 1;
+                            failed += usize::from(!outcome.pass);
+                            println!("{}", perfdb::render_outcome(&outcome));
+                        }
+                    }
+                    if ran == 0 {
+                        return Err(format!(
+                            "no baseline check matched any report ({} check(s) in {})",
+                            checks.len(),
+                            baseline.display()
+                        ));
+                    }
+                    if failed > 0 {
+                        Err(format!("{failed} of {ran} perf check(s) failed"))
+                    } else {
+                        println!("all {ran} perf check(s) passed");
+                        Ok(())
+                    }
+                }
+                other => Err(format!("unknown perfdb action `{other}` (add|check)")),
+            }
         }
         other => Err(format!("unknown command `{other}`")),
     }

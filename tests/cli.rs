@@ -190,6 +190,200 @@ fn trace_is_deterministic() {
 }
 
 #[test]
+fn trace_intervals_prints_time_series_and_writes_interval_jsonl() {
+    use hbat_suite::bench::journal::parse_json_object;
+
+    let dir = std::env::temp_dir().join("hbat-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("espresso-iv.jsonl");
+    std::fs::remove_file(&out).ok();
+
+    let (ok, stdout, stderr) = hbat(&[
+        "trace",
+        "Espresso",
+        "M8",
+        "--scale",
+        "test",
+        "--intervals",
+        "256",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    for needle in [
+        "interval telemetry:",
+        "window(s) of 256 cycles",
+        "IPC over time",
+        "IPC per window",
+        "tlb hit",
+        "wrote",
+        "interval windows",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
+    }
+
+    // With --intervals, --out carries the interval stream: one strict
+    // JSON object per window with the pinned schema, "v" included.
+    let jsonl = std::fs::read_to_string(&out).unwrap();
+    assert!(!jsonl.is_empty(), "no windows written");
+    for line in jsonl.lines() {
+        let keys = parse_json_object(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
+        assert_eq!(
+            keys,
+            [
+                "committed",
+                "cycles",
+                "dcache",
+                "issue",
+                "issued",
+                "occupancy",
+                "stalls",
+                "start",
+                "tlb",
+                "v",
+                "walks"
+            ]
+        );
+    }
+    // Interval recording is deterministic end to end: same stdout,
+    // byte-identical interval stream.
+    let (ok2, stdout2, _) = hbat(&[
+        "trace",
+        "Espresso",
+        "M8",
+        "--scale",
+        "test",
+        "--intervals",
+        "256",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok2);
+    assert_eq!(stdout, stdout2, "interval output must be deterministic");
+    assert_eq!(jsonl, std::fs::read_to_string(&out).unwrap());
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn interval_flag_is_validated() {
+    for bad in ["0", "1"] {
+        let (ok, _, stderr) = hbat(&["trace", "Espresso", "M8", "--intervals", bad]);
+        assert!(!ok, "width {bad} must be rejected");
+        assert!(stderr.contains("interval width"), "{stderr}");
+    }
+    let (ok, _, stderr) = hbat(&["trace", "Espresso", "M8", "--intervals", "many"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad interval width"), "{stderr}");
+
+    // On sweep, the interval sidecar needs a journal to live next to.
+    let (ok, _, stderr) = hbat(&["sweep", "--scale", "test", "--intervals", "512"]);
+    assert!(!ok);
+    assert!(stderr.contains("--journal"), "{stderr}");
+}
+
+#[test]
+fn prof_flag_prints_the_self_profile() {
+    let (ok, _, stderr) = hbat(&["run", "Espresso", "M8", "--scale", "test", "--prof"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("self-profile (wall clock):"), "{stderr}");
+
+    // Without the flag (and without HBAT_PROF) there is no report.
+    let (ok, _, stderr) = hbat(&["run", "Espresso", "M8", "--scale", "test"]);
+    assert!(ok);
+    assert!(!stderr.contains("self-profile"), "{stderr}");
+}
+
+#[test]
+fn perfdb_add_and_check_gate_reports() {
+    let dir = std::env::temp_dir().join("hbat-cli-perfdb");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("BENCH_fake.json");
+    let db = dir.join("perf.jsonl");
+    let baseline = dir.join("baseline.jsonl");
+    std::fs::write(
+        &report,
+        r#"{"benchmark":"fake_bench","scale":"test","ratio":0.5,"identical":"true"}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &baseline,
+        "{\"v\":1,\"bench\":\"fake_bench\",\"metric\":\"ratio\",\"max\":0.9}\n\
+         {\"v\":1,\"bench\":\"fake_bench\",\"metric\":\"identical\",\"equals\":\"true\"}\n",
+    )
+    .unwrap();
+    let report_s = report.to_str().unwrap();
+
+    // add: appends one flat record per invocation, tagged by host.
+    let (ok, stdout, stderr) = hbat(&[
+        "perfdb",
+        "add",
+        report_s,
+        "--db",
+        db.to_str().unwrap(),
+        "--host",
+        "cli-test",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("added"), "{stdout}");
+    let db_text = std::fs::read_to_string(&db).unwrap();
+    assert_eq!(db_text.lines().count(), 1);
+    assert!(db_text.contains("\"bench\":\"fake_bench\""));
+    assert!(db_text.contains("\"host\":\"cli-test\""));
+    assert!(!db_text.contains("time"), "no timestamps in the database");
+
+    // check: passes against the generous baseline…
+    let (ok, stdout, stderr) = hbat(&[
+        "perfdb",
+        "check",
+        report_s,
+        "--baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("all 2 perf check(s) passed"), "{stdout}");
+
+    // … and fails with a nonzero exit when a bound regresses.
+    std::fs::write(
+        &baseline,
+        "{\"v\":1,\"bench\":\"fake_bench\",\"metric\":\"ratio\",\"max\":0.1}\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = hbat(&[
+        "perfdb",
+        "check",
+        report_s,
+        "--baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert!(!ok, "regression must fail the check");
+    assert!(stdout.contains("FAIL fake_bench ratio"), "{stdout}");
+    assert!(stderr.contains("1 of 1 perf check(s) failed"), "{stderr}");
+
+    // A baseline whose checks match nothing is an error, not a pass.
+    std::fs::write(
+        &baseline,
+        "{\"v\":1,\"bench\":\"no_such_bench\",\"metric\":\"x\",\"max\":1}\n",
+    )
+    .unwrap();
+    let (ok, _, stderr) = hbat(&[
+        "perfdb",
+        "check",
+        report_s,
+        "--baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("no baseline check matched"), "{stderr}");
+
+    // Unknown action.
+    let (ok, _, stderr) = hbat(&["perfdb", "frob", report_s]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown perfdb action"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn observed_sweep_writes_sidecar_and_heartbeat_is_controllable() {
     let dir = std::env::temp_dir().join("hbat-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
