@@ -24,7 +24,7 @@ use std::sync::atomic::AtomicBool;
 use hbat_ckpt::format::checksum_of;
 use hbat_ckpt::{fast_forward, CheckpointStore, CkptError, Snapshot};
 use hbat_core::designs::spec::DesignSpec;
-use hbat_cpu::{simulate_uops_warm, RunMetrics, WarmAccumulator, WarmState};
+use hbat_cpu::{simulate_uops_warm, RunMetrics, WarmAccumulator, WarmExport, WarmState};
 use hbat_isa::uop::PredecodedTrace;
 use hbat_isa::Machine;
 use hbat_workloads::{Benchmark, Workload};
@@ -63,6 +63,11 @@ pub struct WarmTrace {
     pub tail: PredecodedTrace,
     /// Warm micro-architectural state at the boundary.
     pub warm: WarmState,
+    /// The full warm-state accumulator export at the boundary — the
+    /// sampled runner re-imports this to *continue* accumulation through
+    /// functional gaps between detailed windows (the derived [`WarmState`]
+    /// alone cannot be extended).
+    pub export: WarmExport,
     /// Where timing starts: `min(F, halt point)`.
     pub start: u64,
     /// The snapshot index this build restored from (`None` = cold start).
@@ -79,7 +84,7 @@ fn finish(
     machine: &mut Machine,
     acc: &WarmAccumulator,
     tail_guard: u64,
-) -> Result<(PredecodedTrace, WarmState), CkptError> {
+) -> Result<(PredecodedTrace, WarmState, WarmExport), CkptError> {
     let tail = machine.run_to_vec(tail_guard);
     if !machine.is_halted() {
         return Err(CkptError::Malformed(format!(
@@ -87,7 +92,11 @@ fn finish(
             workload.name
         )));
     }
-    Ok((PredecodedTrace::predecode(&tail), acc.warm_state()))
+    Ok((
+        PredecodedTrace::predecode(&tail),
+        acc.warm_state(),
+        acc.export(),
+    ))
 }
 
 /// Builds a benchmark's warm trace with *no* disk involvement: a pure
@@ -116,10 +125,11 @@ pub fn build_warm_trace_cold(
         None,
         |_, _, _| Ok(()),
     )?;
-    let (tail, warm) = finish(&workload, &mut machine, &acc, workload.max_steps)?;
+    let (tail, warm, export) = finish(&workload, &mut machine, &acc, workload.max_steps)?;
     Ok(WarmTrace {
         tail,
         warm,
+        export,
         start: out.index,
         restored_from: None,
         rejected: Vec::new(),
@@ -274,10 +284,11 @@ pub fn build_warm_trace(
         },
     )?;
 
-    let (tail, warm) = finish(&workload, &mut machine, &acc, workload.max_steps)?;
+    let (tail, warm, export) = finish(&workload, &mut machine, &acc, workload.max_steps)?;
     Ok(WarmTrace {
         tail,
         warm,
+        export,
         start: out.index,
         restored_from,
         rejected: scan

@@ -24,9 +24,10 @@ use hbat_cpu::{
 use hbat_isa::trace::TraceInst;
 use hbat_isa::tracefile::{read_trace, write_trace};
 use hbat_isa::uop::{MicroOp, PredecodedTrace};
-use hbat_obs::{prof, IntervalRecorder, PortResource, Tee, TraceRecorder};
+use hbat_obs::{prof, IntervalRecord, IntervalRecorder, PortResource, Tee, TraceRecorder};
 use hbat_stats::agg::runtime_weighted_ipc;
 use hbat_stats::chart::BarChart;
+use hbat_stats::ci::{ConfLevel, ConfidenceInterval};
 use hbat_stats::table::{fnum, fnum_opt, percent_opt, TextTable};
 use hbat_workloads::{Benchmark, Scale, WorkloadConfig};
 
@@ -39,8 +40,13 @@ use crate::executor::{
     TraceCache,
 };
 use crate::faults::{FaultKind, FaultPlan};
-use crate::journal::{fnv1a_hex, read_journal, CellKey, JournalRecord, JournalWriter};
+use crate::journal::{
+    fnv1a_hex, read_interval_sidecar, read_journal, CellKey, JournalRecord, JournalWriter,
+};
 use crate::outcome::{CellFailure, CellOutcome, FailureManifest};
+use crate::sample::{
+    ckpt_sample_fingerprint, ipc_interval, run_sampled_uops, sample_fingerprint, SamplePlan,
+};
 
 /// A built workload in both forms: the raw trace (kept for paths that
 /// serialise `TraceInst` records) and its predecoded micro-ops (what
@@ -106,8 +112,13 @@ pub struct CellResult {
     pub bench: Benchmark,
     /// The design.
     pub design: DesignSpec,
-    /// Full run metrics.
+    /// Full run metrics. In a sampled sweep these are the measured
+    /// windows' sums (see [`crate::sample::SampledCell`]), so rates are
+    /// sample estimates, not exact counts.
     pub metrics: RunMetrics,
+    /// A sampled sweep's per-window measurements (empty for full
+    /// detailed runs) — what the interval estimators consume.
+    pub windows: Vec<IntervalRecord>,
 }
 
 /// The result of sweeping `designs` over all ten benchmarks.
@@ -312,6 +323,7 @@ pub fn sweep_on(
                     bench: benches[bi],
                     design: designs[di],
                     metrics: run_cell_uops(&traces[bi], designs[di], cfg),
+                    windows: Vec::new(),
                 }
             })
         })
@@ -350,6 +362,7 @@ pub fn sweep_serial(designs: &[DesignSpec], cfg: &ExperimentConfig) -> SweepResu
                     bench,
                     design,
                     metrics: run_cell(&trace, design, cfg),
+                    windows: Vec::new(),
                 })
                 .collect()
         })
@@ -414,6 +427,14 @@ pub struct SweepOptions {
     /// [`crate::ckpt`]). Changes the cells' metrics — and therefore the
     /// journal fingerprint — because timing starts at the boundary.
     pub checkpoint: Option<CheckpointOptions>,
+    /// Sampled mode (SMARTS-style): run detailed timing only in the
+    /// plan's windows, fast-forward functionally between them, and
+    /// report metrics as interval estimates. Composes with `checkpoint`
+    /// (windows are placed in the tail past the boundary, chained from
+    /// the snapshot's warm state); mutually exclusive with `observe`
+    /// and `intervals` — sampled windows own the `.iv.jsonl` sidecar.
+    /// The plan is folded into the journal fingerprint.
+    pub sample: Option<SamplePlan>,
 }
 
 /// The sidecar path that an observed sweep writes its per-cell
@@ -529,6 +550,9 @@ pub struct FtSweepResult {
     pub resumed: usize,
     /// Where the sweep's wall time went.
     pub telemetry: SweepTelemetry,
+    /// The sample plan when this was a sampled sweep (`None` for full
+    /// detailed runs); drives the interval-aware renderers.
+    pub sample: Option<SamplePlan>,
 }
 
 impl FtSweepResult {
@@ -591,6 +615,117 @@ impl FtSweepResult {
         Some(self.weighted_ipc(design)? / t4)
     }
 
+    /// Run-time weighted IPC as a 95% confidence interval, for sampled
+    /// sweeps: the weighted mean of the per-benchmark window-estimate
+    /// means, with a *conservatively* weighted half-width
+    /// (`Σw·hw / Σw` — at least as wide as a pooled-variance interval,
+    /// never narrower). Weights are the T4 cell's sampled cycles,
+    /// mirroring [`Self::weighted_ipc`]. `None` when the sweep was not
+    /// sampled, the design is absent, or no benchmark completed both
+    /// this design's cell and the weight cell. A completed cell with
+    /// no windows (lost sidecar) degrades the whole interval to an
+    /// infinite half-width rather than quietly narrowing it.
+    pub fn weighted_ipc_interval(&self, design: DesignSpec) -> Option<ConfidenceInterval> {
+        self.sample?;
+        let weight_col = self
+            .designs
+            .iter()
+            .position(|d| *d == DesignSpec::MultiPorted { ports: 4 })
+            .unwrap_or(0);
+        let col = self.designs.iter().position(|d| *d == design)?;
+        let mut w_sum = 0.0f64;
+        let mut mean_sum = 0.0f64;
+        let mut hw_sum = 0.0f64;
+        let mut n_min = u64::MAX;
+        for row in &self.cells {
+            if let (Some(c), Some(w)) = (
+                row.get(col).and_then(CellOutcome::ok),
+                row.get(weight_col).and_then(CellOutcome::ok),
+            ) {
+                let ci = ipc_interval(&c.windows, ConfLevel::P95);
+                #[allow(clippy::cast_precision_loss)]
+                let weight = w.metrics.cycles as f64;
+                let weight = if weight > 0.0 { weight } else { 1.0 };
+                w_sum += weight;
+                mean_sum += weight * ci.mean;
+                hw_sum += weight * ci.half_width;
+                n_min = n_min.min(ci.n);
+            }
+        }
+        if w_sum <= 0.0 {
+            return None;
+        }
+        Some(ConfidenceInterval {
+            mean: mean_sum / w_sum,
+            half_width: hw_sum / w_sum,
+            level: ConfLevel::P95.value(),
+            n: if n_min == u64::MAX { 0 } else { n_min },
+        })
+    }
+
+    /// Renders the sampled-sweep figure: the usual weighted-IPC table
+    /// extended with the `± 95% CI` column, and bars annotated with the
+    /// window count. Falls back to [`Self::render_figure`] when the
+    /// sweep was not sampled.
+    pub fn render_sample_figure(&self, title: &str) -> String {
+        if self.sample.is_none() {
+            return self.render_figure(title);
+        }
+        let mut t = TextTable::new(vec!["design", "weighted IPC (95% CI)", "vs T4"]);
+        t.numeric();
+        let mut chart = BarChart::new("relative IPC (normalised to T4)", 50)
+            .with_max(1.0)
+            .percent();
+        for d in &self.designs {
+            let ci = self.weighted_ipc_interval(*d);
+            t.row(vec![
+                d.mnemonic().to_owned(),
+                ci.as_ref()
+                    .map_or_else(|| "n/a".to_owned(), |ci| ci.render(4)),
+                percent_opt(self.relative_ipc(*d)),
+            ]);
+            match self.relative_ipc(*d) {
+                Some(rel) => chart.bar(d.mnemonic(), rel),
+                None => chart.bar_missing(d.mnemonic()),
+            };
+        }
+        let plan = self.sample.map_or_else(String::new, |p| p.render());
+        let mut out = format!(
+            "{title}\nsampled: {plan} (windows:len:warmup), relative IPC from window means\n{}\n{}",
+            t.render(),
+            chart.render()
+        );
+        if !self.manifest.is_empty() {
+            out.push('\n');
+            out.push_str(&self.manifest.render());
+        }
+        out
+    }
+
+    /// Renders the per-benchmark detail table for a sampled sweep, one
+    /// `mean ± hw` entry per cell. Falls back to
+    /// [`Self::render_details`] when the sweep was not sampled.
+    pub fn render_sample_details(&self) -> String {
+        if self.sample.is_none() {
+            return self.render_details();
+        }
+        let mut headers = vec!["program".to_owned()];
+        headers.extend(self.designs.iter().map(|d| d.mnemonic().to_owned()));
+        let mut t = TextTable::new(headers);
+        t.numeric();
+        for (bench, row) in Benchmark::ALL.iter().zip(&self.cells) {
+            let mut cells = vec![bench.name().to_owned()];
+            cells.extend(row.iter().map(|o| {
+                o.ok().map_or_else(
+                    || "n/a".to_owned(),
+                    |c| ipc_interval(&c.windows, ConfLevel::P95).render(3),
+                )
+            }));
+            t.row(cells);
+        }
+        t.render()
+    }
+
     /// Renders the figure like [`SweepResult::render_figure`], but
     /// failed cells are marked explicitly: designs with no usable
     /// measurements show `n/a` bars, and the failure manifest is
@@ -650,11 +785,13 @@ enum BenchInput {
 }
 
 /// What one phase-2 cell job produced (before outcome classification).
+/// The window vector is empty for full detailed runs; sampled runs
+/// carry one [`IntervalRecord`] per measurement window.
 enum CellJob {
     /// Executed this run (journalled if a journal is configured).
-    Ran(RunMetrics),
+    Ran(RunMetrics, Vec<IntervalRecord>),
     /// Restored from the resume journal without re-executing.
-    Restored(RunMetrics),
+    Restored(RunMetrics, Vec<IntervalRecord>),
     /// Not runnable: its benchmark's trace failed to build.
     NoTrace(String),
 }
@@ -729,24 +866,54 @@ pub fn sweep_ft_on(
             ));
         }
     }
+    // Sampled runs emit one interval record per *measurement window*
+    // through the same `.iv.jsonl` sidecar the cycle-interval recorder
+    // uses; letting both write would interleave two different window
+    // semantics in one file.
+    if opts.sample.is_some() && (opts.observe || opts.intervals.is_some()) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "--sample is mutually exclusive with --observe / --intervals \
+             (sampled windows own the interval sidecar)",
+        ));
+    }
     let n_cells = benches.len() * designs.len();
     // Checkpointed sweeps fold the fast-forward boundary into the cell
     // identity: their metrics start timing at the boundary, so they must
     // never share journal records (or snapshots) with full sweeps or
-    // with a different boundary.
-    let fingerprint = match &opts.checkpoint {
-        Some(ck) => ckpt_fingerprint(cfg, ck.boundary),
-        None => config_fingerprint(cfg),
+    // with a different boundary. Sampled sweeps likewise fold the
+    // sample plan in: their metrics are window estimates, not full-run
+    // totals.
+    let fingerprint = match (&opts.checkpoint, &opts.sample) {
+        (Some(ck), Some(p)) => ckpt_sample_fingerprint(cfg, ck.boundary, p),
+        (Some(ck), None) => ckpt_fingerprint(cfg, ck.boundary),
+        (None, Some(p)) => sample_fingerprint(cfg, p),
+        (None, None) => config_fingerprint(cfg),
     };
     let (hits0, misses0) = (cache.hits(), cache.misses());
 
     // Resume: restore completed cells from the journal. Records keyed
     // for a different configuration simply never match.
     let mut restored: HashMap<CellKey, RunMetrics> = HashMap::new();
+    // Sampled resume also restores the per-window measurements from
+    // the interval sidecar so a restored cell still renders its
+    // confidence interval. If a crashed cell re-ran and re-appended
+    // its block, window starts go non-monotonic at the seam — reset
+    // and keep the latest complete block.
+    let mut restored_windows: HashMap<CellKey, Vec<IntervalRecord>> = HashMap::new();
     if opts.resume {
         if let Some(path) = &opts.journal {
             for rec in read_journal(path)? {
                 restored.insert(rec.key, rec.metrics);
+            }
+            if opts.sample.is_some() {
+                for rec in read_interval_sidecar(&iv_sidecar_path(path))? {
+                    let wins = restored_windows.entry(rec.key).or_default();
+                    if wins.last().is_some_and(|w| rec.window.start <= w.start) {
+                        wins.clear();
+                    }
+                    wins.push(rec.window);
+                }
             }
         }
     }
@@ -758,8 +925,10 @@ pub fn sweep_ft_on(
         (Some(path), true) => Some(JournalWriter::append_to(&obs_sidecar_path(path))?),
         _ => None,
     };
-    let iv_writer = match (&opts.journal, opts.intervals) {
-        (Some(path), Some(_)) => Some(JournalWriter::append_to(&iv_sidecar_path(path))?),
+    let iv_writer = match &opts.journal {
+        Some(path) if opts.intervals.is_some() || opts.sample.is_some() => {
+            Some(JournalWriter::append_to(&iv_sidecar_path(path))?)
+        }
         _ => None,
     };
 
@@ -828,7 +997,12 @@ pub fn sweep_ft_on(
                 seed: cfg.design_seed,
             };
             if let Some(metrics) = restored.get(&key) {
-                return CellJob::Restored(metrics.clone());
+                // A sampled cell restored from the journal gets its
+                // windows back from the sidecar too; an incomplete or
+                // lost sidecar yields an empty vector, which renders as
+                // a degenerate full-width interval instead of lying.
+                let wins = restored_windows.get(&key).cloned().unwrap_or_default();
+                return CellJob::Restored(metrics.clone(), wins);
             }
             let Some(input) = &traces[bi] else {
                 return CellJob::NoTrace(trace_errs[bi].clone());
@@ -864,32 +1038,61 @@ pub fn sweep_ft_on(
                     BenchInput::Warm(wt) => run_warm_cell_with(wt, design, cfg, rec),
                 }
             }
-            let (metrics, rec, windows) = {
+            // `windows` unifies the two interval sources: cycle-width
+            // intervals from the recorder (which can drop on buffer
+            // overflow) and sampled measurement windows (which never
+            // drop — the plan bounds them up front).
+            type Windows = Option<(Vec<IntervalRecord>, u64)>;
+            let (metrics, rec, windows): (RunMetrics, Option<TraceRecorder>, Windows) = {
                 let _cell = prof::scope("cell-run");
-                match (opts.observe, opts.intervals) {
-                    (false, None) => {
-                        let metrics = match input {
-                            BenchInput::Full((_, uops)) => run_cell_uops(uops, designs[di], cfg),
-                            BenchInput::Warm(wt) => run_warm_cell(wt, designs[di], cfg),
-                        };
-                        (metrics, None, None)
-                    }
-                    (true, None) => {
-                        let mut rec = TraceRecorder::new();
-                        let metrics = exec(input, designs[di], cfg, &mut rec);
-                        (metrics, Some(rec), None)
-                    }
-                    (false, Some(width)) => {
-                        let mut iv = IntervalRecorder::new(width);
-                        let metrics = exec(input, designs[di], cfg, &mut iv);
-                        iv.finish();
-                        (metrics, None, Some(iv))
-                    }
-                    (true, Some(width)) => {
-                        let mut tee = Tee::new(TraceRecorder::new(), IntervalRecorder::new(width));
-                        let metrics = exec(input, designs[di], cfg, &mut tee);
-                        tee.b.finish();
-                        (metrics, Some(tee.a), Some(tee.b))
+                if let Some(plan) = &opts.sample {
+                    let cell = match input {
+                        BenchInput::Full((_, uops)) => {
+                            run_sampled_uops(uops.ops(), designs[di], cfg, None, plan)
+                        }
+                        BenchInput::Warm(wt) => run_sampled_uops(
+                            wt.tail.ops(),
+                            designs[di],
+                            cfg,
+                            Some(&wt.export),
+                            plan,
+                        ),
+                    };
+                    (cell.metrics, None, Some((cell.windows, 0)))
+                } else {
+                    match (opts.observe, opts.intervals) {
+                        (false, None) => {
+                            let metrics = match input {
+                                BenchInput::Full((_, uops)) => {
+                                    run_cell_uops(uops, designs[di], cfg)
+                                }
+                                BenchInput::Warm(wt) => run_warm_cell(wt, designs[di], cfg),
+                            };
+                            (metrics, None, None)
+                        }
+                        (true, None) => {
+                            let mut rec = TraceRecorder::new();
+                            let metrics = exec(input, designs[di], cfg, &mut rec);
+                            (metrics, Some(rec), None)
+                        }
+                        (false, Some(width)) => {
+                            let mut iv = IntervalRecorder::new(width);
+                            let metrics = exec(input, designs[di], cfg, &mut iv);
+                            iv.finish();
+                            (
+                                metrics,
+                                None,
+                                Some((iv.windows().to_vec(), iv.dropped_windows())),
+                            )
+                        }
+                        (true, Some(width)) => {
+                            let mut tee =
+                                Tee::new(TraceRecorder::new(), IntervalRecorder::new(width));
+                            let metrics = exec(input, designs[di], cfg, &mut tee);
+                            tee.b.finish();
+                            let wins = (tee.b.windows().to_vec(), tee.b.dropped_windows());
+                            (metrics, Some(tee.a), Some(wins))
+                        }
                     }
                 }
             };
@@ -907,25 +1110,30 @@ pub fn sweep_ft_on(
                     eprintln!("warning: obs sidecar append failed: {e}");
                 }
             }
-            if let (Some(w), Some(iv)) = (&iv_writer, &windows) {
+            if let (Some(w), Some((wins, dropped))) = (&iv_writer, &windows) {
                 let mut block = String::new();
-                for win in iv.windows() {
+                for win in wins {
                     block.push_str(&render_interval_record(&key, win));
                     block.push('\n');
                 }
-                if iv.dropped_windows() > 0 {
+                if *dropped > 0 {
                     eprintln!(
-                        "warning: {}/{}: {} interval windows dropped (buffer full); widen --intervals",
-                        key.bench,
-                        key.design,
-                        iv.dropped_windows()
+                        "warning: {}/{}: {dropped} interval windows dropped (buffer full); widen --intervals",
+                        key.bench, key.design,
                     );
                 }
                 if let Err(e) = w.append_block(&block) {
                     eprintln!("warning: interval sidecar append failed: {e}");
                 }
             }
-            CellJob::Ran(metrics)
+            // Sampled windows ride on the cell result (the interval
+            // estimators consume them); cycle-width interval windows
+            // stay sidecar-only, as before.
+            let cell_windows = match (&opts.sample, windows) {
+                (Some(_), Some((wins, _))) => wins,
+                _ => Vec::new(),
+            };
+            CellJob::Ran(metrics, cell_windows)
         })
     });
     drop(phase_detailed);
@@ -938,16 +1146,17 @@ pub fn sweep_ft_on(
     // hbat-lint: allow(panic) bi/di derive from i < n_cells = benches.len() * designs.len()
     for (i, outcome) in flat.into_iter().enumerate() {
         let (bi, di) = (i / designs.len(), i % designs.len());
-        let done = |metrics: RunMetrics| CellResult {
+        let done = |metrics: RunMetrics, windows: Vec<IntervalRecord>| CellResult {
             bench: benches[bi],
             design: designs[di],
             metrics,
+            windows,
         };
         let outcome: CellOutcome<CellResult> = match outcome {
-            CellOutcome::Ok(CellJob::Ran(m)) => CellOutcome::Ok(done(m)),
-            CellOutcome::Ok(CellJob::Restored(m)) => {
+            CellOutcome::Ok(CellJob::Ran(m, w)) => CellOutcome::Ok(done(m, w)),
+            CellOutcome::Ok(CellJob::Restored(m, w)) => {
                 resumed += 1;
-                CellOutcome::Ok(done(m))
+                CellOutcome::Ok(done(m, w))
             }
             CellOutcome::Ok(CellJob::NoTrace(reason)) => CellOutcome::Skipped { reason },
             CellOutcome::Panicked {
@@ -985,6 +1194,7 @@ pub fn sweep_ft_on(
         cells,
         manifest,
         resumed,
+        sample: opts.sample,
         telemetry: SweepTelemetry {
             threads,
             cells: n_cells,

@@ -28,6 +28,7 @@ use std::sync::Mutex;
 use hbat_core::stats::TranslatorStats;
 use hbat_cpu::RunMetrics;
 use hbat_mem::cache::CacheStats;
+use hbat_obs::{IntervalRecord, StallCause, INTERVAL_SCHEMA_VERSION};
 
 use crate::executor::escape_json;
 
@@ -490,6 +491,115 @@ pub fn parse_record(line: &str) -> Result<JournalRecord, String> {
     })
 }
 
+/// One parsed interval-sidecar line: the cell it belongs to plus one
+/// measured window. Sampled sweeps read these back for `--resume`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSidecarRecord {
+    /// The cell's identity.
+    pub key: CellKey,
+    /// The window's counters.
+    pub window: IntervalRecord,
+}
+
+/// Parses one `<journal>.iv.jsonl` line (the shape
+/// [`crate::experiment::render_interval_record`] writes) back into a
+/// record.
+///
+/// # Errors
+///
+/// A human-readable message for any malformed line, including a
+/// sidecar schema-version mismatch.
+pub fn parse_interval_record(line: &str) -> Result<IntervalSidecarRecord, String> {
+    let mut cur = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let Val::Obj(top) = cur.parse_object()? else {
+        return Err("interval record is not an object".to_owned());
+    };
+    cur.skip_ws();
+    if cur.pos != cur.bytes.len() {
+        return Err("trailing bytes after interval record".to_owned());
+    }
+    let version = get_int(&top, "v")?;
+    if version != u64::from(INTERVAL_SCHEMA_VERSION) {
+        return Err(format!(
+            "interval schema version {version} (this build reads {INTERVAL_SCHEMA_VERSION})"
+        ));
+    }
+    let w = get_obj(&top, "window")?;
+    let stalls_obj = get_obj(w, "stalls")?;
+    let mut stalls = [0u64; StallCause::COUNT];
+    for cause in StallCause::ALL {
+        // hbat-lint: allow(panic) index() < COUNT by construction; the array is [_; COUNT]
+        stalls[cause.index()] = get_int(stalls_obj, cause.name())?;
+    }
+    let tlb = get_obj(w, "tlb")?;
+    let dcache = get_obj(w, "dcache")?;
+    let walks = get_obj(w, "walks")?;
+    let occ = get_obj(w, "occupancy")?;
+    Ok(IntervalSidecarRecord {
+        key: CellKey {
+            bench: get_str(&top, "bench")?,
+            design: get_str(&top, "design")?,
+            config: get_str(&top, "config")?,
+            seed: get_int(&top, "seed")?,
+        },
+        window: IntervalRecord {
+            start: get_int(w, "start")?,
+            cycles: get_int(w, "cycles")?,
+            issue_cycles: get_int(w, "issue")?,
+            issued: get_int(w, "issued")?,
+            committed: get_int(w, "committed")?,
+            stalls,
+            tlb_lookups: get_int(tlb, "lookups")?,
+            tlb_misses: get_int(tlb, "misses")?,
+            dcache_accesses: get_int(dcache, "accesses")?,
+            dcache_misses: get_int(dcache, "misses")?,
+            walks: get_int(walks, "count")?,
+            walk_cycles: get_int(walks, "cycles")?,
+            rob_sum: get_int(occ, "rob_sum")?,
+            lsq_sum: get_int(occ, "lsq_sum")?,
+            samples: get_int(occ, "samples")?,
+        },
+    })
+}
+
+/// Reads every complete record from an interval sidecar, with the same
+/// torn-tail tolerance as [`read_journal`]: a torn *final* line is
+/// dropped silently, a corrupt interior line is an error, a missing
+/// file reads as empty.
+///
+/// # Errors
+///
+/// I/O errors, or corruption anywhere but the final line.
+pub fn read_interval_sidecar(path: &Path) -> io::Result<Vec<IntervalSidecarRecord>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    let lines: Vec<String> = BufReader::new(file).lines().collect::<io::Result<_>>()?;
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_interval_record(line) {
+            Ok(rec) => records.push(rec),
+            Err(_) if i == last => break, // torn tail from a killed run
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", path.display(), i + 1),
+                ))
+            }
+        }
+    }
+    Ok(records)
+}
+
 // ---- file I/O ------------------------------------------------------------
 
 /// A shared append-only journal writer. Workers append concurrently;
@@ -691,6 +801,59 @@ mod tests {
         assert_eq!(read_journal(&path).unwrap(), Vec::new());
         a.key.seed = 7;
         drop(a);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interval_sidecar_round_trips_and_tolerates_torn_tail() {
+        let key = sample_record().key;
+        let window = IntervalRecord {
+            start: 5,
+            cycles: 100,
+            issue_cycles: 60,
+            issued: 150,
+            committed: 90,
+            stalls: [1, 2, 3, 4, 5, 6, 7, 12],
+            tlb_lookups: 40,
+            tlb_misses: 3,
+            dcache_accesses: 38,
+            dcache_misses: 2,
+            walks: 3,
+            walk_cycles: 90,
+            rob_sum: 500,
+            lsq_sum: 200,
+            samples: 10,
+        };
+        let line = crate::experiment::render_interval_record(&key, &window);
+        let back = parse_interval_record(&line).unwrap();
+        assert_eq!(back.key, key);
+        assert_eq!(back.window, window);
+        assert!(parse_interval_record(&line[..line.len() - 3]).is_err());
+        let wrong_v = line.replacen("\"v\":1", "\"v\":9", 1);
+        assert!(parse_interval_record(&wrong_v).is_err());
+
+        let dir = std::env::temp_dir().join(format!("hbat-ivjournal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.journal.iv.jsonl");
+        std::fs::remove_file(&path).ok();
+        let w = JournalWriter::append_to(&path).unwrap();
+        w.append_line(&line).unwrap();
+        let mut second = window;
+        second.start = 1005;
+        w.append_line(&crate::experiment::render_interval_record(&key, &second))
+            .unwrap();
+        drop(w);
+        let back = read_interval_sidecar(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].window.start, 1005);
+
+        // Torn tail: dropped. Missing file: empty.
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        contents.push_str("{\"v\":1,\"bench\":\"Gcc");
+        std::fs::write(&path, &contents).unwrap();
+        assert_eq!(read_interval_sidecar(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(read_interval_sidecar(&path).unwrap(), Vec::new());
         std::fs::remove_dir_all(&dir).ok();
     }
 

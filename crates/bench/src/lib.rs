@@ -40,6 +40,7 @@ pub mod journal;
 pub mod missrate;
 pub mod outcome;
 pub mod perfdb;
+pub mod sample;
 
 pub use ckpt::{
     build_warm_trace, build_warm_trace_cold, ckpt_fingerprint, run_warm_cell, run_warm_cell_with,
@@ -56,5 +57,12 @@ pub use experiment::{
     CellResult, ExperimentConfig, FtSweepResult, SweepOptions, SweepResult,
 };
 pub use faults::{CkptFault, FaultKind, FaultPlan};
-pub use journal::{read_journal, write_atomic, CellKey, JournalRecord, JournalWriter, Scalar};
+pub use journal::{
+    read_interval_sidecar, read_journal, write_atomic, CellKey, IntervalSidecarRecord,
+    JournalRecord, JournalWriter, Scalar,
+};
 pub use outcome::{CellFailure, CellOutcome, FailureManifest};
+pub use sample::{
+    ckpt_sample_fingerprint, cpi_interval, ipc_interval, plan_windows, run_sampled_uops,
+    sample_fingerprint, SamplePlan, SampleWindow, SampledCell, WindowGate,
+};

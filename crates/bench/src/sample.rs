@@ -1,0 +1,730 @@
+//! SMARTS-style sampled simulation: detailed timing in systematically
+//! selected windows, functional warming between them, and metrics
+//! reported as confidence intervals (DESIGN.md §15).
+//!
+//! A sampled cell replays the same committed-path micro-op trace a full
+//! detailed run would, but only `n_windows` stretches of
+//! `warmup_len + window_len` instructions go through the out-of-order
+//! timing engine. Everything between windows streams through
+//! [`WarmAccumulator::warm_gap`] — TLB, cache-block and
+//! branch-predictor state stay warm at trace-replay speed, with no
+//! ROB/LSQ timing. Each window installs the accumulated warm state,
+//! times `warmup_len` instructions as detailed warmup (measured
+//! counters gated off), then measures exactly `window_len` committed
+//! instructions into one [`IntervalRecord`].
+//!
+//! The estimator is the classic systematic-sample Student-t interval
+//! over per-window CPI (cycles per instruction). Windows hold an equal
+//! number of committed instructions, so the mean of per-window CPIs *is*
+//! the ratio estimator for aggregate CPI, and IPC bounds follow by the
+//! exact monotone transform `ipc = 1/cpi` (see [`ipc_interval`]).
+//!
+//! Everything here is a pure function of `(trace, design, plan)`: window
+//! placement derives from a splitmix64 hash of the plan seed, so
+//! identical plans give byte-identical journals and reports.
+
+use hbat_core::designs::spec::DesignSpec;
+use hbat_cpu::{simulate_uops_warm_with_recorder, RunMetrics, WarmAccumulator, WarmExport};
+use hbat_isa::uop::MicroOp;
+use hbat_obs::{IntervalRecord, OccupancySample, Recorder, StallCause};
+use hbat_stats::ci::{ConfLevel, ConfidenceInterval};
+
+use crate::experiment::ExperimentConfig;
+use crate::journal::fnv1a_hex;
+
+/// How a sampled run slices its trace: `n_windows` detailed windows of
+/// `window_len` measured instructions, each preceded by `warmup_len`
+/// detailed-but-unmeasured instructions, placed systematically with a
+/// seed-derived offset.
+///
+/// The plan (including the seed) is folded into the journal fingerprint
+/// — see [`sample_fingerprint`] — so sampled and full runs, or two
+/// different plans, can never share journal records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplePlan {
+    /// Detailed measurement windows per cell.
+    pub n_windows: u64,
+    /// Measured committed instructions per window.
+    pub window_len: u64,
+    /// Detailed (timed but unmeasured) instructions run before each
+    /// window to settle ROB/LSQ/queue state the functional gap cannot
+    /// warm.
+    pub warmup_len: u64,
+    /// Seed for the systematic placement offset.
+    pub seed: u64,
+}
+
+/// Default measured window length (instructions) when `--sample N`
+/// gives no explicit length.
+pub const DEFAULT_WINDOW_LEN: u64 = 1000;
+
+impl SamplePlan {
+    /// Parses the CLI form `N[:len[:warmup]]`: window count, optional
+    /// measured length (default [`DEFAULT_WINDOW_LEN`]), optional
+    /// detailed warmup (default `len / 4`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the shape or a field fails to
+    /// parse, or when `N` or `len` is zero.
+    pub fn parse(spec: &str, seed: u64) -> Result<SamplePlan, String> {
+        let mut parts = spec.split(':');
+        let n_windows = parse_field(parts.next(), "window count")?;
+        let window_len = match parts.next() {
+            Some(s) => parse_field(Some(s), "window length")?,
+            None => DEFAULT_WINDOW_LEN,
+        };
+        let warmup_len = match parts.next() {
+            Some(s) => parse_count(Some(s), "warmup length")?,
+            None => window_len / 4,
+        };
+        if parts.next().is_some() {
+            return Err(format!("--sample takes at most N:len:warmup, got {spec:?}"));
+        }
+        Ok(SamplePlan {
+            n_windows,
+            window_len,
+            warmup_len,
+            seed,
+        })
+    }
+
+    /// The CLI form back: `N:len:warmup`.
+    pub fn render(&self) -> String {
+        format!("{}:{}:{}", self.n_windows, self.window_len, self.warmup_len)
+    }
+}
+
+fn parse_count(part: Option<&str>, what: &str) -> Result<u64, String> {
+    match part {
+        Some(s) => s
+            .parse::<u64>()
+            .map_err(|e| format!("bad --sample {what} {s:?}: {e}")),
+        None => Err(format!("--sample is missing its {what}")),
+    }
+}
+
+fn parse_field(part: Option<&str>, what: &str) -> Result<u64, String> {
+    let v = parse_count(part, what)?;
+    if v == 0 {
+        return Err(format!("--sample {what} must be >= 1"));
+    }
+    Ok(v)
+}
+
+/// The journal fingerprint of a sampled sweep: the experiment
+/// fingerprint with the sample plan folded in. Sampled metrics are
+/// estimates over a subset of the trace, so they must never share
+/// journal records with full runs or with a different plan.
+pub fn sample_fingerprint(cfg: &ExperimentConfig, plan: &SamplePlan) -> String {
+    fnv1a_hex(&format!("{cfg:?}/sample={plan:?}"))
+}
+
+/// [`sample_fingerprint`] for a checkpointed sampled sweep: both the
+/// fast-forward boundary and the plan are folded in (composes
+/// [`crate::ckpt::ckpt_fingerprint`] with [`sample_fingerprint`]).
+pub fn ckpt_sample_fingerprint(cfg: &ExperimentConfig, boundary: u64, plan: &SamplePlan) -> String {
+    fnv1a_hex(&format!("{cfg:?}/ff={boundary}/sample={plan:?}"))
+}
+
+/// SplitMix64: one multiply-xor-shift round, used to turn the plan seed
+/// into a placement offset that is decorrelated from small seed values.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One placed window, as op-index ranges into the sampled trace:
+/// detailed warmup covers `[warm_start, meas_start)`, measurement
+/// covers `[meas_start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleWindow {
+    /// First op of the detailed warmup.
+    pub warm_start: u64,
+    /// First measured op.
+    pub meas_start: u64,
+    /// One past the last measured op.
+    pub end: u64,
+}
+
+/// Places the plan's windows over a trace of `n_ops` committed
+/// instructions: systematic sampling with period `n_ops / n_windows`
+/// (clamped so windows never overlap) and a seed-derived phase offset.
+/// Short traces degrade gracefully — the window length clamps to the
+/// trace, the warmup to what remains, and fewer than `n_windows`
+/// windows are returned when they cannot all fit. Returned windows are
+/// strictly increasing and non-overlapping, every bound `<= n_ops`.
+pub fn plan_windows(plan: &SamplePlan, n_ops: u64) -> Vec<SampleWindow> {
+    if n_ops == 0 {
+        return Vec::new();
+    }
+    let window_len = plan.window_len.min(n_ops).max(1);
+    let warmup = plan.warmup_len.min(n_ops - window_len);
+    let span = warmup + window_len;
+    let k = plan.n_windows.max(1);
+    let period = (n_ops / k).max(span);
+    // The placement offset shifts every window by the same amount, so
+    // the sample stays systematic; modulo keeps window 0 inside the
+    // first period.
+    let slack = period - span + 1;
+    let offset = splitmix64(plan.seed) % slack;
+    let mut windows = Vec::with_capacity(k as usize);
+    let mut s = offset;
+    while s + span <= n_ops && (windows.len() as u64) < k {
+        windows.push(SampleWindow {
+            warm_start: s,
+            meas_start: s + warmup,
+            end: s + span,
+        });
+        s += period;
+    }
+    windows
+}
+
+/// A recorder that gates one [`IntervalRecord`] on the detailed
+/// warmup: probes are discarded until `skip` instructions have
+/// committed, measured until `limit` further instructions have
+/// committed, then discarded again. Both boundary commits are counted
+/// exactly — instructions committed beyond `skip` in the gate-opening
+/// cycle land in the measurement, and a closing commit is clipped to
+/// `limit` — so the gate measures exactly `limit` committed
+/// instructions whenever the run commits at least `skip + limit`.
+///
+/// Closing on a commit *count* (rather than running to the end of the
+/// detailed slice) is what makes the measurement steady-state: the
+/// in-flight work the window inherits from the warmup at open is
+/// balanced by the in-flight work it leaves behind at close. The
+/// issue/stall probe of a boundary cycle fires before its commit
+/// probe, so the opening cycle is excluded and the closing cycle
+/// included; the boundary is deterministic to the cycle.
+#[derive(Debug)]
+pub struct WindowGate {
+    skip: u64,
+    limit: u64,
+    seen: u64,
+    open: bool,
+    done: bool,
+    rec: IntervalRecord,
+}
+
+impl WindowGate {
+    /// A gate that discards the first `skip` committed instructions and
+    /// measures the next `limit`.
+    pub fn new(skip: u64, limit: u64) -> WindowGate {
+        WindowGate {
+            skip,
+            limit,
+            seen: 0,
+            open: skip == 0 && limit > 0,
+            done: limit == 0,
+            rec: IntervalRecord::default(),
+        }
+    }
+
+    /// The measured window so far; `start` is left 0 for the caller to
+    /// stamp with the window's trace position.
+    pub fn record(&self) -> IntervalRecord {
+        self.rec
+    }
+}
+
+impl Recorder for WindowGate {
+    const ENABLED: bool = true;
+
+    // hbat-lint: hot
+    #[inline]
+    fn issue_cycle(&mut self, _now: u64, issued: u32) {
+        if self.open {
+            self.rec.cycles += 1;
+            self.rec.issue_cycles += 1;
+            self.rec.issued += u64::from(issued);
+        }
+    }
+
+    #[inline]
+    fn stall_cycle(&mut self, _now: u64, cause: StallCause) {
+        if self.open {
+            self.rec.cycles += 1;
+            // hbat-lint: allow(panic, panic-reach) index() < COUNT by construction; the array is [_; COUNT]
+            self.rec.stalls[cause.index()] += 1;
+        }
+    }
+
+    #[inline]
+    fn commit_cycle(&mut self, _now: u64, committed: u32) {
+        let c = u64::from(committed);
+        self.seen += c;
+        if self.done {
+            return;
+        }
+        if self.open {
+            let room = self.limit - self.rec.committed;
+            self.rec.committed += c.min(room);
+        } else if self.seen >= self.skip {
+            self.open = true;
+            self.rec.committed += (self.seen - self.skip).min(self.limit);
+        } else {
+            return;
+        }
+        if self.rec.committed >= self.limit {
+            self.open = false;
+            self.done = true;
+        }
+    }
+
+    #[inline]
+    fn tlb_lookup(&mut self, _now: u64, hit: bool) {
+        if self.open {
+            self.rec.tlb_lookups += 1;
+            self.rec.tlb_misses += u64::from(!hit);
+        }
+    }
+
+    #[inline]
+    fn dcache_access(&mut self, _now: u64, hit: bool) {
+        if self.open {
+            self.rec.dcache_accesses += 1;
+            self.rec.dcache_misses += u64::from(!hit);
+        }
+    }
+
+    #[inline]
+    fn walk(&mut self, _now: u64, _vpn: u64, latency: u64) {
+        if self.open {
+            self.rec.walks += 1;
+            self.rec.walk_cycles += latency;
+        }
+    }
+
+    #[inline]
+    fn sample(&mut self, _now: u64, occupancy: &OccupancySample) {
+        if self.open {
+            self.rec.rob_sum += u64::from(occupancy.rob);
+            self.rec.lsq_sum += u64::from(occupancy.lsq);
+            self.rec.samples += 1;
+        }
+    }
+    // hbat-lint: cold
+
+    fn sample_interval(&self) -> u64 {
+        hbat_obs::interval::DEFAULT_SAMPLE_INTERVAL
+    }
+}
+
+/// One sampled cell's result: the per-window measurements plus their
+/// sum in [`RunMetrics`] form.
+///
+/// Only the counters a [`WindowGate`] observes are populated in
+/// `metrics` — `cycles`, `committed`, `issued`, `tlb.{accesses,misses}`
+/// and `dcache.{accesses,misses}` — and they cover the *measured
+/// windows only*, not the whole trace. Every other field stays 0. Rates
+/// derived from these sums (IPC, miss ratios) are the sample estimates;
+/// [`cpi_interval`]/[`ipc_interval`] add the error bars.
+#[derive(Debug, Clone, Default)]
+pub struct SampledCell {
+    /// Per-window measurements, in trace order. `start` holds the
+    /// window's first *measured op index* in the sampled trace (not a
+    /// cycle — sampled windows are placed in instructions).
+    pub windows: Vec<IntervalRecord>,
+    /// Window-summed counters in the journal's metrics shape.
+    pub metrics: RunMetrics,
+}
+
+impl SampledCell {
+    /// Sums the measured windows into the journal's [`RunMetrics`]
+    /// shape (see the type-level doc for which fields are populated).
+    fn sum_windows(windows: &[IntervalRecord]) -> RunMetrics {
+        let mut m = RunMetrics::default();
+        for w in windows {
+            m.cycles += w.cycles;
+            m.committed += w.committed;
+            m.issued += w.issued;
+            m.tlb.accesses += w.tlb_lookups;
+            m.tlb.misses += w.tlb_misses;
+            m.dcache.accesses += w.dcache_accesses;
+            m.dcache.misses += w.dcache_misses;
+        }
+        m
+    }
+
+    /// Rebuilds a cell from journalled windows (the `--resume` path).
+    /// The metrics sum is recomputed, so a resumed cell is bit-identical
+    /// to the run that produced the windows.
+    pub fn from_windows(windows: Vec<IntervalRecord>) -> SampledCell {
+        let metrics = SampledCell::sum_windows(&windows);
+        SampledCell { windows, metrics }
+    }
+}
+
+/// Runs one sampled (trace, design) cell: chains functional gaps and
+/// detailed windows over `ops`, starting from the warm-accumulator
+/// state in `export` (`None` = cold start, i.e. the trace begins at
+/// program start). Deterministic: identical `(ops, design, cfg, plan,
+/// export)` give identical results.
+pub fn run_sampled_uops(
+    ops: &[MicroOp],
+    design: DesignSpec,
+    cfg: &ExperimentConfig,
+    export: Option<&WarmExport>,
+    plan: &SamplePlan,
+) -> SampledCell {
+    let mut acc = match export {
+        Some(e) => WarmAccumulator::import(&cfg.sim, cfg.geometry, e),
+        None => WarmAccumulator::new(&cfg.sim, cfg.geometry),
+    };
+    let windows = plan_windows(plan, ops.len() as u64);
+    let mut records = Vec::with_capacity(windows.len());
+    let mut pos = 0usize;
+    // The detailed slice runs past the measured window by a drain
+    // margin so the gate closes while the pipeline is still full —
+    // ending the simulation exactly at the window boundary would let
+    // the window pocket the warmup's in-flight head start (up to a
+    // ROB's worth of pre-issued work) without paying any tail, biasing
+    // IPC high by roughly rob_entries / window_len.
+    let drain = 4 * cfg.sim.rob_entries;
+    for w in &windows {
+        // Functional gap up to the window, then the window's own ops —
+        // the accumulator is the sole warm-state carrier, so it must
+        // see every committed instruction exactly once. The drain ops
+        // past `end` are timing throwaway: they are re-played (once)
+        // through the accumulator by a later gap or window.
+        let (warm_start, end) = (w.warm_start as usize, w.end as usize);
+        let detail_end = end.saturating_add(drain).min(ops.len());
+        let gap = ops.get(pos..warm_start).unwrap_or_default();
+        let win_ops = ops.get(warm_start..end).unwrap_or_default();
+        let detail_ops = ops.get(warm_start..detail_end).unwrap_or_default();
+        acc.warm_gap(gap);
+        let warm = acc.warm_state();
+        let mut translator = design.build(cfg.geometry, cfg.design_seed);
+        let mut gate = WindowGate::new(w.meas_start - w.warm_start, w.end - w.meas_start);
+        let _metrics = simulate_uops_warm_with_recorder(
+            &cfg.sim,
+            detail_ops,
+            translator.as_mut(),
+            &warm,
+            &mut gate,
+        );
+        let mut rec = gate.record();
+        rec.start = w.meas_start;
+        records.push(rec);
+        acc.warm_gap(win_ops);
+        pos = end;
+    }
+    // Ops past the last window never influence a measurement; skipping
+    // them is where the tail of the speedup comes from.
+    SampledCell::from_windows(records)
+}
+
+/// The primary estimator: a Student-t interval over per-window CPI
+/// (cycles per committed instruction). Windows hold equal committed
+/// counts by construction, so the mean of per-window CPIs is the ratio
+/// estimator for aggregate CPI. Windows that measured nothing are
+/// excluded (they carry no timing information); zero usable windows
+/// yield the degenerate full-width interval.
+pub fn cpi_interval(windows: &[IntervalRecord], level: ConfLevel) -> ConfidenceInterval {
+    let mut s = hbat_stats::Summary::new();
+    for w in windows {
+        if w.committed > 0 {
+            s.push(w.cycles as f64 / w.committed as f64);
+        }
+    }
+    ConfidenceInterval::from_summary(&s, level)
+}
+
+/// The IPC interval, by exact monotone transform of the CPI interval:
+/// `ipc = 1/cpi` maps `[cpi_lo, cpi_hi]` to `[1/cpi_hi, 1/cpi_lo]`
+/// with unchanged coverage. The returned interval is re-centred on
+/// `1/cpi_mean` with the conservative symmetric half-width
+/// `max(mean - lo, hi - mean)`, so `covers` can only over-cover.
+/// Degenerate CPI intervals (or a CPI lower bound at or below zero,
+/// where the transform's upper bound is unbounded) stay degenerate.
+pub fn ipc_interval(windows: &[IntervalRecord], level: ConfLevel) -> ConfidenceInterval {
+    let cpi = cpi_interval(windows, level);
+    if cpi.mean <= 0.0 {
+        return ConfidenceInterval {
+            mean: 0.0,
+            half_width: f64::INFINITY,
+            level: cpi.level,
+            n: cpi.n,
+        };
+    }
+    let mean = 1.0 / cpi.mean;
+    let half_width = if cpi.half_width.is_finite() && cpi.lo() > 0.0 {
+        let lo = 1.0 / cpi.hi();
+        let hi = 1.0 / cpi.lo();
+        (mean - lo).max(hi - mean)
+    } else {
+        f64::INFINITY
+    };
+    ConfidenceInterval {
+        mean,
+        half_width,
+        level: cpi.level,
+        n: cpi.n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbat_workloads::Scale;
+
+    fn plan(n: u64, len: u64, warm: u64) -> SamplePlan {
+        SamplePlan {
+            n_windows: n,
+            window_len: len,
+            warmup_len: warm,
+            seed: 1996,
+        }
+    }
+
+    #[test]
+    fn plan_parses_cli_forms_and_rejects_junk() {
+        assert_eq!(
+            SamplePlan::parse("30", 7).unwrap(),
+            SamplePlan {
+                n_windows: 30,
+                window_len: DEFAULT_WINDOW_LEN,
+                warmup_len: DEFAULT_WINDOW_LEN / 4,
+                seed: 7
+            }
+        );
+        assert_eq!(
+            SamplePlan::parse("8:500", 7).unwrap(),
+            plan(8, 500, 125).with_seed(7)
+        );
+        assert_eq!(
+            SamplePlan::parse("8:500:0", 7).unwrap(),
+            plan(8, 500, 0).with_seed(7)
+        );
+        for bad in ["", "0", "8:0", "8:100:25:9", "x", "8:y", "8:100:z", "-3"] {
+            assert!(SamplePlan::parse(bad, 7).is_err(), "{bad:?} must fail");
+        }
+        assert_eq!(
+            SamplePlan::parse("8:500:125", 7).unwrap().render(),
+            "8:500:125"
+        );
+    }
+
+    impl SamplePlan {
+        fn with_seed(mut self, seed: u64) -> SamplePlan {
+            self.seed = seed;
+            self
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_plans_configs_and_full_runs() {
+        let cfg = ExperimentConfig::baseline(Scale::Test);
+        let p = plan(10, 100, 25);
+        let fp = sample_fingerprint(&cfg, &p);
+        assert_ne!(fp, crate::experiment::config_fingerprint(&cfg));
+        assert_ne!(fp, sample_fingerprint(&cfg, &plan(11, 100, 25)));
+        assert_ne!(fp, sample_fingerprint(&cfg, &p.with_seed(2)));
+        let ck = ckpt_sample_fingerprint(&cfg, 1000, &p);
+        assert_ne!(ck, fp);
+        assert_ne!(ck, crate::ckpt::ckpt_fingerprint(&cfg, 1000));
+        assert_ne!(ck, ckpt_sample_fingerprint(&cfg, 2000, &p));
+    }
+
+    #[test]
+    fn windows_are_systematic_nonoverlapping_and_in_bounds() {
+        let p = plan(10, 100, 25);
+        let ws = plan_windows(&p, 10_000);
+        assert_eq!(ws.len(), 10);
+        for w in &ws {
+            assert_eq!(w.meas_start - w.warm_start, 25);
+            assert_eq!(w.end - w.meas_start, 100);
+            assert!(w.end <= 10_000);
+        }
+        for pair in ws.windows(2) {
+            assert!(
+                pair[0].end <= pair[1].warm_start,
+                "windows must not overlap"
+            );
+            assert_eq!(
+                pair[1].warm_start - pair[0].warm_start,
+                1000,
+                "systematic period"
+            );
+        }
+        // Determinism: same plan, same placement; different seed, shifted.
+        assert_eq!(plan_windows(&p, 10_000), ws);
+        let shifted = plan_windows(&p.with_seed(2), 10_000);
+        assert_ne!(shifted, ws);
+    }
+
+    #[test]
+    fn short_traces_degrade_gracefully() {
+        assert!(plan_windows(&plan(4, 100, 25), 0).is_empty());
+        // Trace shorter than one window: one clamped window, no warmup.
+        let ws = plan_windows(&plan(4, 1000, 250), 60);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].end - ws[0].meas_start, 60);
+        // Trace fits some but not all windows.
+        let ws = plan_windows(&plan(8, 100, 0), 250);
+        assert!(ws.len() < 8 && !ws.is_empty(), "{ws:?}");
+        for w in &ws {
+            assert!(w.end <= 250);
+        }
+    }
+
+    #[test]
+    fn gate_measures_exactly_the_post_warmup_committed_stream() {
+        let mut g = WindowGate::new(10, 5);
+        // 4 cycles of warmup committing 3 each: 12 committed, 2 excess.
+        for now in 0..4u64 {
+            g.issue_cycle(now, 3);
+            g.tlb_lookup(now, true);
+            g.commit_cycle(now, 3);
+        }
+        let r = g.record();
+        assert_eq!(r.committed, 2, "excess beyond the warmup is measured");
+        assert_eq!(r.tlb_lookups, 0, "pre-open lookups are discarded");
+        // 3 stall/issue cycle pairs; the limit of 5 is reached on the
+        // last commit (probes within a cycle fire before its commit).
+        for now in 4..7u64 {
+            g.stall_cycle(2 * now, StallCause::DcacheMiss);
+            g.issue_cycle(2 * now + 1, 1);
+            g.commit_cycle(2 * now + 1, 1);
+        }
+        let r = g.record();
+        assert_eq!(r.committed, 5, "limit reached exactly");
+        assert_eq!(r.cycles, 6, "3 issue + 3 stall cycles after opening");
+        assert_eq!(r.issue_cycles + r.stall_cycles(), r.cycles);
+        // Gate is closed now: further activity (the drain tail) is
+        // discarded, and an over-full closing commit would have been
+        // clipped to the limit.
+        g.issue_cycle(7, 8);
+        g.commit_cycle(7, 8);
+        g.tlb_lookup(7, false);
+        let r2 = g.record();
+        assert_eq!(r2, r, "post-close probes must not leak in");
+
+        // A closing commit that overshoots the limit is clipped.
+        let mut g = WindowGate::new(0, 3);
+        g.issue_cycle(0, 8);
+        g.commit_cycle(0, 8);
+        assert_eq!(g.record().committed, 3, "closing commit clipped");
+
+        // skip == 0 opens immediately: cycles before the first commit
+        // still count.
+        let mut g = WindowGate::new(0, 100);
+        g.stall_cycle(0, StallCause::FetchStarved);
+        g.issue_cycle(1, 2);
+        g.commit_cycle(1, 2);
+        assert_eq!(g.record().cycles, 2);
+        assert_eq!(g.record().committed, 2);
+    }
+
+    #[test]
+    fn cpi_and_ipc_intervals_transform_exactly() {
+        let mk = |cycles, committed| IntervalRecord {
+            cycles,
+            committed,
+            ..IntervalRecord::default()
+        };
+        let ws: Vec<IntervalRecord> = vec![mk(200, 100), mk(220, 100), mk(180, 100), mk(210, 100)];
+        let cpi = cpi_interval(&ws, ConfLevel::P95);
+        assert_eq!(cpi.n, 4);
+        assert!((cpi.mean - 2.025).abs() < 1e-12);
+        assert!(cpi.half_width.is_finite());
+        let ipc = ipc_interval(&ws, ConfLevel::P95);
+        assert!((ipc.mean - 1.0 / 2.025).abs() < 1e-12);
+        // The transformed bounds are inside the conservative symmetric ones.
+        assert!(ipc.lo() <= 1.0 / cpi.hi() + 1e-15);
+        assert!(ipc.hi() >= 1.0 / cpi.lo() - 1e-15);
+        // An empty-window cell degenerates instead of NaN-ing.
+        let empty = ipc_interval(&[], ConfLevel::P95);
+        assert!(empty.half_width.is_infinite());
+        assert!(!empty.mean.is_nan());
+        // A lone window: mean defined, width infinite.
+        let one = ipc_interval(&ws[..1], ConfLevel::P95);
+        assert!((one.mean - 0.5).abs() < 1e-12);
+        assert!(one.half_width.is_infinite());
+        // Zero-committed windows are excluded, not divided by.
+        let with_empty = [mk(0, 0), mk(200, 100)];
+        assert_eq!(cpi_interval(&with_empty, ConfLevel::P95).n, 1);
+    }
+
+    // End-to-end determinism and sanity on a real workload: same plan →
+    // identical windows; the sampled IPC estimate lands near the full
+    // run's and its CI covers it.
+    #[test]
+    fn sampled_cell_is_deterministic_and_covers_ground_truth() {
+        use hbat_workloads::Benchmark;
+        let cfg = ExperimentConfig::baseline(Scale::Test);
+        let design = DesignSpec::MultiPorted { ports: 4 };
+        let (_raw, uops) = crate::experiment::uops_for(Benchmark::Compress, &cfg);
+        let p = plan(12, 400, 100);
+
+        let a = run_sampled_uops(uops.ops(), design, &cfg, None, &p);
+        let b = run_sampled_uops(uops.ops(), design, &cfg, None, &p);
+        assert_eq!(a.windows, b.windows, "sampling must be deterministic");
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.windows.len(), 12);
+        for w in &a.windows {
+            assert_eq!(w.committed, 400, "every window measures window_len");
+            assert_eq!(
+                w.issue_cycles + w.stall_cycles(),
+                w.cycles,
+                "attribution invariant holds inside measured windows"
+            );
+        }
+
+        let full = crate::experiment::run_cell_uops(uops.ops(), design, &cfg);
+        let ipc = ipc_interval(&a.windows, ConfLevel::P95);
+        assert!(
+            ipc.covers(full.ipc()),
+            "sampled CI {} must cover full-run IPC {:.4}",
+            ipc.render(4),
+            full.ipc()
+        );
+        assert!(
+            (ipc.mean - full.ipc()).abs() / full.ipc() < 0.10,
+            "point estimate {:.4} strays far from ground truth {:.4}",
+            ipc.mean,
+            full.ipc()
+        );
+    }
+
+    // A sampled run chained from a warm export must place windows in
+    // the tail and still behave: this is the checkpoint-composition
+    // path (restore → gap → window …).
+    #[test]
+    fn sampled_cell_chains_from_a_checkpoint_export() {
+        use hbat_workloads::Benchmark;
+        let cfg = ExperimentConfig::baseline(Scale::Test);
+        let design = DesignSpec::MultiPorted { ports: 4 };
+        let wt = crate::ckpt::build_warm_trace_cold(Benchmark::Compress, &cfg, 1_000).unwrap();
+        let p = plan(6, 200, 50);
+        let a = run_sampled_uops(wt.tail.ops(), design, &cfg, Some(&wt.export), &p);
+        let b = run_sampled_uops(wt.tail.ops(), design, &cfg, Some(&wt.export), &p);
+        assert_eq!(a.windows, b.windows);
+        assert!(!a.windows.is_empty());
+        let full = crate::ckpt::run_warm_cell(&wt, design, &cfg);
+        let ipc = ipc_interval(&a.windows, ConfLevel::P95);
+        assert!(
+            ipc.covers(full.ipc()),
+            "warm-chained CI {} must cover warm full-run IPC {:.4}",
+            ipc.render(4),
+            full.ipc()
+        );
+    }
+
+    #[test]
+    fn from_windows_rebuilds_identical_metrics() {
+        use hbat_workloads::Benchmark;
+        let cfg = ExperimentConfig::baseline(Scale::Test);
+        let design = DesignSpec::MultiPorted { ports: 1 };
+        let (_raw, uops) = crate::experiment::uops_for(Benchmark::Compress, &cfg);
+        let cell = run_sampled_uops(uops.ops(), design, &cfg, None, &plan(5, 300, 50));
+        let rebuilt = SampledCell::from_windows(cell.windows.clone());
+        assert_eq!(
+            rebuilt.metrics, cell.metrics,
+            "resume path is bit-identical"
+        );
+    }
+}

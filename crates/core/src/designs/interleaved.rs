@@ -215,6 +215,12 @@ impl AddressTranslator for InterleavedTlb {
         }
     }
 
+    fn warm_tlb_capacity(&self) -> usize {
+        // Aggregate capacity: bank selection can still evict inside a
+        // hot bank, but the replay is eviction-free when pages spread.
+        self.banks.iter().map(TlbBank::capacity).sum()
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

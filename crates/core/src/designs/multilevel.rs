@@ -223,6 +223,11 @@ impl AddressTranslator for MultiLevelTlb {
         }
     }
 
+    fn warm_tlb_capacity(&self) -> usize {
+        // Inclusion means the L2 bounds total resident translations.
+        self.l2.capacity()
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

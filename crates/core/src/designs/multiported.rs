@@ -131,6 +131,10 @@ impl AddressTranslator for MultiPortedTlb {
         }
     }
 
+    fn warm_tlb_capacity(&self) -> usize {
+        self.bank.capacity()
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

@@ -173,6 +173,10 @@ impl AddressTranslator for PiggybackTlb {
         }
     }
 
+    fn warm_tlb_capacity(&self) -> usize {
+        self.bank.capacity()
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

@@ -395,6 +395,10 @@ impl AddressTranslator for PretranslationTlb {
         }
     }
 
+    fn warm_tlb_capacity(&self) -> usize {
+        self.base.capacity()
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

@@ -176,6 +176,12 @@ impl AddressTranslator for VictimTlb {
         }
     }
 
+    fn warm_tlb_capacity(&self) -> usize {
+        // The victim buffer catches every base-bank spill, so this many
+        // replayed entries all stay resident.
+        self.bank.capacity() + self.victims.capacity()
+    }
+
     fn stats(&self) -> &TranslatorStats {
         &self.stats
     }

@@ -81,6 +81,23 @@ pub trait AddressTranslator {
         let _ = entry;
     }
 
+    /// How many warm entries this design can absorb through
+    /// [`warm_insert`](Self::warm_insert) without evicting any of them —
+    /// its total TLB capacity. Warm-state installers should replay only
+    /// the *newest* this-many pages: replaying a longer recency list
+    /// through a random-replacement bank evicts survivors
+    /// position-by-position, leaving a churned subset that misses far
+    /// more than the steady state the warm list approximates (observed
+    /// as a 5-10x walk-rate inflation in sampled windows at reference
+    /// scale). Truncating to capacity makes the install eviction-free,
+    /// so the installed state is exactly the newest-capacity pages — an
+    /// LRU proxy for the random-replacement steady state, which is the
+    /// standard functional-warming compromise. The default (`usize::MAX`)
+    /// means "no limit" and keeps designs without TLB state untouched.
+    fn warm_tlb_capacity(&self) -> usize {
+        usize::MAX
+    }
+
     /// Event counters accumulated so far.
     fn stats(&self) -> &TranslatorStats;
 

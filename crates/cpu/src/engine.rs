@@ -458,21 +458,55 @@ impl<'a, R: Recorder, O: EngineOp> Engine<'a, R, O> {
     /// a given `warm`, so cold and restored differential runs that install
     /// the same state stay bit-identical.
     pub fn install_warm(&mut self, warm: &crate::warm::WarmState) {
+        // One walk per distinct page, with the frame captured for the
+        // block replays below (every warm data block's page is in
+        // `pages`, so the lookups never allocate out of order).
+        let mut frames: Vec<(u64, hbat_core::addr::Ppn)> = Vec::with_capacity(warm.pages.len());
         for &vpn in &warm.pages {
-            let _ = self.translator.page_table_mut().walk(Vpn(vpn));
+            let e = self.translator.page_table_mut().walk(Vpn(vpn));
+            frames.push((vpn, e.ppn));
         }
-        for &vpn in &warm.tlb {
+        frames.sort_unstable_by_key(|&(v, _)| v);
+        // If every touched page fits the design without evictions, the
+        // recency list is exact for any replacement policy. Once it
+        // overflows, replaying it would churn random-replacement banks
+        // (and the newest-capacity suffix is only an LRU proxy), so
+        // switch to the steady-state model's residents — see the
+        // `SteadyTlb` docs. Either list replays oldest-first,
+        // truncated to what the design can hold eviction-free.
+        let cap = self.translator.warm_tlb_capacity();
+        let replay: &[u64] = if warm.tlb.len() <= cap || warm.tlb_steady.is_empty() {
+            &warm.tlb
+        } else {
+            &warm.tlb_steady
+        };
+        let keep = replay.len().saturating_sub(cap);
+        for &vpn in &replay[keep..] {
             let mut e = self.translator.page_table_mut().walk(Vpn(vpn));
             e.referenced = true;
             self.translator.warm_insert(e);
         }
-        for &va in &warm.dblocks {
-            let vpn = self.translator.geometry().vpn(VirtAddr(va));
-            let ppn = self.translator.page_table_mut().walk(vpn).ppn;
-            let pa = self.translator.geometry().splice(ppn, VirtAddr(va));
-            self.dcache.warm_insert(pa);
+        // Translate the data blocks via the captured frames, then replay
+        // only the blocks LRU replacement would let survive anyway — the
+        // warm list is capped well above one cache's capacity, and the
+        // survivor filter keeps the install cost proportional to the
+        // cache, not the cap (the sampled runner installs per window).
+        let geom = self.translator.geometry();
+        let pas: Vec<u64> = warm
+            .dblocks
+            .iter()
+            .map(|&va| {
+                let vpn = geom.vpn(VirtAddr(va)).0;
+                let i = frames
+                    .binary_search_by_key(&vpn, |&(v, _)| v)
+                    .expect("warm data block outside the touched-page set");
+                geom.splice(frames[i].1, VirtAddr(va)).0
+            })
+            .collect();
+        for pa in self.dcache.warm_survivors(&pas) {
+            self.dcache.warm_insert(PhysAddr(pa));
         }
-        for &pa in &warm.iblocks {
+        for pa in self.icache.warm_survivors(&warm.iblocks) {
             self.icache.warm_insert(PhysAddr(pa));
         }
         self.bpred.restore_tables(warm.ghr, &warm.pht);

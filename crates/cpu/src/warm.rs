@@ -1,4 +1,5 @@
-//! Warm microarchitectural state carried across a checkpoint boundary.
+//! Warm microarchitectural state carried across a checkpoint boundary,
+//! and the functional-warming gap mode used by sampled runs.
 //!
 //! A long fast-forward run accumulates, per committed instruction, the
 //! locality state a detailed run starting at the boundary would otherwise
@@ -18,20 +19,37 @@
 //!   recency-ordered key lists truncated to fixed caps. Both the cold and
 //!   the restored path derive it from their (identical) accumulators, so
 //!   the caps never threaten restore equivalence.
+//!
+//! The accumulator is also the *gap mode* of SMARTS-style sampling
+//! (DESIGN.md §15): between detailed windows the simulator only has to
+//! keep TLB/cache/bpred state warm, with no ROB/LSQ timing. That path
+//! streams predecoded [`MicroOp`]s through
+//! [`warm_gap`](WarmAccumulator::warm_gap), so the per-instruction cost
+//! is a few multiplicative-hash stamp updates — the maps here are a
+//! hand-rolled open-addressing table ([`StampMap`]) rather than the
+//! standard `HashMap`, which cuts the gap loop's cost several-fold and
+//! removes the only iteration-order hazard this module had.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use hbat_core::addr::PageGeometry;
+use hbat_core::addr::{PageGeometry, VirtAddr};
+use hbat_core::designs::BASE_TLB_ENTRIES;
+use hbat_core::hash::FastHashBuilder;
 use hbat_isa::trace::TraceInst;
+use hbat_isa::uop::MicroOp;
 
 use crate::bpred::BranchPredictor;
 use crate::config::SimConfig;
 
-/// Most-recent TLB entries replayed into a translator at install time.
+/// Most-recent TLB entries kept for install time. Installers further
+/// truncate to the design's own `warm_tlb_capacity`, so this only needs
+/// to exceed the largest TLB any design builds.
 pub const WARM_TLB_CAP: usize = 1024;
-/// Most-recent data-cache blocks replayed at install time.
+/// Most-recent data-cache blocks kept for install time; the install
+/// replays only the per-set survivors, so this only needs to exceed the
+/// cache's block capacity with slack for set imbalance.
 pub const WARM_DBLOCK_CAP: usize = 4096;
-/// Most-recent instruction-cache blocks replayed at install time.
+/// Most-recent instruction-cache blocks kept for install time.
 pub const WARM_IBLOCK_CAP: usize = 4096;
 
 /// Warm state in install form: what [`crate::engine::Engine::install_warm`]
@@ -43,6 +61,13 @@ pub struct WarmState {
     pub pages: Vec<u64>,
     /// Data VPNs to warm the TLB with, oldest touch first.
     pub tlb: Vec<u64>,
+    /// Residents of the [`SteadyTlb`] random-replacement model, oldest
+    /// touch first. Installers replay this instead of `tlb` when `tlb`
+    /// exceeds the design's eviction-free capacity: the model carries
+    /// the random-replacement steady state (which pages survive is
+    /// frequency-shaped, not recency-shaped) that a one-shot recency
+    /// replay cannot reproduce.
+    pub tlb_steady: Vec<u64>,
     /// Virtual block addresses to warm the data cache with, oldest first.
     pub dblocks: Vec<u64>,
     /// Physical block addresses to warm the instruction cache with,
@@ -83,14 +108,260 @@ impl WarmExport {
             let skip = pairs.len().saturating_sub(cap);
             pairs[skip..].iter().map(|&(k, _)| k).collect()
         }
+        // The export does not carry the steady-TLB model (the snapshot
+        // format predates it); rebuild one by replaying every page in
+        // last-touch order. Traces that touch each page once replay the
+        // model's exact insert stream; re-touch-heavy traces get an
+        // approximation that the detailed warmup then repairs.
+        let mut steady = SteadyTlb::new(BASE_TLB_ENTRIES);
+        for &(k, _) in &self.tlb {
+            steady.touch(k);
+        }
+        let stamp_of: HashMap<u64, u64, FastHashBuilder> = self.tlb.iter().copied().collect();
+        let tlb_steady = steady.residents_by(|vpn| stamp_of.get(&vpn).copied().unwrap_or(0));
         WarmState {
             pages: self.pages.clone(),
             tlb: newest(&self.tlb, WARM_TLB_CAP),
+            tlb_steady,
             dblocks: newest(&self.dblocks, WARM_DBLOCK_CAP),
             iblocks: newest(&self.iblocks, WARM_IBLOCK_CAP),
             ghr: self.ghr,
             pht: self.pht.clone(),
         }
+    }
+}
+
+/// Stamp marking a vacant [`StampMap`] slot. Real stamps are bounded by
+/// the dynamic instruction count, which never approaches `u64::MAX`.
+const EMPTY_STAMP: u64 = u64::MAX;
+
+/// A flat open-addressing `u64 key → u64 stamp` map tuned for the warm
+/// accumulator's access pattern: every committed instruction refreshes
+/// the stamp of a block/page key, and consecutive instructions very
+/// often touch the *same* key (8 instructions share an I-cache block,
+/// sequential data walks share a page). A one-slot cache catches those
+/// repeats without probing; Fibonacci hashing plus linear probing over
+/// interleaved `(key, stamp)` slots keeps a probe to one cache line —
+/// the block maps outgrow L2 on reference traces, so the gap loop's
+/// misses are bounded by lines touched, not probes. Several times
+/// cheaper than `HashMap`'s SipHash in the functional-warming gap loop,
+/// and Vec-backed, so iteration order is deterministic by construction.
+#[derive(Debug, Clone, Default)]
+struct StampMap {
+    /// Interleaved `(key, stamp)` slots; stamp [`EMPTY_STAMP`] marks a
+    /// vacant slot. One 16-byte slot per probe — half a cache line.
+    slots: Vec<(u64, u64)>,
+    len: usize,
+    /// Slot of the most recent hit or insert (one-slot repeat cache).
+    last: usize,
+}
+
+impl StampMap {
+    #[inline]
+    fn slot(key: u64, mask: usize) -> usize {
+        // Fibonacci hashing: the multiply spreads low-entropy block and
+        // page keys; the high product bits index the power-of-two table.
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & mask
+    }
+
+    /// Inserts or refreshes `key` at `stamp`; returns `true` iff the
+    /// key was not present before.
+    #[inline]
+    fn insert(&mut self, key: u64, stamp: u64) -> bool {
+        if let Some(s) = self.slots.get_mut(self.last) {
+            if s.1 != EMPTY_STAMP && s.0 == key {
+                s.1 = stamp;
+                return false;
+            }
+        }
+        if self.len * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::slot(key, mask);
+        loop {
+            let s = &mut self.slots[i];
+            if s.1 == EMPTY_STAMP {
+                *s = (key, stamp);
+                self.len += 1;
+                self.last = i;
+                return true;
+            }
+            if s.0 == key {
+                s.1 = stamp;
+                self.last = i;
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Doubles the table (cold path: amortised over the fill).
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::take(&mut self.slots);
+        self.slots.resize(new_cap, (0, EMPTY_STAMP));
+        self.last = usize::MAX;
+        let mask = new_cap - 1;
+        for (k, s) in old {
+            if s == EMPTY_STAMP {
+                continue;
+            }
+            let mut i = Self::slot(k, mask);
+            while self.slots[i].1 != EMPTY_STAMP {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = (k, s);
+        }
+    }
+
+    /// Current stamp of `key`, if present.
+    fn get(&self, key: u64) -> Option<u64> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::slot(key, mask);
+        loop {
+            let (k, s) = self.slots[i];
+            if s == EMPTY_STAMP {
+                return None;
+            }
+            if k == key {
+                return Some(s);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Number of distinct keys.
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The newest `cap` keys, oldest-first: the install-form selection
+    /// done directly on the table — the per-window path of sampled runs
+    /// calls this where the export path would sort every key it ever
+    /// saw. One slot scan collects the occupied pairs, an O(n) select
+    /// partitions the newest `cap` to the tail (stamps are unique, so
+    /// the partition is exact), and only those survivors are sorted.
+    fn newest_keys(&self, cap: usize) -> Vec<u64> {
+        let mut v: Vec<(u64, u64)> = Vec::with_capacity(self.len);
+        for &(k, s) in &self.slots {
+            if s != EMPTY_STAMP {
+                v.push((k, s));
+            }
+        }
+        if v.len() > cap {
+            let cut = v.len() - cap;
+            v.select_nth_unstable_by_key(cut - 1, |&(_, s)| s);
+            v.drain(..cut);
+        }
+        v.sort_unstable_by_key(|&(_, s)| s);
+        v.into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Occupied `(key, stamp)` pairs sorted by stamp. Stamps are unique
+    /// within a map (one counter, bumped per committed instruction), so
+    /// the sort is a total order and the flat table never leaks its
+    /// probe order.
+    fn pairs_by_stamp(&self) -> Vec<(u64, u64)> {
+        let mut v = Vec::with_capacity(self.len);
+        for &(k, s) in &self.slots {
+            if s != EMPTY_STAMP {
+                v.push((k, s));
+            }
+        }
+        v.sort_unstable_by_key(|&(_, s)| s);
+        v
+    }
+}
+
+/// Functional model of a random-replacement TLB at the base capacity
+/// every paper design shares ([`BASE_TLB_ENTRIES`]): hits change
+/// nothing, a miss fills a free slot or evicts a uniformly random
+/// resident — exactly the state machine of the designs'
+/// `ReplacementPolicy::Random` banks, minus ports and timing.
+///
+/// The recency stamps alone cannot warm such a bank: its steady-state
+/// content is shaped by the full *miss* history (hot pages are
+/// re-inserted promptly whenever evicted, so residency tracks access
+/// frequency), while a one-shot replay of the recency list through the
+/// bank's own `warm_insert` churns out survivors by list position.
+/// Measured on the reference cell, that churn inflated sampled-window
+/// walk rates 5-10x over a detailed run's and biased IPC 36% low; the
+/// truncated-to-capacity replay over-corrected to an LRU proxy that
+/// under-missed instead. Running this model through the functional gaps
+/// reproduces the steady-state residency distribution (content is
+/// statistically, not bit-, identical to the design's own — the RNG
+/// streams differ), which is as faithful as design-agnostic functional
+/// warming gets.
+///
+/// The eviction RNG is the same splitmix64 stream the sample planner
+/// uses, seeded by a fixed constant, so accumulation stays a pure
+/// function of the op stream.
+#[derive(Debug, Clone)]
+struct SteadyTlb {
+    /// Resident VPNs, slot-indexed; the canonical (deterministic) state.
+    slots: Vec<u64>,
+    /// VPN → slot, for O(1) hit checks. Never iterated, so the std
+    /// map's order cannot leak into results.
+    index: HashMap<u64, u32, FastHashBuilder>,
+    /// splitmix64 counter state for victim selection.
+    rng: u64,
+    /// One-slot repeat filter: consecutive touches of one page are
+    /// hits and hits are no-ops, so only page changes probe the index.
+    last: u64,
+    cap: usize,
+}
+
+impl SteadyTlb {
+    fn new(cap: usize) -> SteadyTlb {
+        SteadyTlb {
+            slots: Vec::with_capacity(cap),
+            index: HashMap::with_capacity_and_hasher(cap * 2, FastHashBuilder),
+            rng: 0x5EAD_71B0_5EAD_71B0,
+            last: u64::MAX,
+            cap,
+        }
+    }
+
+    // hbat-lint: hot — called per memory micro-op in the gap loop; the
+    // repeat filter keeps the common case to one compare.
+    #[inline]
+    fn touch(&mut self, vpn: u64) {
+        if vpn == self.last {
+            return;
+        }
+        self.last = vpn;
+        if self.index.contains_key(&vpn) {
+            return;
+        }
+        if self.slots.len() < self.cap {
+            self.index.insert(vpn, self.slots.len() as u32);
+            self.slots.push(vpn);
+            return;
+        }
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let slot = (z as usize) % self.cap;
+        self.index.remove(&self.slots[slot]);
+        self.slots[slot] = vpn;
+        self.index.insert(vpn, slot as u32);
+    }
+    // hbat-lint: cold
+
+    /// Residents ordered oldest-first by the caller-supplied stamp (the
+    /// install order LRU L1s expect); slot order itself is an artifact
+    /// of eviction history.
+    fn residents_by(&self, stamp: impl Fn(u64) -> u64) -> Vec<u64> {
+        let mut v: Vec<(u64, u64)> = self.slots.iter().map(|&k| (stamp(k), k)).collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, k)| k).collect()
     }
 }
 
@@ -102,10 +373,10 @@ pub struct WarmAccumulator {
     dblock_mask: u64,
     iblock_mask: u64,
     pages: Vec<u64>,
-    seen_pages: HashSet<u64>,
-    tlb: HashMap<u64, u64>,
-    dblocks: HashMap<u64, u64>,
-    iblocks: HashMap<u64, u64>,
+    tlb: StampMap,
+    steady: SteadyTlb,
+    dblocks: StampMap,
+    iblocks: StampMap,
     stamp: u64,
     bpred: BranchPredictor,
 }
@@ -120,10 +391,10 @@ impl WarmAccumulator {
             dblock_mask: !(cfg.dcache.block_bytes - 1),
             iblock_mask: !(cfg.icache.block_bytes - 1),
             pages: Vec::new(),
-            seen_pages: HashSet::new(),
-            tlb: HashMap::new(),
-            dblocks: HashMap::new(),
-            iblocks: HashMap::new(),
+            tlb: StampMap::default(),
+            steady: SteadyTlb::new(BASE_TLB_ENTRIES),
+            dblocks: StampMap::default(),
+            iblocks: StampMap::default(),
             stamp: 0,
             bpred: BranchPredictor::table1(),
         }
@@ -139,10 +410,12 @@ impl WarmAccumulator {
 
         if let Some(m) = &t.mem {
             let vpn = self.geom.vpn(m.vaddr).0;
-            if self.seen_pages.insert(vpn) {
+            // The TLB map holds every VPN ever touched, so a fresh
+            // insert *is* the first touch of the page.
+            if self.tlb.insert(vpn, self.stamp) {
                 self.pages.push(vpn);
             }
-            self.tlb.insert(vpn, self.stamp);
+            self.steady.touch(vpn);
             self.dblocks
                 .insert(m.vaddr.0 & self.dblock_mask, self.stamp);
             self.stamp += 1;
@@ -155,29 +428,78 @@ impl WarmAccumulator {
         }
     }
 
+    // hbat-lint: hot — functional-warming gap loop of sampled runs; a few
+    // stamp-map updates per instruction, no ROB/LSQ timing, no allocation
+    // outside amortised table growth.
+
+    /// [`note`](Self::note) for a predecoded [`MicroOp`]: bit-identical
+    /// accumulation (asserted by the parity test below) without decoding
+    /// back to a [`TraceInst`]. This is the per-instruction step of the
+    /// sampled-run gap mode.
+    #[inline]
+    pub fn note_uop(&mut self, op: &MicroOp) {
+        let iblock = (u64::from(op.pc) * 4) & self.iblock_mask;
+        self.iblocks.insert(iblock, self.stamp);
+        self.stamp += 1;
+
+        if op.flags & MicroOp::F_MEM != 0 {
+            let vpn = self.geom.vpn(VirtAddr(op.vaddr)).0;
+            if self.tlb.insert(vpn, self.stamp) {
+                self.pages.push(vpn);
+            }
+            self.steady.touch(vpn);
+            self.dblocks.insert(op.vaddr & self.dblock_mask, self.stamp);
+            self.stamp += 1;
+        }
+
+        if op.flags & MicroOp::F_BR_COND != 0 {
+            self.bpred
+                .update(op.pc, op.flags & MicroOp::F_BR_TAKEN != 0);
+        }
+    }
+
+    /// Functional-warming gap mode: advances the accumulator across an
+    /// inter-window gap of committed-path micro-ops. Only TLB, cache and
+    /// branch-predictor warm state is updated — no ROB/LSQ timing — so
+    /// this runs at trace-replay speed (DESIGN.md §15).
+    pub fn warm_gap(&mut self, ops: &[MicroOp]) {
+        for op in ops {
+            self.note_uop(op);
+        }
+    }
+
+    // hbat-lint: cold
+
     /// Exports the exact accumulator state (for checkpointing).
     pub fn export(&self) -> WarmExport {
-        // Stamps are unique (one counter, bumped per insert), so sorting by
-        // stamp is a total order: the HashMaps never leak iteration order.
-        fn by_stamp(map: &HashMap<u64, u64>) -> Vec<(u64, u64)> {
-            let mut v: Vec<(u64, u64)> = map.iter().map(|(&k, &s)| (k, s)).collect();
-            v.sort_unstable_by_key(|&(_, s)| s);
-            v
-        }
         WarmExport {
             pages: self.pages.clone(),
-            tlb: by_stamp(&self.tlb),
-            dblocks: by_stamp(&self.dblocks),
-            iblocks: by_stamp(&self.iblocks),
+            tlb: self.tlb.pairs_by_stamp(),
+            dblocks: self.dblocks.pairs_by_stamp(),
+            iblocks: self.iblocks.pairs_by_stamp(),
             stamp: self.stamp,
             ghr: self.bpred.ghr(),
             pht: self.bpred.pht().to_vec(),
         }
     }
 
-    /// The install form of the current state.
+    /// The install form of the current state, derived directly from the
+    /// stamp tables — identical to `export().to_warm_state()` (asserted
+    /// by a test below) but without materialising and sorting the full
+    /// export. Sampled runs derive a fresh install state per detailed
+    /// window, so this sits on their per-window path.
     pub fn warm_state(&self) -> WarmState {
-        self.export().to_warm_state()
+        WarmState {
+            pages: self.pages.clone(),
+            tlb: self.tlb.newest_keys(WARM_TLB_CAP),
+            tlb_steady: self
+                .steady
+                .residents_by(|vpn| self.tlb.get(vpn).unwrap_or(0)),
+            dblocks: self.dblocks.newest_keys(WARM_DBLOCK_CAP),
+            iblocks: self.iblocks.newest_keys(WARM_IBLOCK_CAP),
+            ghr: self.bpred.ghr(),
+            pht: self.bpred.pht().to_vec(),
+        }
     }
 
     /// Rebuilds an accumulator from an export so that continuing to
@@ -186,11 +508,19 @@ impl WarmAccumulator {
     pub fn import(cfg: &SimConfig, geom: PageGeometry, e: &WarmExport) -> Self {
         let mut acc = WarmAccumulator::new(cfg, geom);
         acc.pages = e.pages.clone();
-        acc.seen_pages = e.pages.iter().copied().collect();
-        // The export vectors are stamp-sorted Vecs, not hash maps.
-        acc.tlb = e.tlb.iter().copied().collect(); // hbat-lint: allow(determinism) Vec source
-        acc.dblocks = e.dblocks.iter().copied().collect(); // hbat-lint: allow(determinism) Vec source
-        acc.iblocks = e.iblocks.iter().copied().collect(); // hbat-lint: allow(determinism) Vec source
+        for &(k, s) in &e.tlb {
+            acc.tlb.insert(k, s);
+            // The snapshot has no model state; seed it from the
+            // last-touch order (the same derivation `to_warm_state`
+            // uses), so restore stays deterministic.
+            acc.steady.touch(k);
+        }
+        for &(k, s) in &e.dblocks {
+            acc.dblocks.insert(k, s);
+        }
+        for &(k, s) in &e.iblocks {
+            acc.iblocks.insert(k, s);
+        }
         acc.stamp = e.stamp;
         acc.bpred.restore_tables(e.ghr, &e.pht);
         acc
@@ -237,6 +567,44 @@ mod tests {
         acc
     }
 
+    fn mixed_trace(n: u64) -> Vec<TraceInst> {
+        let mut insts = Vec::new();
+        for i in 0..n {
+            insts.push(load(i * 2, i as u32, 0x1000 + (i % 7) * 0x1000 + i * 8));
+            insts.push(branch(i * 2 + 1, (i % 13) as u32, i % 3 != 0));
+        }
+        insts
+    }
+
+    #[test]
+    fn stamp_map_behaves_like_a_reference_map() {
+        use std::collections::HashMap;
+        let mut fast = StampMap::default();
+        let mut reference = HashMap::new();
+        // A key stream with repeats, clusters, and enough distinct keys
+        // to force several growth/rehash rounds past the 16-slot start.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for stamp in 0..4000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 611; // heavy collisions
+            assert_eq!(
+                fast.insert(key, stamp),
+                reference.insert(key, stamp).is_none(),
+                "newness must agree at stamp {stamp}"
+            );
+        }
+        assert_eq!(fast.len(), reference.len());
+        for (&k, &s) in &reference {
+            assert_eq!(fast.get(k), Some(s));
+        }
+        assert_eq!(fast.get(9999), None);
+        let pairs = fast.pairs_by_stamp();
+        assert!(pairs.windows(2).all(|w| w[0].1 < w[1].1), "stamp ascending");
+        assert_eq!(pairs.len(), reference.len());
+    }
+
     #[test]
     fn pages_record_first_touch_order() {
         let acc = accumulate(&[
@@ -262,11 +630,7 @@ mod tests {
 
     #[test]
     fn export_import_round_trips_exactly() {
-        let mut insts = Vec::new();
-        for i in 0..200u64 {
-            insts.push(load(i * 2, i as u32, 0x1000 + (i % 7) * 0x1000 + i * 8));
-            insts.push(branch(i * 2 + 1, (i % 13) as u32, i % 3 != 0));
-        }
+        let insts = mixed_trace(200);
         let acc = accumulate(&insts);
         let e = acc.export();
         let imported = WarmAccumulator::import(&SimConfig::baseline(), PageGeometry::KB4, &e);
@@ -282,6 +646,50 @@ mod tests {
         }
         assert_eq!(a.export(), b.export());
         assert_eq!(a.warm_state(), b.warm_state());
+    }
+
+    // The gap-mode contract: streaming predecoded micro-ops through
+    // `note_uop` accumulates bit-identically to streaming the original
+    // trace records through `note`.
+    #[test]
+    fn uop_accumulation_is_bit_identical_to_trace_accumulation() {
+        let insts = mixed_trace(300);
+        let by_trace = accumulate(&insts);
+        let mut by_uop = WarmAccumulator::new(&SimConfig::baseline(), PageGeometry::KB4);
+        let uops: Vec<MicroOp> = insts.iter().map(MicroOp::encode).collect();
+        by_uop.warm_gap(&uops);
+        assert_eq!(by_uop.export(), by_trace.export());
+        assert_eq!(by_uop.warm_state(), by_trace.warm_state());
+    }
+
+    // A sampled run's chain: restore an accumulator from an export, gap
+    // across a micro-op suffix, and land exactly where a cold full-trace
+    // accumulation does.
+    #[test]
+    fn gap_mode_chains_from_an_imported_export() {
+        let insts = mixed_trace(250);
+        let boundary = 180;
+        let full = accumulate(&insts);
+
+        let prefix = accumulate(&insts[..boundary]);
+        let mut resumed =
+            WarmAccumulator::import(&SimConfig::baseline(), PageGeometry::KB4, &prefix.export());
+        let suffix: Vec<MicroOp> = insts[boundary..].iter().map(MicroOp::encode).collect();
+        resumed.warm_gap(&suffix);
+        assert_eq!(resumed.export(), full.export());
+    }
+
+    #[test]
+    fn direct_warm_state_matches_the_export_derivation() {
+        // Far more distinct keys than the caps, so the selection path
+        // actually partitions; both derivations must agree exactly.
+        let mut insts = Vec::new();
+        for i in 0..3 * WARM_TLB_CAP as u64 {
+            insts.push(load(i * 2, (i % 4096) as u32, 0x1000 + i * 4096));
+            insts.push(branch(i * 2 + 1, (i % 13) as u32, i % 3 != 0));
+        }
+        let acc = accumulate(&insts);
+        assert_eq!(acc.warm_state(), acc.export().to_warm_state());
     }
 
     #[test]

@@ -316,6 +316,30 @@ impl Cache {
         });
     }
 
+    /// Of a warm replay list (distinct block addresses, oldest-first LRU
+    /// order), the blocks that would still be resident after replaying
+    /// the whole list through [`Cache::warm_insert`]: the newest `ways`
+    /// blocks of each set, returned still oldest-first. Replaying only
+    /// the survivors produces the same final tags and the same relative
+    /// LRU order as replaying everything — the warm-install path uses
+    /// this to skip the inserts that LRU replacement would immediately
+    /// undo (a warm list is capped well above one cache's capacity).
+    pub fn warm_survivors(&self, addrs: &[u64]) -> Vec<u64> {
+        let sets = self.set_mask + 1;
+        let ways = self.cfg.ways as u8;
+        let mut taken = vec![0u8; sets];
+        let mut keep = Vec::with_capacity(addrs.len().min(sets * self.cfg.ways));
+        for &pa in addrs.iter().rev() {
+            let set = ((pa >> self.block_shift) as usize) & self.set_mask;
+            if taken[set] < ways {
+                taken[set] += 1;
+                keep.push(pa);
+            }
+        }
+        keep.reverse();
+        keep
+    }
+
     /// Probes without touching timing, ports, or stats (tests only).
     pub fn contains(&self, addr: PhysAddr) -> bool {
         let (base, tag) = self.index_of(addr);
@@ -413,6 +437,37 @@ mod tests {
         c.begin_cycle(Cycle(80));
         c.access(PhysAddr(3 * set_stride), false); // evicts 0 (dirty)
         assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn warm_survivors_match_a_full_replay() {
+        // 16 sets, 2 ways: a warm list far over capacity collapses to
+        // the newest two blocks per set, and replaying only those leaves
+        // the cache in the same state as replaying everything.
+        // 200 distinct blocks (i*73 mod 1024 is a permutation cycle)
+        // scattered over all 16 sets — ~12 candidates per 2-way set.
+        let list: Vec<u64> = (0..200u64).map(|i| ((i * 73) % 1024) * 32).collect();
+        let mut full = small();
+        for &pa in &list {
+            full.warm_insert(PhysAddr(pa));
+        }
+        let filtered_list = small().warm_survivors(&list);
+        assert!(filtered_list.len() <= 32, "at most ways per set survive");
+        let mut filtered = small();
+        for &pa in &filtered_list {
+            filtered.warm_insert(PhysAddr(pa));
+        }
+        for &pa in &list {
+            assert_eq!(
+                full.contains(PhysAddr(pa)),
+                filtered.contains(PhysAddr(pa)),
+                "residency diverged at {pa:#x}"
+            );
+        }
+        // Survivors keep list order (oldest-first), so LRU replay works.
+        let mut sorted = filtered_list.clone();
+        sorted.sort_by_key(|pa| list.iter().position(|x| x == pa).unwrap());
+        assert_eq!(filtered_list, sorted);
     }
 
     #[test]

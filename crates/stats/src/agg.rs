@@ -101,6 +101,12 @@ impl Summary {
     pub fn stddev(&self) -> Option<f64> {
         (self.n > 1).then(|| (self.m2 / (self.n - 1) as f64).max(0.0).sqrt())
     }
+
+    /// [`stddev`](Self::stddev) with degenerate samples collapsed to
+    /// 0.0 — for rendering paths that want a number, never NaN.
+    pub fn stddev_or_zero(&self) -> f64 {
+        self.stddev().unwrap_or(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +164,28 @@ mod tests {
         // Known dataset: population σ = 2, sample s = sqrt(32/7).
         let expect = (32.0f64 / 7.0).sqrt();
         assert!((s.stddev().unwrap() - expect).abs() < 1e-12);
+    }
+
+    // Satellite hardening: the n==0 and n==1 window cases that sampled
+    // sweeps produce (a resumed cell with no sidecar, a trace shorter
+    // than one window) must stay well-defined end to end.
+    #[test]
+    fn empty_and_single_observation_summaries_are_well_defined() {
+        let empty = Summary::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.stddev(), None);
+        assert_eq!(empty.stddev_or_zero(), 0.0);
+        assert!(!empty.mean().is_nan());
+
+        let mut one = Summary::new();
+        one.push(2.5);
+        assert_eq!(one.count(), 1);
+        assert_eq!(one.mean(), 2.5);
+        assert_eq!(one.stddev(), None);
+        assert_eq!(one.stddev_or_zero(), 0.0);
+        assert_eq!(one.min(), Some(2.5));
+        assert_eq!(one.max(), Some(2.5));
     }
 
     #[test]

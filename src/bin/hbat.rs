@@ -44,6 +44,19 @@
 //!                                         (default results/perf_baseline.jsonl)
 //!          --host <tag>                   host tag for `add` (HBAT_HOST)
 //!
+//! sampled simulation (SMARTS-style; see DESIGN.md § 15):
+//!          --sample N[:len[:warmup]]      detailed timing only in N systematic
+//!                                         windows of len committed micro-ops
+//!                                         (default len 1000), warmed by warmup
+//!                                         detailed ops each (default 0); the
+//!                                         gaps run functional warming only.
+//!                                         IPC becomes `mean ± 95% CI`. Applies
+//!                                         to `trace` and `sweep`; mutually
+//!                                         exclusive with --observe/--intervals.
+//!                                         With --journal, windows append to
+//!                                         <journal>.iv.jsonl; with --out (on
+//!                                         `trace`), windows are written there.
+//!
 //! sweep checkpointing (see DESIGN.md § 13):
 //!          --ff <n>                       fast-forward each benchmark n committed
 //!                                         instructions functionally before timing
@@ -63,13 +76,15 @@ use hbat_suite::bench::executor::RunPolicy;
 use hbat_suite::bench::experiment::{sweep_ft, ExperimentConfig, SweepOptions};
 use hbat_suite::bench::faults::FaultPlan;
 use hbat_suite::bench::perfdb;
+use hbat_suite::bench::sample::{ipc_interval, run_sampled_uops, SamplePlan};
 use hbat_suite::ckpt::Snapshot;
 use hbat_suite::isa::tracefile;
+use hbat_suite::isa::PredecodedTrace;
 use hbat_suite::obs::{prof, IntervalRecorder, PortResource, Tee};
 use hbat_suite::prelude::*;
 use hbat_suite::stats::chart::BarChart;
 use hbat_suite::stats::table::TextTable;
-use hbat_suite::stats::Summary;
+use hbat_suite::stats::{ConfLevel, Summary};
 
 struct Options {
     scale: Scale,
@@ -89,6 +104,9 @@ struct Options {
     ckpt_dir: Option<std::path::PathBuf>,
     ckpt_interval: Option<u64>,
     ff: Option<u64>,
+    // Raw `--sample` spec; parsed into a SamplePlan once the seed is
+    // known (flag order is free, so the seed may arrive after it).
+    sample: Option<String>,
     db: Option<std::path::PathBuf>,
     baseline: Option<std::path::PathBuf>,
     host: Option<String>,
@@ -115,6 +133,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         ckpt_dir: None,
         ckpt_interval: None,
         ff: None,
+        sample: None,
         db: None,
         baseline: None,
         host: None,
@@ -209,6 +228,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 o.ckpt_interval = Some(n);
             }
+            "--sample" => {
+                let v = it.next().ok_or("--sample needs N[:len[:warmup]]")?;
+                o.sample = Some(v.clone());
+            }
             "--ff" => {
                 let v = it.next().ok_or("--ff needs an instruction count")?;
                 o.ff = Some(
@@ -251,6 +274,13 @@ impl Options {
             .into_iter()
             .find(|b| b.name().eq_ignore_ascii_case(name))
             .ok_or_else(|| format!("unknown benchmark `{name}` (try `hbat list`)"))
+    }
+
+    fn sample_plan(&self) -> Result<Option<SamplePlan>, String> {
+        self.sample
+            .as_deref()
+            .map(|spec| SamplePlan::parse(spec, self.seed))
+            .transpose()
     }
 
     fn design(&self, idx: usize) -> Result<DesignSpec, String> {
@@ -357,6 +387,47 @@ fn print_intervals(iv: &IntervalRecorder) {
     }
 }
 
+/// Renders a sampled run's measurement windows: per-window table
+/// (capped), IPC-per-window chart, and the spread across windows.
+fn print_sample_windows(windows: &[hbat_suite::obs::IntervalRecord]) {
+    const MAX_ROWS: usize = 20;
+    let opt = |v: Option<f64>| match v {
+        Some(v) => format!("{:5.1}%", v * 100.0),
+        None => "-".to_owned(),
+    };
+    let mut t = TextTable::new(vec![
+        "window",
+        "op index",
+        "cycles",
+        "committed",
+        "IPC",
+        "tlb hit",
+    ]);
+    t.numeric();
+    for (i, w) in windows.iter().take(MAX_ROWS).enumerate() {
+        t.row(vec![
+            i.to_string(),
+            w.start.to_string(),
+            w.cycles.to_string(),
+            w.committed.to_string(),
+            format!("{:.3}", w.ipc()),
+            opt(w.tlb_hit_rate()),
+        ]);
+    }
+    println!("{}", t.render());
+    if windows.len() > MAX_ROWS {
+        println!("… ({} more windows)", windows.len() - MAX_ROWS);
+    }
+    if !windows.is_empty() {
+        let stride = windows.len().div_ceil(40).max(1);
+        let mut chart = BarChart::new("IPC per sampled window", 50);
+        for w in windows.iter().step_by(stride) {
+            chart.bar(&format!("@{}", w.start), w.ipc());
+        }
+        println!("{}", chart.render());
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -424,6 +495,50 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 let _p = prof::scope("trace-build");
                 bench.build(&cfg.workload).trace()
             };
+            if let Some(plan) = opts.sample_plan()? {
+                if opts.intervals.is_some() {
+                    return Err(
+                        "--sample is mutually exclusive with --intervals (pick one window scheme)"
+                            .to_owned(),
+                    );
+                }
+                let uops = PredecodedTrace::predecode(&trace);
+                let phase = prof::scope("sampled-run");
+                let cell = run_sampled_uops(uops.ops(), design, &cfg, None, &plan);
+                drop(phase);
+                println!(
+                    "{bench} on {} ({}): {} instructions, sampled {} (windows:len:warmup)\n",
+                    design.mnemonic(),
+                    design.description(),
+                    trace.len(),
+                    plan.render()
+                );
+                print_sample_windows(&cell.windows);
+                let ci = ipc_interval(&cell.windows, ConfLevel::P95);
+                let measured: u64 = cell.metrics.committed;
+                println!("IPC (95% CI)      : {}", ci.render(3));
+                println!(
+                    "measured          : {measured} committed micro-ops in {} window(s) \
+                     ({:.1}% of the trace's {} micro-ops)",
+                    cell.windows.len(),
+                    measured as f64 / uops.ops().len().max(1) as f64 * 100.0,
+                    uops.ops().len()
+                );
+                if let Some(path) = &opts.out {
+                    let mut out = String::new();
+                    for w in &cell.windows {
+                        out.push_str(&w.render_json());
+                        out.push('\n');
+                    }
+                    std::fs::write(path, out).map_err(|e| e.to_string())?;
+                    println!(
+                        "wrote {} sampled windows to {}",
+                        cell.windows.len(),
+                        path.display()
+                    );
+                }
+                return Ok(());
+            }
             let mut tlb = design.build(cfg.geometry, cfg.design_seed);
             // With --intervals the run is recorded twice at once: the
             // event/stall recorder feeds the summary below, the interval
@@ -534,6 +649,13 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                     "--intervals needs --journal <path> (the sidecar lives next to it)".to_owned(),
                 );
             }
+            if opts.sample.is_some() && (opts.observe || opts.intervals.is_some()) {
+                return Err(
+                    "--sample is mutually exclusive with --observe / --intervals \
+                     (sampled windows own the interval sidecar)"
+                        .to_owned(),
+                );
+            }
             if opts.ckpt_dir.is_some() && opts.ff.is_none() {
                 return Err("--ckpt-dir needs --ff <n> (the fast-forward boundary)".to_owned());
             }
@@ -569,6 +691,7 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 }),
                 _ => None,
             };
+            let sample = opts.sample_plan()?;
             let sweep_opts = SweepOptions {
                 threads: 0,
                 policy,
@@ -578,10 +701,16 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 observe: opts.observe,
                 intervals: opts.intervals,
                 checkpoint,
+                sample,
             };
             let r = sweep_ft(&DesignSpec::TABLE2, &cfg, &sweep_opts).map_err(|e| e.to_string())?;
-            println!("{}", r.render_figure("design sweep"));
-            println!("{}", r.render_details());
+            if sample.is_some() {
+                println!("{}", r.render_sample_figure("design sweep (sampled)"));
+                println!("{}", r.render_sample_details());
+            } else {
+                println!("{}", r.render_figure("design sweep"));
+                println!("{}", r.render_details());
+            }
             if r.resumed > 0 {
                 eprintln!("resumed {} cell(s) from the journal", r.resumed);
             }
